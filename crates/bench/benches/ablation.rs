@@ -1,0 +1,97 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out, all
+//! measured in *simulated seconds* on the virtual Paragon. The
+//! `ablation_report` helper prints the ablation numbers once up front;
+//! criterion then times a representative configuration so `cargo bench`
+//! records a stable entry.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use intercom::{Algo, Communicator};
+use intercom_cost::{MachineParams, Strategy, StrategyKind};
+use intercom_meshsim::{simulate, SimConfig};
+use intercom_topology::Mesh2D;
+
+fn sim_bcast(mesh: Mesh2D, machine: MachineParams, n: usize, algo: Algo) -> f64 {
+    let cfg = SimConfig::new(mesh, machine);
+    simulate(&cfg, move |c| {
+        let cc = Communicator::world_on_mesh(c, machine, mesh).unwrap();
+        let mut buf = vec![0u8; n];
+        cc.bcast_with(0, &mut buf, &algo).unwrap();
+    })
+    .elapsed
+}
+
+fn sim_bcast_linear(p: usize, machine: MachineParams, n: usize, algo: Algo) -> f64 {
+    let cfg = SimConfig::new(Mesh2D::new(1, p), machine);
+    simulate(&cfg, move |c| {
+        let cc = Communicator::world(c, machine);
+        let mut buf = vec![0u8; n];
+        cc.bcast_with(0, &mut buf, &algo).unwrap();
+    })
+    .elapsed
+}
+
+/// Prints the ablation numbers once (simulated seconds).
+fn ablation_report() {
+    let machine = MachineParams::PARAGON;
+    let mesh = Mesh2D::new(8, 16);
+    let n = 1 << 18;
+
+    println!("\n=== ablation report (simulated seconds) ===");
+
+    // 1. Hybrid vs pure-MST vs pure-long across lengths (crossover).
+    println!("-- hybrid vs pure algorithms, 8x16 mesh, broadcast --");
+    for nn in [64usize, 4096, 1 << 18] {
+        let s = sim_bcast(mesh, machine, nn, Algo::Short);
+        let l = sim_bcast(mesh, machine, nn, Algo::Long);
+        let a = sim_bcast(mesh, machine, nn, Algo::Auto);
+        println!("n={nn:>7}: short={s:.6} long={l:.6} auto={a:.6}");
+    }
+
+    // 2. Stage ordering: localized-groups-early (paper's choice, §6 last
+    //    paragraph) vs the big dimension first.
+    println!("-- stage ordering on a 128-node linear array, n=256K --");
+    let good = Strategy::new(vec![2, 64], StrategyKind::Mst);
+    let bad = Strategy::new(vec![64, 2], StrategyKind::Mst);
+    let tg = sim_bcast_linear(128, machine, n, Algo::Hybrid(good.clone()));
+    let tb = sim_bcast_linear(128, machine, n, Algo::Hybrid(bad.clone()));
+    println!("{good} = {tg:.6}   {bad} = {tb:.6}");
+
+    // 3. Row/column physical staging (§7.1) vs treating the mesh as one
+    //    linear array.
+    println!("-- mesh-aware vs linear-array treatment, 8x16, n=256K --");
+    let mesh_aware = sim_bcast(mesh, machine, n, Algo::Auto);
+    let linear_cfg = SimConfig::new(mesh, machine);
+    let linear = simulate(&linear_cfg, move |c| {
+        let cc = Communicator::world(c, machine); // linear-array selector
+        let mut buf = vec![0u8; n];
+        cc.bcast(0, &mut buf).unwrap();
+    })
+    .elapsed;
+    println!("mesh-aware={mesh_aware:.6}  linear-array={linear:.6}");
+
+    // 4. Link excess factor: unsegmented MST contention melts away as
+    //    links gain headroom (why NX loses less on lightly-loaded nets).
+    println!("-- link excess vs MST broadcast contention, 8x16, n=256K --");
+    for k in [1.0f64, 2.0, 4.0] {
+        let m = MachineParams { link_excess: k, ..machine };
+        let t = sim_bcast(mesh, m, n, Algo::Short);
+        println!("link_excess={k}: short bcast = {t:.6}");
+    }
+
+    println!("=== end ablation report ===\n");
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    ablation_report();
+    let machine = MachineParams::PARAGON;
+    let mesh = Mesh2D::new(4, 8);
+    let mut g = c.benchmark_group("ablation_representative");
+    g.sample_size(10);
+    g.bench_function("auto_bcast_32_nodes_64k", |b| {
+        b.iter(|| sim_bcast(mesh, machine, 1 << 16, Algo::Auto))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

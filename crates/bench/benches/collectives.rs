@@ -1,0 +1,82 @@
+//! Criterion benches of the real threaded backend: the seven collectives
+//! under short / long / auto algorithms at representative sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use intercom::{Algo, Communicator, ReduceOp};
+use intercom_cost::MachineParams;
+use intercom_runtime::run_world;
+
+const P: usize = 8;
+
+fn bench_bcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bcast_threaded");
+    g.sample_size(10);
+    for n in [256usize, 64 * 1024] {
+        g.throughput(Throughput::Bytes(n as u64));
+        for (name, algo) in
+            [("short", Algo::Short), ("long", Algo::Long), ("auto", Algo::Auto)]
+        {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                b.iter(|| {
+                    run_world(P, |comm| {
+                        let cc = Communicator::world(comm, MachineParams::PARAGON);
+                        let mut buf = vec![1u8; n];
+                        cc.bcast_with(0, &mut buf, &algo).unwrap();
+                        buf[n / 2]
+                    })
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce_threaded");
+    g.sample_size(10);
+    for n in [256usize, 16 * 1024] {
+        g.throughput(Throughput::Bytes((n * 8) as u64));
+        for (name, algo) in
+            [("short", Algo::Short), ("long", Algo::Long), ("auto", Algo::Auto)]
+        {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                b.iter(|| {
+                    run_world(P, |comm| {
+                        let cc = Communicator::world(comm, MachineParams::PARAGON);
+                        let mut buf = vec![1.0f64; n];
+                        cc.allreduce_with(&mut buf, ReduceOp::Sum, &algo).unwrap();
+                        buf[0]
+                    })
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_allgather(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allgather_threaded");
+    g.sample_size(10);
+    for b_items in [64usize, 8 * 1024] {
+        g.throughput(Throughput::Bytes((b_items * P) as u64));
+        for (name, algo) in
+            [("short", Algo::Short), ("long", Algo::Long), ("auto", Algo::Auto)]
+        {
+            g.bench_with_input(BenchmarkId::new(name, b_items), &b_items, |bch, &bi| {
+                bch.iter(|| {
+                    run_world(P, |comm| {
+                        let cc = Communicator::world(comm, MachineParams::PARAGON);
+                        let mine = vec![1u8; bi];
+                        let mut all = vec![0u8; bi * P];
+                        cc.allgather_with(&mine, &mut all, &algo).unwrap();
+                        all[0]
+                    })
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bcast, bench_allreduce, bench_allgather);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench of strategy enumeration + selection: the run-time
+//! cost of the library's cost-model-driven dispatch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use intercom_cost::select::best_mesh_strategy;
+use intercom_cost::{best_strategy, CollectiveOp, CostContext, MachineParams};
+
+fn bench_select(c: &mut Criterion) {
+    let m = MachineParams::PARAGON;
+    let mut g = c.benchmark_group("selector");
+    for p in [30usize, 512, 1024] {
+        g.bench_with_input(BenchmarkId::new("linear", p), &p, |b, &p| {
+            b.iter(|| {
+                best_strategy(CollectiveOp::Broadcast, p, 65536, &m, CostContext::LINEAR)
+            })
+        });
+    }
+    g.bench_function("mesh_16x32", |b| {
+        b.iter(|| best_mesh_strategy(CollectiveOp::Collect, 16, 32, 65536, &m))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_select);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benches of the simulator itself: how fast virtual Paragons
+//! simulate on the host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use intercom::{Algo, Communicator};
+use intercom_cost::MachineParams;
+use intercom_meshsim::{simulate, SimConfig};
+use intercom_topology::Mesh2D;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_bcast");
+    g.sample_size(10);
+    for (r, cl) in [(4usize, 8usize), (8, 16)] {
+        let mesh = Mesh2D::new(r, cl);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{r}x{cl}")),
+            &mesh,
+            |b, &mesh| {
+                b.iter(|| {
+                    let cfg = SimConfig::new(mesh, MachineParams::PARAGON);
+                    simulate(&cfg, |comm| {
+                        let cc =
+                            Communicator::world_on_mesh(comm, MachineParams::PARAGON, mesh)
+                                .unwrap();
+                        let mut buf = vec![0u8; 4096];
+                        cc.bcast_with(0, &mut buf, &Algo::Auto).unwrap();
+                    })
+                    .elapsed
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Internal profiling probe: times each Table-3 cell on the host so slow
+//! simulation paths can be identified. Not part of the reproduction.
+use intercom_bench::measure::{bcast_time, collect_time, gsum_time, Series};
+use intercom_cost::MachineParams;
+use intercom_topology::Mesh2D;
+use std::time::Instant;
+
+fn main() {
+    let mesh = Mesh2D::new(8, 16);
+    let m = MachineParams::PARAGON;
+    for (name, f) in [
+        ("bcast", bcast_time as fn(Mesh2D, MachineParams, usize, Series) -> f64),
+        ("collect", collect_time),
+        ("gsum", gsum_time),
+    ] {
+        for n in [8usize, 65536, 1 << 20] {
+            for s in [Series::Nx, Series::IccAuto] {
+                let t0 = Instant::now();
+                let sim = f(mesh, m, n, s);
+                println!(
+                    "{name:>8} n={n:>8} {:>8}: sim={sim:.6}s host={:?}",
+                    s.label(),
+                    t0.elapsed()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! The selector's phase diagram: which algorithm family wins at each
+//! `(p, n)` point — the two-dimensional generalization of Fig. 2's lower
+//! envelope, rendered as an ASCII map.
+//!
+//! Legend: `M` pure MST, `S` pure scatter/collect, `h` a 2-dim hybrid,
+//! `H` a ≥3-dim hybrid.
+//!
+//! Run: `cargo run -p intercom-bench --bin crossover_map`
+
+use intercom_cost::{
+    best_strategy, CollectiveOp, CostContext, MachineParams, StrategyKind,
+};
+
+fn class(p: usize, n: usize, machine: &MachineParams) -> char {
+    let s = best_strategy(CollectiveOp::Broadcast, p, n, machine, CostContext::LINEAR);
+    match (s.ndims(), s.kind) {
+        (1, StrategyKind::Mst) => 'M',
+        (1, StrategyKind::ScatterCollect) => 'S',
+        (2, _) => 'h',
+        _ => 'H',
+    }
+}
+
+fn main() {
+    let machine = MachineParams::PARAGON_MODEL;
+    println!("best broadcast algorithm by (p, n) — Paragon model, linear array");
+    println!("legend: M = MST, S = scatter/collect, h = 2-dim hybrid, H = deeper hybrid\n");
+
+    let ps: Vec<usize> = (2..=128).filter(|p| p % 2 == 0 || *p < 16).collect();
+    print!("{:>5} |", "p\\n");
+    let n_exps: Vec<u32> = (3..=20).collect();
+    for e in &n_exps {
+        print!("{}", if e % 2 == 0 { ((e / 10) as u8 + b'0') as char } else { ' ' });
+    }
+    println!();
+    print!("{:>5} |", "");
+    for e in &n_exps {
+        print!("{}", ((e % 10) as u8 + b'0') as char);
+    }
+    println!("   (n = 2^e bytes)");
+    println!("{}", "-".repeat(7 + n_exps.len()));
+    for &p in &ps {
+        if p > 16 && p % 8 != 0 {
+            continue;
+        }
+        print!("{p:>5} |");
+        for &e in &n_exps {
+            print!("{}", class(p, 1usize << e, &machine));
+        }
+        println!();
+    }
+
+    println!("\ncrossover reading: below the M→hybrid boundary startups dominate;");
+    println!("prime p rows show the §6 caveat (no factorization → no hybrids:");
+    println!("the selector jumps straight from M to S).");
+    for p in [13usize, 31, 127] {
+        let line: String =
+            n_exps.iter().map(|&e| class(p, 1usize << e, &machine)).collect();
+        println!("{p:>5} |{line}   (prime)");
+    }
+}

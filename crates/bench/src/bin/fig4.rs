@@ -1,0 +1,61 @@
+//! Regenerates the paper's **Fig. 4**: performance of representative
+//! hybrid collective communication operations on the (simulated)
+//! Paragon. Left: collect on a 16 × 32 physical mesh. Right: broadcast
+//! on a 15 × 30 physical mesh (deviating significantly from a
+//! power-of-two mesh).
+//!
+//! Emits one CSV block per panel with iCC (auto), iCC-short, iCC-long
+//! and NX series over message lengths 8 B – 1 MB.
+//!
+//! Run: `cargo run -p intercom-bench --release --bin fig4`
+//! (add `-- --quick` for smaller meshes / sparser sweep)
+
+use intercom_bench::measure::{bcast_time, collect_time, Series};
+use intercom_bench::report::csv;
+use intercom_bench::sizes::pow2_sweep;
+use intercom_cost::MachineParams;
+use intercom_topology::Mesh2D;
+
+const SERIES: [Series; 4] = [Series::IccAuto, Series::IccShort, Series::IccLong, Series::Nx];
+
+fn panel(
+    title: &str,
+    mesh: Mesh2D,
+    machine: MachineParams,
+    sweep: &[usize],
+    f: impl Fn(Mesh2D, MachineParams, usize, Series) -> f64,
+) {
+    println!("## {title} ({mesh})");
+    let mut header: Vec<&str> = vec!["bytes"];
+    header.extend(SERIES.iter().map(|s| s.label()));
+    let mut rows = Vec::new();
+    for &n in sweep {
+        let mut row = vec![n.to_string()];
+        for s in SERIES {
+            row.push(format!("{:.6e}", f(mesh, machine, n, s)));
+        }
+        rows.push(row);
+    }
+    println!("{}", csv(&header, &rows));
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let machine = MachineParams::PARAGON;
+    let (collect_mesh, bcast_mesh, step) = if quick {
+        (Mesh2D::new(8, 16), Mesh2D::new(5, 10), 3)
+    } else {
+        (Mesh2D::new(16, 32), Mesh2D::new(15, 30), 2)
+    };
+    let sweep = pow2_sweep(8, 1 << 20, step);
+
+    println!("Fig. 4 — simulated Paragon, machine = PARAGON preset\n");
+    panel("Collect", collect_mesh, machine, &sweep, collect_time);
+    panel("Broadcast", bcast_mesh, machine, &sweep, bcast_time);
+    println!(
+        "shape checks: iCC tracks min(short, long) with the crossover\n\
+         visible mid-range; NX parallels iCC-short for broadcast but is\n\
+         offset ~flat for collect; the 15x30 panel shows non-power-of-two\n\
+         grids cost no cliff (the paper's headline claim)."
+    );
+}

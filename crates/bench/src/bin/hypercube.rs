@@ -1,0 +1,90 @@
+//! The §11 iPSC/860 port: run the library on a simulated hypercube with
+//! Gray-code ring embedding and hypercube-tuned machine constants, and
+//! reproduce the §8 observation on that machine class too — the
+//! theoretically superior pipelined broadcast beats scatter/collect on an
+//! ideal cube but degrades under timing irregularities.
+//!
+//! Run: `cargo run -p intercom-bench --release --bin hypercube`
+
+use intercom::comm::GroupComm;
+use intercom::primitives::{optimal_segments, pipelined_ring_bcast};
+use intercom::{Algo, Communicator, ReduceOp};
+use intercom_bench::report::{fmt_bytes, Table};
+use intercom_cost::MachineParams;
+use intercom_meshsim::{simulate, SimConfig};
+use intercom_topology::Hypercube;
+
+const D: u32 = 6; // 64-node cube, an iPSC/860-era size
+
+fn bcast(cube: Hypercube, m: MachineParams, n: usize, algo: Algo, jitter: f64) -> f64 {
+    let cfg = SimConfig::hypercube(cube, m).with_jitter(jitter, 7);
+    simulate(&cfg, move |c| {
+        let cc = Communicator::world_on_hypercube(c, m, cube).unwrap();
+        let mut buf = vec![0u8; n];
+        cc.bcast_with(0, &mut buf, &algo).unwrap();
+    })
+    .elapsed
+}
+
+fn bcast_pipelined(cube: Hypercube, m: MachineParams, n: usize, jitter: f64) -> f64 {
+    let cfg = SimConfig::hypercube(cube, m).with_jitter(jitter, 7);
+    let p = cube.nodes();
+    let segs = optimal_segments(p, n, &m);
+    simulate(&cfg, move |c| {
+        // Pipeline along the Gray-code Hamiltonian ring.
+        let gc = GroupComm::new(c, cube.gray_ring()).unwrap();
+        let mut buf = vec![0u8; n];
+        pipelined_ring_bcast(&gc, 0, &mut buf, segs, 0).unwrap();
+    })
+    .elapsed
+}
+
+fn gsum(cube: Hypercube, m: MachineParams, n: usize) -> f64 {
+    let cfg = SimConfig::hypercube(cube, m);
+    simulate(&cfg, move |c| {
+        let cc = Communicator::world_on_hypercube(c, m, cube).unwrap();
+        let mut buf = vec![1.0f64; (n / 8).max(1)];
+        cc.allreduce(&mut buf, ReduceOp::Sum).unwrap();
+    })
+    .elapsed
+}
+
+fn main() {
+    let cube = Hypercube::new(D);
+    let machine = MachineParams::IPSC860;
+    println!("iPSC/860 port: {cube}, Gray-code ring embedding\n");
+
+    println!("broadcast, simulated seconds:");
+    let mut t = Table::new(vec!["bytes", "short (MST)", "long (SC)", "auto", "pipelined"]);
+    for n in [8usize, 4096, 65536, 1 << 20] {
+        t.row(vec![
+            fmt_bytes(n),
+            format!("{:.6}", bcast(cube, machine, n, Algo::Short, 0.0)),
+            format!("{:.6}", bcast(cube, machine, n, Algo::Long, 0.0)),
+            format!("{:.6}", bcast(cube, machine, n, Algo::Auto, 0.0)),
+            format!("{:.6}", bcast_pipelined(cube, machine, n, 0.0)),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("§8 on the cube — 1 MB broadcast under timing jitter:");
+    let mut t = Table::new(vec!["jitter", "scatter/collect", "pipelined", "pipe/sc"]);
+    for jitter in [0.0f64, 0.5, 1.0] {
+        let sc = bcast(cube, machine, 1 << 20, Algo::Long, jitter);
+        let pipe = bcast_pipelined(cube, machine, 1 << 20, jitter);
+        t.row(vec![
+            format!("{}%", (jitter * 100.0) as u32),
+            format!("{sc:.6}"),
+            format!("{pipe:.6}"),
+            format!("{:.2}", pipe / sc),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("global sum, simulated seconds:");
+    let mut t = Table::new(vec!["bytes", "iCC auto"]);
+    for n in [8usize, 65536, 1 << 20] {
+        t.row(vec![fmt_bytes(n), format!("{:.6}", gsum(cube, machine, n))]);
+    }
+    println!("{}", t.render());
+}

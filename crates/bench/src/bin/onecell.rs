@@ -1,0 +1,25 @@
+//! Internal diagnostic: run a single Table-3 cell given op/series/bytes.
+use intercom_bench::measure::{bcast_time, collect_time, gsum_time, Series};
+use intercom_cost::MachineParams;
+use intercom_topology::Mesh2D;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let op = args.first().map(String::as_str).unwrap_or("gsum");
+    let series = match args.get(1).map(String::as_str) {
+        Some("nx") => Series::Nx,
+        _ => Series::IccAuto,
+    };
+    let n: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(1 << 20);
+    let rows: usize = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(16);
+    let cols: usize = args.get(4).and_then(|a| a.parse().ok()).unwrap_or(32);
+    let mesh = Mesh2D::new(rows, cols);
+    let m = MachineParams::PARAGON;
+    let t0 = std::time::Instant::now();
+    let sim = match op {
+        "bcast" => bcast_time(mesh, m, n, series),
+        "collect" => collect_time(mesh, m, n, series),
+        _ => gsum_time(mesh, m, n, series),
+    };
+    println!("{op} {series:?} n={n} {rows}x{cols}: sim={sim:.6}s host={:?}", t0.elapsed());
+}

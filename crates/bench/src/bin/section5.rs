@@ -1,0 +1,14 @@
+//! Prints the §5 composed-algorithm cost catalog — the paper's inline
+//! cost formulas for all seven collectives, regenerated from the model.
+//!
+//! Run: `cargo run -p intercom-bench --bin section5 -- [p]`
+
+use intercom_cost::composed::render_catalog;
+
+fn main() {
+    let p: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(30);
+    println!("§5 composed algorithms on a {p}-node linear array\n");
+    println!("{}", render_catalog(p));
+    println!("(α coefficients: ⌈log p⌉ = startup-optimal; 2⌈log p⌉ = within the");
+    println!(" paper's factor-2 claim; p−1-class terms are the bucket algorithms)");
+}

@@ -1,0 +1,80 @@
+//! Regenerates the paper's **Table 2**: "Some choices of hybrids and
+//! their expense when broadcasting on a linear array with 30 nodes",
+//! listed in increasing order of the β term.
+//!
+//! Run: `cargo run -p intercom-bench --bin table2`
+
+use intercom_bench::report::Table;
+use intercom_cost::collective::hybrid_cost;
+use intercom_cost::{enumerate_strategies, CollectiveOp, CostContext, Strategy, StrategyKind};
+
+fn main() {
+    println!("Table 2 — broadcast hybrids on a linear array of 30 nodes");
+    println!("(paper page 110; cost model of §6 with conflict factors)\n");
+
+    // The strategies the paper lists, in its own grouping.
+    let paper_rows: Vec<Strategy> = vec![
+        Strategy::new(vec![30], StrategyKind::Mst),
+        Strategy::new(vec![2, 15], StrategyKind::Mst),
+        Strategy::new(vec![3, 10], StrategyKind::Mst),
+        Strategy::new(vec![2, 3, 5], StrategyKind::Mst),
+        Strategy::new(vec![2, 15], StrategyKind::ScatterCollect),
+        Strategy::new(vec![3, 10], StrategyKind::ScatterCollect),
+        Strategy::new(vec![10, 3], StrategyKind::ScatterCollect),
+        Strategy::new(vec![5, 6], StrategyKind::ScatterCollect),
+        Strategy::new(vec![6, 5], StrategyKind::ScatterCollect),
+        Strategy::new(vec![30], StrategyKind::ScatterCollect),
+    ];
+
+    let mut rows: Vec<(Strategy, f64)> = paper_rows
+        .into_iter()
+        .map(|s| {
+            let c = hybrid_cost(CollectiveOp::Broadcast, &s, CostContext::LINEAR);
+            (s, c.beta_c)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+    let mut t = Table::new(vec!["logical mesh", "hybrid", "time"]);
+    for (s, _) in &rows {
+        // The paper's table shows the α and β terms; drop the library's
+        // δ bookkeeping for fidelity (it is reported by `fig2`/`table3`).
+        let mut c = hybrid_cost(CollectiveOp::Broadcast, s, CostContext::LINEAR);
+        c.delta_c = 0.0;
+        t.row(vec![s.mesh_name(), s.letters(), c.display_over(30)]);
+    }
+    println!("{}", t.render());
+
+    println!(
+        "note: the MST broadcast costs 5α + 5nβ; hybrids above it in the\n\
+         table are included to illustrate the mechanism (paper footnote 1).\n"
+    );
+
+    // Beyond the paper: the full enumeration and the frontier.
+    let all = enumerate_strategies(30, 0);
+    println!("full §6 design space for p = 30: {} strategies", all.len());
+    let mut best_alpha = f64::INFINITY;
+    let mut frontier = Vec::new();
+    let mut by_beta: Vec<_> = all
+        .iter()
+        .map(|s| {
+            let c = hybrid_cost(CollectiveOp::Broadcast, s, CostContext::LINEAR);
+            (s, c)
+        })
+        .collect();
+    by_beta.sort_by(|a, b| a.1.beta_c.total_cmp(&b.1.beta_c).then(a.1.alpha_c.total_cmp(&b.1.alpha_c)));
+    for (s, c) in by_beta {
+        if c.alpha_c < best_alpha {
+            best_alpha = c.alpha_c;
+            frontier.push((s, c));
+        }
+    }
+    frontier.reverse();
+    println!("Pareto frontier (α vs β), latency-optimal first:");
+    let mut ft = Table::new(vec!["logical mesh", "hybrid", "time"]);
+    for (s, c) in frontier {
+        let shown = intercom_cost::CostExpr { delta_c: 0.0, ..c };
+        ft.row(vec![s.mesh_name(), s.letters(), shown.display_over(30)]);
+    }
+    println!("{}", ft.render());
+}

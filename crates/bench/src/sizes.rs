@@ -1,0 +1,36 @@
+//! Message-length sweeps used by the figure binaries.
+
+/// Powers of two from `lo` to `hi` inclusive (both rounded to powers of
+/// two), optionally thinned to every `step`-th power.
+pub fn pow2_sweep(lo: usize, hi: usize, step: u32) -> Vec<usize> {
+    assert!(lo >= 1 && hi >= lo && step >= 1);
+    let lo_exp = usize::BITS - lo.next_power_of_two().leading_zeros() - 1;
+    let hi_exp = usize::BITS - hi.next_power_of_two().leading_zeros() - 1;
+    (lo_exp..=hi_exp).step_by(step as usize).map(|e| 1usize << e).collect()
+}
+
+/// The paper's Table 3 vector lengths: 8 B, 64 KB, 1 MB.
+pub const TABLE3_LENGTHS: [usize; 3] = [8, 64 * 1024, 1024 * 1024];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_endpoints() {
+        let s = pow2_sweep(8, 1 << 20, 1);
+        assert_eq!(*s.first().unwrap(), 8);
+        assert_eq!(*s.last().unwrap(), 1 << 20);
+    }
+
+    #[test]
+    fn sweep_thinning() {
+        let s = pow2_sweep(8, 1 << 20, 3);
+        assert_eq!(s, vec![8, 64, 512, 4096, 32768, 262144]);
+    }
+
+    #[test]
+    fn degenerate_sweep() {
+        assert_eq!(pow2_sweep(16, 16, 1), vec![16]);
+    }
+}

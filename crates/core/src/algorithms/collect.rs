@@ -1,0 +1,213 @@
+//! Collect (allgather) and distributed combine (reduce-scatter) under any
+//! hybrid strategy.
+//!
+//! These two collectives identify blocks with ranks globally, so the
+//! recursive template is executed over a *slot-permuted* work buffer:
+//! rank `r`'s block lives at slot [`slot_of`]`(dims, r)`, which makes the
+//! blocks of every recursion subtree contiguous. The permutation is a
+//! node-local memcpy (free of communication) applied once on entry
+//! (distributed combine) or once on exit (collect).
+//!
+//! Per the template (Fig. 3), collect's stage 1 is void — the recursion
+//! descends straight to the innermost dimension, whose *short* center is
+//! a gather followed by an MST broadcast and whose *long* center is a
+//! bucket collect, then bucket-collects ever-larger super-blocks back up.
+//! Distributed combine is the exact dual (stage 2 void).
+
+use crate::algorithms::{check_strategy, slot_of, LEVEL_TAG_STRIDE};
+use crate::cast::Scalar;
+use crate::comm::{Comm, GroupComm, Tag};
+use crate::error::{CommError, Result};
+use crate::op::{Elem, ReduceOp};
+use crate::primitives::{mst_bcast, mst_gather, mst_reduce, mst_scatter, ring_collect, ring_reduce_scatter};
+use intercom_cost::{Strategy, StrategyKind};
+use std::ops::Range;
+
+fn equal_blocks(p: usize, b: usize) -> Vec<Range<usize>> {
+    (0..p).map(|j| j * b..(j + 1) * b).collect()
+}
+
+/// Collect: member `j` contributes the block `mine`; on return, `all`
+/// holds every member's block concatenated in logical-rank order
+/// (`all.len() == p · mine.len()`). Blocks are equal-length per rank, as
+/// in the paper's `nᵢ ≈ n/p` setting.
+pub fn collect<T: Scalar, C: Comm + ?Sized>(
+    gc: &GroupComm<'_, C>,
+    strategy: &Strategy,
+    mine: &[T],
+    all: &mut [T],
+    tag: Tag,
+) -> Result<()> {
+    check_strategy(gc, strategy)?;
+    let p = gc.len();
+    let b = mine.len();
+    if all.len() != p * b {
+        return Err(CommError::BadBufferSize { expected: p * b, actual: all.len() });
+    }
+    let dims = &strategy.dims;
+    // Place my block at my slot and run the template over slot order.
+    let my_slot = slot_of(dims, gc.me());
+    all[my_slot * b..(my_slot + 1) * b].copy_from_slice(mine);
+    collect_rec(gc, dims, strategy.kind, all, b, tag)?;
+    // Un-permute into rank order (identity for one-dimensional
+    // strategies).
+    if dims.len() > 1 {
+        let work = all.to_vec();
+        for q in 0..p {
+            let s = slot_of(dims, q);
+            all[q * b..(q + 1) * b].copy_from_slice(&work[s * b..(s + 1) * b]);
+        }
+    }
+    Ok(())
+}
+
+fn collect_rec<T: Scalar, C: Comm + ?Sized>(
+    gc: &GroupComm<'_, C>,
+    dims: &[usize],
+    kind: StrategyKind,
+    work: &mut [T],
+    b: usize,
+    tag: Tag,
+) -> Result<()> {
+    let p = gc.len();
+    if p == 1 {
+        return Ok(());
+    }
+    if dims.len() == 1 {
+        let blocks = equal_blocks(p, b);
+        return match kind {
+            StrategyKind::Mst => {
+                // Short collect: gather followed by MST broadcast (§5.1).
+                mst_gather(gc, 0, work, &blocks, tag)?;
+                mst_bcast(gc, 0, work, tag + 1)
+            }
+            StrategyKind::ScatterCollect => ring_collect(gc, work, &blocks, tag),
+        };
+    }
+    let d0 = dims[0];
+    let sub = p / d0;
+    let my0 = gc.me() % d0;
+    // Stage 1 is void: recurse within my plane over my plane's slot
+    // super-block (contiguous by construction of the slot order).
+    let plane = gc.plane(d0);
+    let plane_range = my0 * sub * b..(my0 + 1) * sub * b;
+    collect_rec(&plane, &dims[1..], kind, &mut work[plane_range], b, tag)?;
+    // Stage 2: bucket-collect the d0 plane super-blocks within my line.
+    let line = gc.line(d0);
+    let blocks = equal_blocks(d0, sub * b);
+    ring_collect(&line, work, &blocks, tag + LEVEL_TAG_STRIDE)
+}
+
+/// Distributed combine: every member contributes `contrib`
+/// (`p · mine.len()` items); on return, member `j`'s `mine` holds block
+/// `j` of the element-wise ⊕ over all contributions.
+pub fn reduce_scatter<T: Elem, C: Comm + ?Sized>(
+    gc: &GroupComm<'_, C>,
+    strategy: &Strategy,
+    contrib: &[T],
+    mine: &mut [T],
+    op: ReduceOp,
+    tag: Tag,
+) -> Result<()> {
+    check_strategy(gc, strategy)?;
+    let p = gc.len();
+    let b = mine.len();
+    if contrib.len() != p * b {
+        return Err(CommError::BadBufferSize { expected: p * b, actual: contrib.len() });
+    }
+    let dims = &strategy.dims;
+    // Permute the contribution into slot order.
+    let mut work = vec![T::default(); p * b];
+    for q in 0..p {
+        let s = slot_of(dims, q);
+        work[s * b..(s + 1) * b].copy_from_slice(&contrib[q * b..(q + 1) * b]);
+    }
+    rs_rec(gc, dims, strategy.kind, &mut work, b, op, tag)?;
+    let my_slot = slot_of(dims, gc.me());
+    mine.copy_from_slice(&work[my_slot * b..(my_slot + 1) * b]);
+    Ok(())
+}
+
+fn rs_rec<T: Elem, C: Comm + ?Sized>(
+    gc: &GroupComm<'_, C>,
+    dims: &[usize],
+    kind: StrategyKind,
+    work: &mut [T],
+    b: usize,
+    op: ReduceOp,
+    tag: Tag,
+) -> Result<()> {
+    let p = gc.len();
+    if p == 1 {
+        return Ok(());
+    }
+    if dims.len() == 1 {
+        let blocks = equal_blocks(p, b);
+        return match kind {
+            StrategyKind::Mst => {
+                // Short distributed combine: combine-to-one followed by
+                // scatter (§5.1).
+                mst_reduce(gc, 0, work, op, tag)?;
+                mst_scatter(gc, 0, work, &blocks, tag + 1)
+            }
+            StrategyKind::ScatterCollect => ring_reduce_scatter(gc, work, &blocks, op, tag),
+        };
+    }
+    let d0 = dims[0];
+    let sub = p / d0;
+    let my0 = gc.me() % d0;
+    // Stage 1: bucket distributed combine of the d0 plane super-blocks
+    // within my line; member j keeps super-block j (its own plane's).
+    let line = gc.line(d0);
+    let blocks = equal_blocks(d0, sub * b);
+    ring_reduce_scatter(&line, work, &blocks, op, tag)?;
+    // Stage 2 is void: recurse within my plane on my super-block.
+    let plane = gc.plane(d0);
+    let plane_range = my0 * sub * b..(my0 + 1) * sub * b;
+    rs_rec(&plane, &dims[1..], kind, &mut work[plane_range], b, op, tag + LEVEL_TAG_STRIDE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::SelfComm;
+
+    #[test]
+    fn single_node_collect_copies() {
+        let c = SelfComm;
+        let gc = GroupComm::world(&c);
+        let mine = [9u64, 8];
+        let mut all = [0u64; 2];
+        collect(&gc, &Strategy::pure_long(1), &mine, &mut all, 0).unwrap();
+        assert_eq!(all, mine);
+    }
+
+    #[test]
+    fn single_node_reduce_scatter_copies() {
+        let c = SelfComm;
+        let gc = GroupComm::world(&c);
+        let contrib = [1.5f32, 2.5];
+        let mut mine = [0.0f32; 2];
+        reduce_scatter(&gc, &Strategy::pure_mst(1), &contrib, &mut mine, ReduceOp::Sum, 0)
+            .unwrap();
+        assert_eq!(mine, contrib);
+    }
+
+    #[test]
+    fn buffer_size_validated() {
+        let c = SelfComm;
+        let gc = GroupComm::world(&c);
+        let mine = [1u8, 2];
+        let mut all = [0u8; 3];
+        assert!(matches!(
+            collect(&gc, &Strategy::pure_mst(1), &mine, &mut all, 0),
+            Err(CommError::BadBufferSize { expected: 2, actual: 3 })
+        ));
+        let contrib = [0i16; 5];
+        let mut m = [0i16; 2];
+        assert!(matches!(
+            reduce_scatter(&gc, &Strategy::pure_mst(1), &contrib, &mut m, ReduceOp::Sum, 0),
+            Err(CommError::BadBufferSize { expected: 2, actual: 5 })
+        ));
+    }
+}

@@ -1,0 +1,111 @@
+//! The seven target collectives (Table 1), each executable under any
+//! hybrid [`Strategy`] via the recursive template of Fig. 3.
+//!
+//! Every algorithm here is *one* implementation parameterized by
+//! strategy: `Strategy::pure_mst(p)` yields the §5.1 short-vector
+//! composed algorithm, `Strategy::pure_long(p)` the §5.2 long-vector
+//! composed algorithm, and multi-dimensional strategies the §6 hybrids.
+//! The recursion peels the fastest-varying logical dimension per level:
+//!
+//! ```text
+//! if p = 1 or innermost dimension:
+//!     short vector algorithm (or stage-1 + stage-2 back to back)
+//! else:
+//!     long vector alg. stage 1 within dim-0 lines
+//!     recurse within planes (remaining dimensions)
+//!     long vector alg. stage 2 within dim-0 lines
+//! ```
+//!
+//! Scatter and gather serve as their own short *and* long primitive
+//! (§4.2), so they take no strategy.
+
+mod alltoall;
+mod broadcast;
+mod collect;
+mod combine;
+mod scatter_gather;
+mod varying;
+
+pub use alltoall::alltoall;
+pub use broadcast::broadcast;
+pub use collect::{collect, reduce_scatter};
+pub use combine::{allreduce, reduce};
+pub use scatter_gather::{gather, scatter};
+pub use varying::{allgatherv, gatherv, scatterv};
+
+use crate::comm::{Comm, GroupComm};
+use crate::error::{CommError, Result};
+use intercom_cost::Strategy;
+
+/// Tag stride reserved per recursion level; stages within one level use
+/// offsets `0..LEVEL_TAG_STRIDE`.
+pub(crate) const LEVEL_TAG_STRIDE: u64 = 8;
+
+/// Validates that `strategy` covers exactly this group.
+pub(crate) fn check_strategy<C: Comm + ?Sized>(
+    gc: &GroupComm<'_, C>,
+    strategy: &Strategy,
+) -> Result<()> {
+    if strategy.nodes() == gc.len() {
+        Ok(())
+    } else {
+        Err(CommError::StrategyMismatch {
+            strategy_nodes: strategy.nodes(),
+            group_len: gc.len(),
+        })
+    }
+}
+
+/// Slot index of logical rank `r` under `dims` (fastest-varying first):
+/// the big-endian mixed-radix position that makes every recursion
+/// subtree's slots contiguous. Used by collect / distributed combine to
+/// lay blocks out so ring stages always move contiguous memory.
+pub(crate) fn slot_of(dims: &[usize], mut r: usize) -> usize {
+    let mut vol: usize = dims.iter().product();
+    let mut slot = 0;
+    for &d in dims {
+        let i = r % d;
+        r /= d;
+        vol /= d;
+        slot += i * vol;
+    }
+    slot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_identity_for_one_dim() {
+        for r in 0..8 {
+            assert_eq!(slot_of(&[8], r), r);
+        }
+    }
+
+    #[test]
+    fn slot_is_permutation() {
+        for dims in [vec![2, 3], vec![3, 2, 2], vec![4, 5], vec![2, 2, 2, 2]] {
+            let p: usize = dims.iter().product();
+            let mut seen = vec![false; p];
+            for r in 0..p {
+                let s = slot_of(&dims, r);
+                assert!(!seen[s], "slot {s} duplicated for dims {dims:?}");
+                seen[s] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn slot_groups_planes_contiguously() {
+        // dims [d0, rest..]: ranks with dim-0 coordinate c occupy slots
+        // [c·(p/d0), (c+1)·(p/d0)).
+        let dims = [3usize, 4];
+        let p = 12;
+        for r in 0..p {
+            let c = r % 3;
+            let s = slot_of(&dims, r);
+            assert!(s >= c * (p / 3) && s < (c + 1) * (p / 3), "rank {r} slot {s}");
+        }
+    }
+}

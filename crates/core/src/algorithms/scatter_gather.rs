@@ -1,0 +1,125 @@
+//! Scatter and gather — primitives that serve both vector-length regimes
+//! (§4.2), exposed with MPI-style separate buffers.
+
+use crate::cast::Scalar;
+use crate::comm::{Comm, GroupComm, Tag};
+use crate::error::{CommError, Result};
+use crate::primitives::{mst_gather, mst_scatter};
+
+fn equal_blocks(p: usize, b: usize) -> Vec<std::ops::Range<usize>> {
+    (0..p).map(|j| j * b..(j + 1) * b).collect()
+}
+
+/// Scatter: the root's `full` (length `p · mine.len()`) is split into
+/// equal blocks; member `j` receives block `j` into `mine`. Non-roots
+/// pass `None` for `full`. Cost: `⌈log₂ p⌉α + ((p−1)/p)nβ`.
+pub fn scatter<T: Scalar, C: Comm + ?Sized>(
+    gc: &GroupComm<'_, C>,
+    root: usize,
+    full: Option<&[T]>,
+    mine: &mut [T],
+    tag: Tag,
+) -> Result<()> {
+    if root >= gc.len() {
+        return Err(CommError::InvalidRoot { root, size: gc.len() });
+    }
+    let p = gc.len();
+    let b = mine.len();
+    let me = gc.me();
+    let mut work;
+    if me == root {
+        let f = full.ok_or(CommError::BadBufferSize { expected: p * b, actual: 0 })?;
+        if f.len() != p * b {
+            return Err(CommError::BadBufferSize { expected: p * b, actual: f.len() });
+        }
+        work = f.to_vec();
+    } else {
+        work = vec![T::default(); p * b];
+    }
+    mst_scatter(gc, root, &mut work, &equal_blocks(p, b), tag)?;
+    mine.copy_from_slice(&work[me * b..(me + 1) * b]);
+    Ok(())
+}
+
+/// Gather: member `j` contributes `mine`; the root's `full` (length
+/// `p · mine.len()`) receives all blocks concatenated in rank order.
+/// Non-roots pass `None` for `full`. Cost: `⌈log₂ p⌉α + ((p−1)/p)nβ`.
+pub fn gather<T: Scalar, C: Comm + ?Sized>(
+    gc: &GroupComm<'_, C>,
+    root: usize,
+    mine: &[T],
+    full: Option<&mut [T]>,
+    tag: Tag,
+) -> Result<()> {
+    if root >= gc.len() {
+        return Err(CommError::InvalidRoot { root, size: gc.len() });
+    }
+    let p = gc.len();
+    let b = mine.len();
+    let me = gc.me();
+    let mut work = vec![T::default(); p * b];
+    work[me * b..(me + 1) * b].copy_from_slice(mine);
+    mst_gather(gc, root, &mut work, &equal_blocks(p, b), tag)?;
+    if me == root {
+        let f = full.ok_or(CommError::BadBufferSize { expected: p * b, actual: 0 })?;
+        if f.len() != p * b {
+            return Err(CommError::BadBufferSize { expected: p * b, actual: f.len() });
+        }
+        f.copy_from_slice(&work);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::SelfComm;
+
+    #[test]
+    fn single_node_scatter() {
+        let c = SelfComm;
+        let gc = GroupComm::world(&c);
+        let full = [1u32, 2, 3];
+        let mut mine = [0u32; 3];
+        scatter(&gc, 0, Some(&full), &mut mine, 0).unwrap();
+        assert_eq!(mine, full);
+    }
+
+    #[test]
+    fn single_node_gather() {
+        let c = SelfComm;
+        let gc = GroupComm::world(&c);
+        let mine = [4i64, 5];
+        let mut full = [0i64; 2];
+        gather(&gc, 0, &mine, Some(&mut full), 0).unwrap();
+        assert_eq!(full, mine);
+    }
+
+    #[test]
+    fn root_must_supply_full_buffer() {
+        let c = SelfComm;
+        let gc = GroupComm::world(&c);
+        let mut mine = [0u8; 2];
+        assert!(matches!(
+            scatter::<u8, _>(&gc, 0, None, &mut mine, 0),
+            Err(CommError::BadBufferSize { .. })
+        ));
+        let mine2 = [0u8; 2];
+        assert!(matches!(
+            gather::<u8, _>(&gc, 0, &mine2, None, 0),
+            Err(CommError::BadBufferSize { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_full_length_rejected() {
+        let c = SelfComm;
+        let gc = GroupComm::world(&c);
+        let full = [1u8; 5];
+        let mut mine = [0u8; 2];
+        assert!(matches!(
+            scatter(&gc, 0, Some(&full), &mut mine, 0),
+            Err(CommError::BadBufferSize { expected: 2, actual: 5 })
+        ));
+    }
+}

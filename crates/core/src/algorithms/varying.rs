@@ -1,0 +1,175 @@
+//! Varying-count ("v") collectives — the paper's *known lengths* mode.
+//!
+//! The NX `gcolx` call and the InterCom collect operate on blocks whose
+//! lengths differ per node but are known to every participant (Table 3
+//! labels the collect "known lengths"). These entry points take an
+//! explicit per-rank count table; the underlying MST and bucket
+//! primitives already move arbitrary consecutive block ranges, so the v
+//! variants are thin layers that build the block table from the counts.
+
+use crate::cast::Scalar;
+use crate::comm::{Comm, GroupComm, Tag};
+use crate::error::{CommError, Result};
+use crate::primitives::{mst_gather, mst_scatter, ring_collect};
+use std::ops::Range;
+
+/// Builds the block table from per-rank counts; `blocks[j]` spans
+/// `counts[j]` items.
+fn blocks_from_counts(counts: &[usize]) -> Vec<Range<usize>> {
+    let mut out = Vec::with_capacity(counts.len());
+    let mut at = 0;
+    for &c in counts {
+        out.push(at..at + c);
+        at += c;
+    }
+    out
+}
+
+fn check_counts<C: Comm + ?Sized>(gc: &GroupComm<'_, C>, counts: &[usize]) -> Result<usize> {
+    if counts.len() != gc.len() {
+        return Err(CommError::BadBufferSize { expected: gc.len(), actual: counts.len() });
+    }
+    Ok(counts.iter().sum())
+}
+
+/// Scatter with per-rank counts: the root's `full` holds
+/// `counts[0] + … + counts[p−1]` items; member `j` receives `counts[j]`
+/// items into `mine`.
+pub fn scatterv<T: Scalar, C: Comm + ?Sized>(
+    gc: &GroupComm<'_, C>,
+    root: usize,
+    full: Option<&[T]>,
+    counts: &[usize],
+    mine: &mut [T],
+    tag: Tag,
+) -> Result<()> {
+    if root >= gc.len() {
+        return Err(CommError::InvalidRoot { root, size: gc.len() });
+    }
+    let total = check_counts(gc, counts)?;
+    let me = gc.me();
+    if mine.len() != counts[me] {
+        return Err(CommError::BadBufferSize { expected: counts[me], actual: mine.len() });
+    }
+    let blocks = blocks_from_counts(counts);
+    let mut work;
+    if me == root {
+        let f = full.ok_or(CommError::BadBufferSize { expected: total, actual: 0 })?;
+        if f.len() != total {
+            return Err(CommError::BadBufferSize { expected: total, actual: f.len() });
+        }
+        work = f.to_vec();
+    } else {
+        work = vec![T::default(); total];
+    }
+    mst_scatter(gc, root, &mut work, &blocks, tag)?;
+    mine.copy_from_slice(&work[blocks[me].clone()]);
+    Ok(())
+}
+
+/// Gather with per-rank counts: member `j` contributes `counts[j]` items;
+/// the root receives the concatenation.
+pub fn gatherv<T: Scalar, C: Comm + ?Sized>(
+    gc: &GroupComm<'_, C>,
+    root: usize,
+    mine: &[T],
+    counts: &[usize],
+    full: Option<&mut [T]>,
+    tag: Tag,
+) -> Result<()> {
+    if root >= gc.len() {
+        return Err(CommError::InvalidRoot { root, size: gc.len() });
+    }
+    let total = check_counts(gc, counts)?;
+    let me = gc.me();
+    if mine.len() != counts[me] {
+        return Err(CommError::BadBufferSize { expected: counts[me], actual: mine.len() });
+    }
+    let blocks = blocks_from_counts(counts);
+    let mut work = vec![T::default(); total];
+    work[blocks[me].clone()].copy_from_slice(mine);
+    mst_gather(gc, root, &mut work, &blocks, tag)?;
+    if me == root {
+        let f = full.ok_or(CommError::BadBufferSize { expected: total, actual: 0 })?;
+        if f.len() != total {
+            return Err(CommError::BadBufferSize { expected: total, actual: f.len() });
+        }
+        f.copy_from_slice(&work);
+    }
+    Ok(())
+}
+
+/// Collect with per-rank counts (`gcolx` semantics): member `j`
+/// contributes `counts[j]` items; every member receives the full
+/// concatenation via the bucket ring (long-vector regime — the natural
+/// choice since uneven lengths are usually data-dependent and large).
+pub fn allgatherv<T: Scalar, C: Comm + ?Sized>(
+    gc: &GroupComm<'_, C>,
+    mine: &[T],
+    counts: &[usize],
+    all: &mut [T],
+    tag: Tag,
+) -> Result<()> {
+    let total = check_counts(gc, counts)?;
+    let me = gc.me();
+    if mine.len() != counts[me] {
+        return Err(CommError::BadBufferSize { expected: counts[me], actual: mine.len() });
+    }
+    if all.len() != total {
+        return Err(CommError::BadBufferSize { expected: total, actual: all.len() });
+    }
+    let blocks = blocks_from_counts(counts);
+    all[blocks[me].clone()].copy_from_slice(mine);
+    ring_collect(gc, all, &blocks, tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::SelfComm;
+
+    #[test]
+    fn single_rank_roundtrip() {
+        let c = SelfComm;
+        let gc = GroupComm::world(&c);
+        let counts = [3usize];
+        let full = [1u32, 2, 3];
+        let mut mine = [0u32; 3];
+        scatterv(&gc, 0, Some(&full), &counts, &mut mine, 0).unwrap();
+        assert_eq!(mine, full);
+        let mut back = [0u32; 3];
+        gatherv(&gc, 0, &mine, &counts, Some(&mut back), 0).unwrap();
+        assert_eq!(back, full);
+        let mut all = [0u32; 3];
+        allgatherv(&gc, &mine, &counts, &mut all, 0).unwrap();
+        assert_eq!(all, full);
+    }
+
+    #[test]
+    fn count_table_arity_checked() {
+        let c = SelfComm;
+        let gc = GroupComm::world(&c);
+        let mut mine = [0u8; 1];
+        assert!(matches!(
+            scatterv::<u8, _>(&gc, 0, Some(&[1]), &[1, 1], &mut mine, 0),
+            Err(CommError::BadBufferSize { expected: 1, actual: 2 })
+        ));
+    }
+
+    #[test]
+    fn my_count_checked() {
+        let c = SelfComm;
+        let gc = GroupComm::world(&c);
+        let mut mine = [0u8; 2];
+        assert!(matches!(
+            scatterv::<u8, _>(&gc, 0, Some(&[1]), &[1], &mut mine, 0),
+            Err(CommError::BadBufferSize { expected: 1, actual: 2 })
+        ));
+    }
+
+    #[test]
+    fn blocks_from_counts_layout() {
+        let b = blocks_from_counts(&[2, 0, 3]);
+        assert_eq!(b, vec![0..2, 2..2, 2..5]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Block partitioning of vectors over group members (paper §3).
+//!
+//! A vector of `n` items is partitioned into `p` consecutive subvectors
+//! `x₀ … x_{p−1}` with `nᵢ ≈ n/p`: the first `n mod p` blocks get one
+//! extra item, so no power-of-two or divisibility assumptions are needed
+//! anywhere in the library.
+
+use std::ops::Range;
+
+/// Number of items in block `i` of an `n`-item vector split `p` ways.
+pub fn block_size(n: usize, p: usize, i: usize) -> usize {
+    debug_assert!(i < p, "block index {i} out of {p}");
+    n / p + usize::from(i < n % p)
+}
+
+/// First item index of block `i`.
+pub fn block_start(n: usize, p: usize, i: usize) -> usize {
+    debug_assert!(i <= p, "block index {i} out of {p}");
+    i * (n / p) + i.min(n % p)
+}
+
+/// The item range of block `i`.
+pub fn block_range(n: usize, p: usize, i: usize) -> Range<usize> {
+    block_start(n, p, i)..block_start(n, p, i + 1)
+}
+
+/// All `p` block ranges of an `n`-item vector, in order.
+pub fn partition(n: usize, p: usize) -> Vec<Range<usize>> {
+    (0..p).map(|i| block_range(n, p, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn even_split() {
+        assert_eq!(partition(12, 4), vec![0..3, 3..6, 6..9, 9..12]);
+    }
+
+    #[test]
+    fn uneven_split_front_loads_remainder() {
+        assert_eq!(partition(10, 4), vec![0..3, 3..6, 6..8, 8..10]);
+    }
+
+    #[test]
+    fn more_ranks_than_items() {
+        let parts = partition(2, 5);
+        assert_eq!(parts, vec![0..1, 1..2, 2..2, 2..2, 2..2]);
+    }
+
+    #[test]
+    fn zero_items() {
+        assert!(partition(0, 3).iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn single_rank_owns_all() {
+        assert_eq!(partition(7, 1), vec![0..7]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_partition_covers_exactly(n in 0usize..10_000, p in 1usize..64) {
+            let parts = partition(n, p);
+            prop_assert_eq!(parts.len(), p);
+            prop_assert_eq!(parts[0].start, 0);
+            prop_assert_eq!(parts[p - 1].end, n);
+            for w in parts.windows(2) {
+                prop_assert_eq!(w[0].end, w[1].start);
+            }
+        }
+
+        #[test]
+        fn prop_block_sizes_balanced(n in 0usize..10_000, p in 1usize..64) {
+            for i in 0..p {
+                let s = block_size(n, p, i);
+                prop_assert!(s == n / p || s == n / p + 1);
+                prop_assert_eq!(s, block_range(n, p, i).len());
+            }
+        }
+
+        #[test]
+        fn prop_sizes_sum_to_n(n in 0usize..10_000, p in 1usize..64) {
+            let total: usize = (0..p).map(|i| block_size(n, p, i)).sum();
+            prop_assert_eq!(total, n);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Safe byte views over plain-old-data element slices.
+//!
+//! The point-to-point layer moves bytes; collectives are generic over
+//! element types. [`Scalar`] is a sealed trait over the fixed-size
+//! primitive numeric types, providing zero-copy `&[T] ↔ &[u8]` views.
+//! The single `unsafe` block in the crate lives here, justified by the
+//! sealed-POD bound.
+
+mod sealed {
+    pub trait Sealed {}
+}
+
+/// A plain-old-data element type that can be transported by the library.
+///
+/// Sealed: implemented exactly for `u8, i8, u16, i16, u32, i32, u64, i64,
+/// f32, f64, usize`. All implementors are `Copy`, have no padding, no
+/// niches, and accept any bit pattern — which is what makes the byte
+/// views sound.
+pub trait Scalar: Copy + Default + PartialEq + std::fmt::Debug + sealed::Sealed + 'static {
+    /// Size of one element in bytes.
+    const SIZE: usize;
+
+    /// Views a slice of elements as its underlying bytes.
+    fn as_bytes(slice: &[Self]) -> &[u8] {
+        // SAFETY: `Self` is a sealed POD type with no padding bytes; any
+        // `&[Self]` is a valid initialized byte region of
+        // `len * SIZE` bytes, and `u8` has alignment 1.
+        unsafe {
+            std::slice::from_raw_parts(slice.as_ptr().cast::<u8>(), slice.len() * Self::SIZE)
+        }
+    }
+
+    /// Views a mutable slice of elements as its underlying bytes.
+    fn as_bytes_mut(slice: &mut [Self]) -> &mut [u8] {
+        // SAFETY: as in `as_bytes`; additionally, every bit pattern is a
+        // valid `Self` for the sealed POD implementors, so writes through
+        // the byte view cannot create invalid values.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                slice.as_mut_ptr().cast::<u8>(),
+                slice.len() * Self::SIZE,
+            )
+        }
+    }
+}
+
+macro_rules! impl_scalar {
+    ($($t:ty),*) => {$(
+        impl sealed::Sealed for $t {}
+        impl Scalar for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+        }
+    )*};
+}
+
+impl_scalar!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u8_roundtrip_is_identity() {
+        let v = [1u8, 2, 3];
+        assert_eq!(<u8 as Scalar>::as_bytes(&v), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn f64_byte_length() {
+        let v = [1.0f64, 2.0];
+        assert_eq!(<f64 as Scalar>::as_bytes(&v).len(), 16);
+    }
+
+    #[test]
+    fn write_through_mut_view() {
+        let mut v = [0u32; 2];
+        let b = <u32 as Scalar>::as_bytes_mut(&mut v);
+        b[0] = 0x2A; // little-endian low byte of v[0]
+        assert_eq!(v[0].to_le() & 0xFF, 0x2A);
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let src = [3.5f32, -1.25, f32::MAX];
+        let mut dst = [0.0f32; 3];
+        <f32 as Scalar>::as_bytes_mut(&mut dst).copy_from_slice(<f32 as Scalar>::as_bytes(&src));
+        assert_eq!(src, dst);
+    }
+
+    #[test]
+    fn empty_slice() {
+        let v: [i64; 0] = [];
+        assert!(<i64 as Scalar>::as_bytes(&v).is_empty());
+    }
+}

@@ -1,0 +1,330 @@
+//! The point-to-point layer and logical-rank group views.
+//!
+//! Porting the paper's library to a new platform means "changing only the
+//! message send and receive calls to the native point-to-point
+//! communication library" (§11). [`Comm`] is that porting surface: a
+//! blocking send/receive/send-receive triple plus two accounting hooks
+//! the timing backends use (`compute` for the γ term, `call_overhead`
+//! for the δ recursion overhead of §7.2). Real backends implement the
+//! data movement; the accounting hooks default to no-ops.
+//!
+//! [`GroupComm`] layers the paper's §9 group abstraction on top: an
+//! ordered member list provides the logical-to-physical mapping, so every
+//! collective algorithm is written once in logical ranks and runs
+//! unchanged on the whole machine, a mesh row, or an arbitrary group.
+
+use crate::cast::Scalar;
+use crate::error::{CommError, Result};
+
+/// Message tag disambiguating concurrent traffic between the same pair of
+/// nodes. Matching is FIFO per `(source, tag)`.
+pub type Tag = u64;
+
+/// Blocking point-to-point communication endpoint of one node.
+///
+/// Semantics required of implementations:
+///
+/// * `send`/`recv` are blocking and deliver exactly the posted bytes;
+///   receivers know message lengths a priori (the paper's "known
+///   lengths" mode), and a length mismatch is an error.
+/// * `sendrecv` makes progress on both transfers concurrently — ring
+///   algorithms rely on this to exchange with both neighbours without
+///   deadlock (§2: "a processor can both send and receive at the same
+///   time").
+/// * Message order is preserved per `(sender, tag)`.
+pub trait Comm {
+    /// This node's world rank (physical node id).
+    fn rank(&self) -> usize;
+
+    /// Number of nodes in the world.
+    fn size(&self) -> usize;
+
+    /// Blocking send of `data` to world rank `to`.
+    fn send(&self, to: usize, tag: Tag, data: &[u8]) -> Result<()>;
+
+    /// Blocking receive from world rank `from` into `buf` (exact length).
+    fn recv(&self, from: usize, tag: Tag, buf: &mut [u8]) -> Result<()>;
+
+    /// Concurrent send-to / receive-from (possibly different peers).
+    fn sendrecv(
+        &self,
+        to: usize,
+        data: &[u8],
+        from: usize,
+        buf: &mut [u8],
+        tag: Tag,
+    ) -> Result<()>;
+
+    /// Accounts local combine work over `bytes` bytes (γ term). Real
+    /// backends do the arithmetic in caller code; timing backends advance
+    /// the local clock.
+    fn compute(&self, bytes: usize) {
+        let _ = bytes;
+    }
+
+    /// Accounts one level of short-vector-primitive recursion overhead
+    /// (δ term, §7.2).
+    fn call_overhead(&self) {}
+}
+
+/// The trivial single-process backend: rank 0 of a world of 1. Useful in
+/// examples, doctests and degenerate-case tests; any attempt to actually
+/// communicate is an error.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SelfComm;
+
+impl Comm for SelfComm {
+    fn rank(&self) -> usize {
+        0
+    }
+    fn size(&self) -> usize {
+        1
+    }
+    fn send(&self, to: usize, _tag: Tag, _data: &[u8]) -> Result<()> {
+        Err(CommError::InvalidRank { rank: to, size: 1 })
+    }
+    fn recv(&self, from: usize, _tag: Tag, _buf: &mut [u8]) -> Result<()> {
+        Err(CommError::InvalidRank { rank: from, size: 1 })
+    }
+    fn sendrecv(
+        &self,
+        to: usize,
+        _data: &[u8],
+        _from: usize,
+        _buf: &mut [u8],
+        _tag: Tag,
+    ) -> Result<()> {
+        Err(CommError::InvalidRank { rank: to, size: 1 })
+    }
+}
+
+/// A group-scoped communication view: logical ranks `0..len` map to world
+/// ranks through the member array (§9's "group array").
+///
+/// All collective algorithms in this crate are written against
+/// `GroupComm`; sub-groups for hybrid stages are carved out with
+/// [`GroupComm::line`] and [`GroupComm::plane`].
+pub struct GroupComm<'a, C: Comm + ?Sized> {
+    comm: &'a C,
+    members: Vec<usize>,
+    me: usize,
+}
+
+impl<'a, C: Comm + ?Sized> GroupComm<'a, C> {
+    /// The whole world as one group, logical rank = world rank.
+    pub fn world(comm: &'a C) -> Self {
+        let members = (0..comm.size()).collect();
+        let me = comm.rank();
+        GroupComm { comm, members, me }
+    }
+
+    /// A group from an explicit member list. Fails with
+    /// [`CommError::NotInGroup`] if the calling node is not listed.
+    pub fn new(comm: &'a C, members: Vec<usize>) -> Result<Self> {
+        let me = members
+            .iter()
+            .position(|&m| m == comm.rank())
+            .ok_or(CommError::NotInGroup)?;
+        Ok(GroupComm { comm, members, me })
+    }
+
+    /// The underlying endpoint.
+    pub fn comm(&self) -> &'a C {
+        self.comm
+    }
+
+    /// My logical rank within the group.
+    pub fn me(&self) -> usize {
+        self.me
+    }
+
+    /// Group size.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Groups are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// World rank of logical rank `i`.
+    pub fn world_rank(&self, i: usize) -> usize {
+        self.members[i]
+    }
+
+    /// The member list (logical order).
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// My dimension-0 *line* for a first-dimension extent `d`: the `d`
+    /// consecutive logical ranks `[⌊me/d⌋·d, ⌊me/d⌋·d + d)`. My logical
+    /// rank within the line is `me mod d`.
+    pub fn line(&self, d: usize) -> GroupComm<'a, C> {
+        debug_assert_eq!(self.len() % d, 0, "line extent must divide group");
+        let base = self.me / d * d;
+        let members = self.members[base..base + d].to_vec();
+        GroupComm { comm: self.comm, members, me: self.me % d }
+    }
+
+    /// My dimension-0 *plane* for a first-dimension extent `d`: the
+    /// `len/d` logical ranks sharing my dimension-0 coordinate
+    /// (`me mod d`), strided by `d`. My logical rank within the plane is
+    /// `⌊me/d⌋`.
+    pub fn plane(&self, d: usize) -> GroupComm<'a, C> {
+        debug_assert_eq!(self.len() % d, 0, "plane extent must divide group");
+        let offset = self.me % d;
+        let members = (0..self.len() / d).map(|j| self.members[offset + j * d]).collect();
+        GroupComm { comm: self.comm, members, me: self.me / d }
+    }
+
+    /// Validates a logical peer rank.
+    fn check(&self, peer: usize) -> Result<()> {
+        if peer < self.len() {
+            Ok(())
+        } else {
+            Err(CommError::InvalidRank { rank: peer, size: self.len() })
+        }
+    }
+
+    /// Typed blocking send to logical rank `to`.
+    pub fn send<T: Scalar>(&self, to: usize, tag: Tag, data: &[T]) -> Result<()> {
+        self.check(to)?;
+        self.comm.send(self.members[to], tag, T::as_bytes(data))
+    }
+
+    /// Typed blocking receive from logical rank `from`.
+    pub fn recv<T: Scalar>(&self, from: usize, tag: Tag, buf: &mut [T]) -> Result<()> {
+        self.check(from)?;
+        self.comm.recv(self.members[from], tag, T::as_bytes_mut(buf))
+    }
+
+    /// Typed concurrent exchange: send `data` to `to` while receiving
+    /// into `buf` from `from`.
+    pub fn sendrecv<T: Scalar>(
+        &self,
+        to: usize,
+        data: &[T],
+        from: usize,
+        buf: &mut [T],
+        tag: Tag,
+    ) -> Result<()> {
+        self.check(to)?;
+        self.check(from)?;
+        self.comm.sendrecv(
+            self.members[to],
+            T::as_bytes(data),
+            self.members[from],
+            T::as_bytes_mut(buf),
+            tag,
+        )
+    }
+
+    /// γ-accounting passthrough (in element bytes).
+    pub fn compute(&self, bytes: usize) {
+        self.comm.compute(bytes);
+    }
+
+    /// δ-accounting passthrough.
+    pub fn call_overhead(&self) {
+        self.comm.call_overhead();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_comm_world() {
+        let c = SelfComm;
+        let g = GroupComm::world(&c);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.me(), 0);
+        assert_eq!(g.world_rank(0), 0);
+    }
+
+    #[test]
+    fn self_comm_rejects_traffic() {
+        let c = SelfComm;
+        assert!(c.send(1, 0, &[0u8]).is_err());
+        let mut b = [0u8];
+        assert!(c.recv(1, 0, &mut b).is_err());
+    }
+
+    #[test]
+    fn group_requires_membership() {
+        let c = SelfComm;
+        assert!(matches!(GroupComm::new(&c, vec![3, 4]), Err(CommError::NotInGroup)));
+        let g = GroupComm::new(&c, vec![0]).unwrap();
+        assert_eq!(g.me(), 0);
+    }
+
+    // line/plane geometry is testable without any communication: use a
+    // fake endpoint with a configurable rank.
+    struct FakeComm {
+        rank: usize,
+        size: usize,
+    }
+    impl Comm for FakeComm {
+        fn rank(&self) -> usize {
+            self.rank
+        }
+        fn size(&self) -> usize {
+            self.size
+        }
+        fn send(&self, _: usize, _: Tag, _: &[u8]) -> Result<()> {
+            unimplemented!()
+        }
+        fn recv(&self, _: usize, _: Tag, _: &mut [u8]) -> Result<()> {
+            unimplemented!()
+        }
+        fn sendrecv(&self, _: usize, _: &[u8], _: usize, _: &mut [u8], _: Tag) -> Result<()> {
+            unimplemented!()
+        }
+    }
+
+    #[test]
+    fn line_geometry() {
+        let c = FakeComm { rank: 7, size: 12 };
+        let g = GroupComm::world(&c);
+        let line = g.line(3); // ranks [6, 7, 8]
+        assert_eq!(line.members(), &[6, 7, 8]);
+        assert_eq!(line.me(), 1);
+    }
+
+    #[test]
+    fn plane_geometry() {
+        let c = FakeComm { rank: 7, size: 12 };
+        let g = GroupComm::world(&c);
+        let plane = g.plane(3); // coordinate 7 % 3 == 1: ranks [1, 4, 7, 10]
+        assert_eq!(plane.members(), &[1, 4, 7, 10]);
+        assert_eq!(plane.me(), 2);
+    }
+
+    #[test]
+    fn nested_line_plane_compose() {
+        // dims [2, 3, 2] over 12 ranks, rank 7 = (1, 0, 1): line(2) then
+        // plane-of-plane arithmetic must agree with mixed-radix indices.
+        let c = FakeComm { rank: 7, size: 12 };
+        let g = GroupComm::world(&c);
+        let p1 = g.plane(2); // strip dim0 (coord 1): [1,3,5,7,9,11], me=3
+        assert_eq!(p1.me(), 3);
+        let line2 = p1.line(3); // dim1 line within plane: [7/?]..
+        // p1 members [1,3,5,7,9,11]; me=3 → base 3/3*3=3 → members[3..6] = [7,9,11]
+        assert_eq!(line2.members(), &[7, 9, 11]);
+        assert_eq!(line2.me(), 0);
+    }
+
+    #[test]
+    fn group_peer_validation() {
+        let c = SelfComm;
+        let g = GroupComm::world(&c);
+        let mut buf = [0u8; 1];
+        assert!(matches!(
+            g.recv(5, 0, &mut buf),
+            Err(CommError::InvalidRank { rank: 5, size: 1 })
+        ));
+    }
+}

@@ -1,0 +1,428 @@
+//! The high-level, MPI-like collective interface (paper §9–§10).
+//!
+//! A [`Communicator`] binds a point-to-point endpoint, a group (whole
+//! world or arbitrary member list), the machine's cost parameters, and
+//! the group's detected physical shape. Every collective picks its
+//! algorithm automatically from the cost model ([`Algo::Auto`]), or runs
+//! a caller-specified short / long / explicit-hybrid algorithm.
+
+use crate::algorithms;
+use crate::cast::Scalar;
+use crate::comm::{Comm, GroupComm, Tag};
+use crate::error::Result;
+use crate::op::{Elem, ReduceOp};
+use crate::selector::{choose_strategy, GroupShape};
+use intercom_cost::{CollectiveOp, MachineParams, Strategy};
+use intercom_topology::{Hypercube, Mesh2D, ProcGroup};
+use std::cell::Cell;
+
+/// Algorithm choice for one collective call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Algo {
+    /// The §5.1 short-vector composed algorithm (MST-based).
+    Short,
+    /// The §5.2 long-vector composed algorithm (bucket-based).
+    Long,
+    /// An explicit §6 hybrid strategy.
+    Hybrid(Strategy),
+    /// Cost-model-driven selection (the library default).
+    Auto,
+}
+
+/// Tag stride between successive collective calls, comfortably larger
+/// than any recursion's internal stage offsets.
+const CALL_TAG_STRIDE: u64 = 1 << 20;
+
+/// An MPI-like communicator over a group of nodes.
+pub struct Communicator<'a, C: Comm + ?Sized> {
+    gc: GroupComm<'a, C>,
+    machine: MachineParams,
+    shape: GroupShape,
+    next_tag: Cell<Tag>,
+}
+
+impl<'a, C: Comm + ?Sized> Communicator<'a, C> {
+    /// The whole world as one group, treated as a linear array.
+    pub fn world(comm: &'a C, machine: MachineParams) -> Self {
+        let gc = GroupComm::world(comm);
+        let shape = GroupShape::Linear(gc.len());
+        Communicator { gc, machine, shape, next_tag: Cell::new(0) }
+    }
+
+    /// The whole world as a physical `mesh` (row-major rank order):
+    /// enables the §7.1 row/column techniques.
+    pub fn world_on_mesh(comm: &'a C, machine: MachineParams, mesh: Mesh2D) -> Result<Self> {
+        let gc = GroupComm::world(comm);
+        let shape = if mesh.nodes() == gc.len() {
+            GroupShape::Mesh { rows: mesh.rows(), cols: mesh.cols() }
+        } else {
+            return Err(crate::error::CommError::BadBufferSize {
+                expected: gc.len(),
+                actual: mesh.nodes(),
+            });
+        };
+        Ok(Communicator { gc, machine, shape, next_tag: Cell::new(0) })
+    }
+
+    /// The whole world as a physical hypercube (§11's iPSC/860 port):
+    /// logical ranks follow the binary-reflected Gray code, so the bucket
+    /// primitives' rings are single-hop and conflict-free, and hybrid
+    /// logical meshes (naturally `2 × 2 × …`) nest subcubes.
+    pub fn world_on_hypercube(
+        comm: &'a C,
+        machine: MachineParams,
+        cube: Hypercube,
+    ) -> Result<Self> {
+        if cube.nodes() != comm.size() {
+            return Err(crate::error::CommError::BadBufferSize {
+                expected: comm.size(),
+                actual: cube.nodes(),
+            });
+        }
+        let gc = GroupComm::new(comm, cube.gray_ring())?;
+        let shape = GroupShape::Linear(gc.len());
+        Ok(Communicator { gc, machine, shape, next_tag: Cell::new(0) })
+    }
+
+    /// A group communicator from an explicit member list (§9). When the
+    /// physical `mesh` is known, the group's structure is extracted and
+    /// rectangular submeshes get the whole-mesh row/column treatment;
+    /// otherwise the group is treated as a linear array.
+    pub fn from_group(
+        comm: &'a C,
+        machine: MachineParams,
+        members: Vec<usize>,
+        mesh: Option<&Mesh2D>,
+    ) -> Result<Self> {
+        let shape = match (mesh, ProcGroup::new(members.clone())) {
+            (Some(m), Ok(g)) => GroupShape::detect(&g, m),
+            _ => GroupShape::Linear(members.len()),
+        };
+        let gc = GroupComm::new(comm, members)?;
+        Ok(Communicator { gc, machine, shape, next_tag: Cell::new(0) })
+    }
+
+    /// My logical rank within the group.
+    pub fn rank(&self) -> usize {
+        self.gc.me()
+    }
+
+    /// Group size.
+    pub fn size(&self) -> usize {
+        self.gc.len()
+    }
+
+    /// The underlying group view.
+    pub fn group(&self) -> &GroupComm<'a, C> {
+        &self.gc
+    }
+
+    /// The machine parameters driving automatic selection.
+    pub fn machine(&self) -> &MachineParams {
+        &self.machine
+    }
+
+    /// The detected physical shape driving automatic selection.
+    pub fn shape(&self) -> GroupShape {
+        self.shape
+    }
+
+    /// The strategy [`Algo::Auto`] would pick for `op` at `n_bytes`.
+    pub fn auto_strategy(&self, op: CollectiveOp, n_bytes: usize) -> Strategy {
+        choose_strategy(op, self.shape, n_bytes, &self.machine)
+    }
+
+    fn fresh_tag(&self) -> Tag {
+        let t = self.next_tag.get();
+        self.next_tag.set(t.wrapping_add(CALL_TAG_STRIDE));
+        t
+    }
+
+    /// Draws a tag from the communicator's sequence for a persistent
+    /// plan execution (see [`crate::plan`]).
+    pub(crate) fn take_plan_tag(&self) -> Tag {
+        self.fresh_tag()
+    }
+
+    fn resolve(&self, op: CollectiveOp, n_bytes: usize, algo: &Algo) -> Strategy {
+        match algo {
+            Algo::Short => Strategy::pure_mst(self.size()),
+            Algo::Long => Strategy::pure_long(self.size()),
+            Algo::Hybrid(s) => s.clone(),
+            Algo::Auto => self.auto_strategy(op, n_bytes),
+        }
+    }
+
+    /// Broadcast `buf` from `root` to all members (auto-selected
+    /// algorithm).
+    ///
+    /// ```
+    /// # use intercom::{Communicator, Comm};
+    /// # use intercom_cost::MachineParams;
+    /// let out = intercom_runtime::run_world(5, |c| {
+    ///     let cc = Communicator::world(c, MachineParams::PARAGON);
+    ///     let mut v = if c.rank() == 2 { vec![7u8; 10] } else { vec![0; 10] };
+    ///     cc.bcast(2, &mut v).unwrap();
+    ///     v[9]
+    /// });
+    /// assert!(out.iter().all(|&x| x == 7));
+    /// ```
+    pub fn bcast<T: Scalar>(&self, root: usize, buf: &mut [T]) -> Result<()> {
+        self.bcast_with(root, buf, &Algo::Auto)
+    }
+
+    /// Broadcast with an explicit algorithm choice.
+    pub fn bcast_with<T: Scalar>(&self, root: usize, buf: &mut [T], algo: &Algo) -> Result<()> {
+        let s = self.resolve(CollectiveOp::Broadcast, std::mem::size_of_val(&buf[..]), algo);
+        algorithms::broadcast(&self.gc, &s, root, buf, self.fresh_tag())
+    }
+
+    /// Combine-to-one: ⊕-combine everyone's `buf` onto the root.
+    pub fn reduce<T: Elem>(&self, root: usize, buf: &mut [T], op: ReduceOp) -> Result<()> {
+        self.reduce_with(root, buf, op, &Algo::Auto)
+    }
+
+    /// Combine-to-one with an explicit algorithm choice.
+    pub fn reduce_with<T: Elem>(
+        &self,
+        root: usize,
+        buf: &mut [T],
+        op: ReduceOp,
+        algo: &Algo,
+    ) -> Result<()> {
+        let s = self.resolve(CollectiveOp::CombineToOne, std::mem::size_of_val(&buf[..]), algo);
+        algorithms::reduce(&self.gc, &s, root, buf, op, self.fresh_tag())
+    }
+
+    /// Combine-to-all: ⊕-combine everyone's `buf` onto every member.
+    ///
+    /// ```
+    /// # use intercom::{Communicator, ReduceOp, Comm};
+    /// # use intercom_cost::MachineParams;
+    /// let out = intercom_runtime::run_world(4, |c| {
+    ///     let cc = Communicator::world(c, MachineParams::PARAGON);
+    ///     let mut v = vec![(c.rank() + 1) as i64; 3];
+    ///     cc.allreduce(&mut v, ReduceOp::Prod).unwrap();
+    ///     v[0]
+    /// });
+    /// assert!(out.iter().all(|&x| x == 24)); // 1·2·3·4
+    /// ```
+    pub fn allreduce<T: Elem>(&self, buf: &mut [T], op: ReduceOp) -> Result<()> {
+        self.allreduce_with(buf, op, &Algo::Auto)
+    }
+
+    /// Combine-to-all with an explicit algorithm choice.
+    pub fn allreduce_with<T: Elem>(
+        &self,
+        buf: &mut [T],
+        op: ReduceOp,
+        algo: &Algo,
+    ) -> Result<()> {
+        let s = self.resolve(CollectiveOp::CombineToAll, std::mem::size_of_val(&buf[..]), algo);
+        algorithms::allreduce(&self.gc, &s, buf, op, self.fresh_tag())
+    }
+
+    /// Collect (allgather): concatenate every member's `mine` into `all`
+    /// in rank order.
+    ///
+    /// ```
+    /// # use intercom::{Communicator, Comm};
+    /// # use intercom_cost::MachineParams;
+    /// let out = intercom_runtime::run_world(3, |c| {
+    ///     let cc = Communicator::world(c, MachineParams::PARAGON);
+    ///     let mine = [c.rank() as u16; 2];
+    ///     let mut all = [0u16; 6];
+    ///     cc.allgather(&mine, &mut all).unwrap();
+    ///     all
+    /// });
+    /// assert!(out.iter().all(|a| a == &[0, 0, 1, 1, 2, 2]));
+    /// ```
+    pub fn allgather<T: Scalar>(&self, mine: &[T], all: &mut [T]) -> Result<()> {
+        self.allgather_with(mine, all, &Algo::Auto)
+    }
+
+    /// Collect with an explicit algorithm choice.
+    pub fn allgather_with<T: Scalar>(
+        &self,
+        mine: &[T],
+        all: &mut [T],
+        algo: &Algo,
+    ) -> Result<()> {
+        let s = self.resolve(CollectiveOp::Collect, std::mem::size_of_val(&all[..]), algo);
+        algorithms::collect(&self.gc, &s, mine, all, self.fresh_tag())
+    }
+
+    /// Distributed combine (reduce-scatter): ⊕-combine everyone's
+    /// `contrib`; member `j` receives block `j` into `mine`.
+    pub fn reduce_scatter<T: Elem>(
+        &self,
+        contrib: &[T],
+        mine: &mut [T],
+        op: ReduceOp,
+    ) -> Result<()> {
+        self.reduce_scatter_with(contrib, mine, op, &Algo::Auto)
+    }
+
+    /// Distributed combine with an explicit algorithm choice.
+    pub fn reduce_scatter_with<T: Elem>(
+        &self,
+        contrib: &[T],
+        mine: &mut [T],
+        op: ReduceOp,
+        algo: &Algo,
+    ) -> Result<()> {
+        let s =
+            self.resolve(CollectiveOp::DistributedCombine, std::mem::size_of_val(contrib), algo);
+        algorithms::reduce_scatter(&self.gc, &s, contrib, mine, op, self.fresh_tag())
+    }
+
+    /// Scatter the root's `full` into per-member blocks.
+    pub fn scatter<T: Scalar>(
+        &self,
+        root: usize,
+        full: Option<&[T]>,
+        mine: &mut [T],
+    ) -> Result<()> {
+        algorithms::scatter(&self.gc, root, full, mine, self.fresh_tag())
+    }
+
+    /// Gather every member's `mine` into the root's `full`.
+    pub fn gather<T: Scalar>(
+        &self,
+        root: usize,
+        mine: &[T],
+        full: Option<&mut [T]>,
+    ) -> Result<()> {
+        algorithms::gather(&self.gc, root, mine, full, self.fresh_tag())
+    }
+
+    /// Scatter with per-rank counts (known-lengths mode).
+    pub fn scatterv<T: Scalar>(
+        &self,
+        root: usize,
+        full: Option<&[T]>,
+        counts: &[usize],
+        mine: &mut [T],
+    ) -> Result<()> {
+        algorithms::scatterv(&self.gc, root, full, counts, mine, self.fresh_tag())
+    }
+
+    /// Gather with per-rank counts (known-lengths mode).
+    pub fn gatherv<T: Scalar>(
+        &self,
+        root: usize,
+        mine: &[T],
+        counts: &[usize],
+        full: Option<&mut [T]>,
+    ) -> Result<()> {
+        algorithms::gatherv(&self.gc, root, mine, counts, full, self.fresh_tag())
+    }
+
+    /// Collect with per-rank counts (`gcolx` known-lengths semantics).
+    pub fn allgatherv<T: Scalar>(
+        &self,
+        mine: &[T],
+        counts: &[usize],
+        all: &mut [T],
+    ) -> Result<()> {
+        algorithms::allgatherv(&self.gc, mine, counts, all, self.fresh_tag())
+    }
+
+    /// Total exchange (alltoall, extension): `send` holds one block per
+    /// member in rank order; `recv` receives one block from each member.
+    pub fn alltoall<T: Scalar>(&self, send: &[T], recv: &mut [T]) -> Result<()> {
+        algorithms::alltoall(&self.gc, send, recv, self.fresh_tag())
+    }
+
+    /// Barrier: returns only after every member has entered. Implemented
+    /// as a zero-byte combine-to-all (the α-only degenerate case of the
+    /// §5 short algorithm: `2⌈log p⌉α`).
+    pub fn barrier(&self) -> Result<()> {
+        let mut token = [0u8; 0];
+        self.allreduce_with(&mut token, ReduceOp::Sum, &Algo::Short)?;
+        Ok(())
+    }
+
+    /// Splits the communicator by `color`, MPI-`Comm_split` style: every
+    /// member calls this collectively; members sharing a color form a new
+    /// group, ordered by `(key, old logical rank)`. One collect over the
+    /// `(color, key)` pairs is the only communication. When the physical
+    /// `mesh` is supplied, each new group's structure is re-extracted
+    /// (§9) so rectangular sub-groups keep the fast row/column paths.
+    pub fn split(
+        &self,
+        color: usize,
+        key: usize,
+        mesh: Option<&Mesh2D>,
+    ) -> Result<Communicator<'a, C>> {
+        let mine = [color as u64, key as u64];
+        let mut table = vec![0u64; 2 * self.size()];
+        self.allgather(&mine, &mut table)?;
+        let mut members: Vec<(usize, usize)> = (0..self.size())
+            .filter(|&r| table[2 * r] as usize == color)
+            .map(|r| (table[2 * r + 1] as usize, r))
+            .collect();
+        members.sort_unstable();
+        let world_members: Vec<usize> =
+            members.into_iter().map(|(_, r)| self.gc.world_rank(r)).collect();
+        Communicator::from_group(self.gc.comm(), self.machine, world_members, mesh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::SelfComm;
+
+    #[test]
+    fn world_of_one_runs_everything() {
+        let c = SelfComm;
+        let cc = Communicator::world(&c, MachineParams::PARAGON);
+        assert_eq!(cc.rank(), 0);
+        assert_eq!(cc.size(), 1);
+        let mut v = vec![1.0f64, 2.0];
+        cc.bcast(0, &mut v).unwrap();
+        cc.reduce(0, &mut v, ReduceOp::Sum).unwrap();
+        cc.allreduce(&mut v, ReduceOp::Min).unwrap();
+        let mine = v.clone();
+        let mut all = vec![0.0; 2];
+        cc.allgather(&mine, &mut all).unwrap();
+        assert_eq!(all, v);
+        let mut m = vec![0.0; 2];
+        cc.reduce_scatter(&mine, &mut m, ReduceOp::Sum).unwrap();
+        assert_eq!(m, v);
+        cc.scatter(0, Some(&mine), &mut m).unwrap();
+        let mut full = vec![0.0; 2];
+        cc.gather(0, &m, Some(&mut full)).unwrap();
+        assert_eq!(full, mine);
+    }
+
+    #[test]
+    fn tags_advance_between_calls() {
+        let c = SelfComm;
+        let cc = Communicator::world(&c, MachineParams::PARAGON);
+        let t1 = cc.fresh_tag();
+        let t2 = cc.fresh_tag();
+        assert_ne!(t1, t2);
+        assert_eq!(t2 - t1, CALL_TAG_STRIDE);
+    }
+
+    #[test]
+    fn mesh_world_requires_matching_size() {
+        let c = SelfComm;
+        assert!(Communicator::world_on_mesh(&c, MachineParams::PARAGON, Mesh2D::new(2, 2))
+            .is_err());
+        let cc =
+            Communicator::world_on_mesh(&c, MachineParams::PARAGON, Mesh2D::new(1, 1)).unwrap();
+        assert_eq!(cc.shape(), GroupShape::Mesh { rows: 1, cols: 1 });
+    }
+
+    #[test]
+    fn auto_strategy_depends_on_length() {
+        let c = SelfComm;
+        let cc = Communicator::world(&c, MachineParams::PARAGON);
+        // Degenerate world; just verify the call path works.
+        let s = cc.auto_strategy(CollectiveOp::Broadcast, 1024);
+        assert_eq!(s.nodes(), 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error types for collective operations.
+
+use std::fmt;
+
+/// Result alias used throughout the library.
+pub type Result<T> = std::result::Result<T, CommError>;
+
+/// Errors surfaced by point-to-point and collective operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A peer rank was outside `0..size`.
+    InvalidRank {
+        /// The offending rank.
+        rank: usize,
+        /// The communicator/group size.
+        size: usize,
+    },
+    /// A root argument was outside the group.
+    InvalidRoot {
+        /// The offending root.
+        root: usize,
+        /// The group size.
+        size: usize,
+    },
+    /// A receive completed with a different length than the caller's
+    /// buffer (the library operates in the paper's "known lengths" mode).
+    LengthMismatch {
+        /// Bytes expected by the receiver.
+        expected: usize,
+        /// Bytes actually sent.
+        actual: usize,
+    },
+    /// Buffer sizes passed to a collective are inconsistent (e.g. an
+    /// allgather output that is not `p ×` the input block).
+    BadBufferSize {
+        /// What the operation required.
+        expected: usize,
+        /// What was supplied.
+        actual: usize,
+    },
+    /// The peer disconnected or the backend shut down mid-operation.
+    Disconnected,
+    /// A strategy was used with a group of mismatched size.
+    StrategyMismatch {
+        /// Nodes the strategy covers.
+        strategy_nodes: usize,
+        /// Actual group size.
+        group_len: usize,
+    },
+    /// The calling node is not a member of the group it tried to use.
+    NotInGroup,
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::InvalidRank { rank, size } => {
+                write!(f, "rank {rank} out of range for size {size}")
+            }
+            CommError::InvalidRoot { root, size } => {
+                write!(f, "root {root} out of range for group of {size}")
+            }
+            CommError::LengthMismatch { expected, actual } => {
+                write!(f, "receive length mismatch: expected {expected} bytes, got {actual}")
+            }
+            CommError::BadBufferSize { expected, actual } => {
+                write!(f, "buffer size mismatch: expected {expected} items, got {actual}")
+            }
+            CommError::Disconnected => write!(f, "peer disconnected"),
+            CommError::StrategyMismatch { strategy_nodes, group_len } => write!(
+                f,
+                "strategy covers {strategy_nodes} nodes but group has {group_len} members"
+            ),
+            CommError::NotInGroup => write!(f, "calling node is not a member of the group"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CommError::InvalidRank { rank: 9, size: 4 }.to_string().contains("9"));
+        assert!(CommError::LengthMismatch { expected: 8, actual: 4 }
+            .to_string()
+            .contains("expected 8"));
+        assert!(CommError::Disconnected.to_string().contains("disconnected"));
+    }
+}

@@ -1,0 +1,100 @@
+//! NX-compatible calling sequences (paper §10).
+//!
+//! The original library shipped `NXtoiCC.<vers>.a`, "which converts all
+//! NX collective operations to Intercom collective operations". This
+//! module is that shim: the classic NX global-operation entry points
+//! (`gdsum`, `gdhigh`, `gdlow`, `gisum`, `gcolx`, and the broadcast that
+//! replaced `csend(-1)`) mapped onto the auto-selecting [`Communicator`].
+//!
+//! NX semantics notes: the `g*` operations take a work array the same
+//! length as the data (mirrored here by internal workspace), and `gcolx`
+//! concatenates per-node contributions of *known lengths* — this shim,
+//! like the paper's experiments, uses equal lengths.
+
+use crate::comm::Comm;
+use crate::communicator::Communicator;
+use crate::error::Result;
+use crate::op::ReduceOp;
+
+/// The NX-style facade over a [`Communicator`].
+pub struct NxWorld<'a, C: Comm + ?Sized> {
+    cc: &'a Communicator<'a, C>,
+}
+
+impl<'a, C: Comm + ?Sized> NxWorld<'a, C> {
+    /// Wraps a communicator.
+    pub fn new(cc: &'a Communicator<'a, C>) -> Self {
+        NxWorld { cc }
+    }
+
+    /// `gdsum`: global sum of doubles, result everywhere.
+    pub fn gdsum(&self, x: &mut [f64]) -> Result<()> {
+        self.cc.allreduce(x, ReduceOp::Sum)
+    }
+
+    /// `gdhigh`: global element-wise max of doubles, result everywhere.
+    pub fn gdhigh(&self, x: &mut [f64]) -> Result<()> {
+        self.cc.allreduce(x, ReduceOp::Max)
+    }
+
+    /// `gdlow`: global element-wise min of doubles, result everywhere.
+    pub fn gdlow(&self, x: &mut [f64]) -> Result<()> {
+        self.cc.allreduce(x, ReduceOp::Min)
+    }
+
+    /// `gisum`: global sum of integers, result everywhere.
+    pub fn gisum(&self, x: &mut [i64]) -> Result<()> {
+        self.cc.allreduce(x, ReduceOp::Sum)
+    }
+
+    /// `gihigh`: global element-wise max of integers.
+    pub fn gihigh(&self, x: &mut [i64]) -> Result<()> {
+        self.cc.allreduce(x, ReduceOp::Max)
+    }
+
+    /// `gilow`: global element-wise min of integers.
+    pub fn gilow(&self, x: &mut [i64]) -> Result<()> {
+        self.cc.allreduce(x, ReduceOp::Min)
+    }
+
+    /// `gcolx`: concatenate each node's `mine` into `all` in node order
+    /// (known, equal lengths).
+    pub fn gcolx(&self, mine: &[f64], all: &mut [f64]) -> Result<()> {
+        self.cc.allgather(mine, all)
+    }
+
+    /// `iCC_bcast`: the Intercom broadcast that replaces NX's
+    /// `csend(-1)`.
+    pub fn bcast(&self, root: usize, x: &mut [f64]) -> Result<()> {
+        self.cc.bcast(root, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::SelfComm;
+    use intercom_cost::MachineParams;
+
+    #[test]
+    fn facade_runs_on_world_of_one() {
+        let c = SelfComm;
+        let cc = Communicator::world(&c, MachineParams::PARAGON);
+        let nx = NxWorld::new(&cc);
+        let mut x = vec![1.0, 2.0];
+        nx.gdsum(&mut x).unwrap();
+        nx.gdhigh(&mut x).unwrap();
+        nx.gdlow(&mut x).unwrap();
+        nx.bcast(0, &mut x).unwrap();
+        assert_eq!(x, [1.0, 2.0]);
+        let mut xi = vec![3i64];
+        nx.gisum(&mut xi).unwrap();
+        nx.gihigh(&mut xi).unwrap();
+        nx.gilow(&mut xi).unwrap();
+        assert_eq!(xi, [3]);
+        let mine = [5.0];
+        let mut all = [0.0];
+        nx.gcolx(&mine, &mut all).unwrap();
+        assert_eq!(all, [5.0]);
+    }
+}

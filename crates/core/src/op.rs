@@ -1,0 +1,130 @@
+//! Combine operations ⊕ (paper §3): associative and commutative
+//! element-wise reductions such as summation or element-wise product.
+
+use crate::cast::Scalar;
+
+/// The reduction operator applied element-wise by the combining
+/// collectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// Element-wise sum (the paper's "global sum" / `gdsum`).
+    Sum,
+    /// Element-wise product.
+    Prod,
+    /// Element-wise maximum (`gdhigh`). For floats, NaN inputs propagate
+    /// per `f64::max` semantics (NaN is ignored unless both are NaN).
+    Max,
+    /// Element-wise minimum (`gdlow`).
+    Min,
+}
+
+/// An element type that supports the [`ReduceOp`] combine operations.
+pub trait Elem: Scalar {
+    /// Applies `op` to a pair of elements.
+    fn combine(op: ReduceOp, a: Self, b: Self) -> Self;
+}
+
+macro_rules! impl_elem_int {
+    ($($t:ty),*) => {$(
+        impl Elem for $t {
+            fn combine(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a.wrapping_add(b),
+                    ReduceOp::Prod => a.wrapping_mul(b),
+                    ReduceOp::Max => a.max(b),
+                    ReduceOp::Min => a.min(b),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_elem_float {
+    ($($t:ty),*) => {$(
+        impl Elem for $t {
+            fn combine(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a + b,
+                    ReduceOp::Prod => a * b,
+                    ReduceOp::Max => a.max(b),
+                    ReduceOp::Min => a.min(b),
+                }
+            }
+        }
+    )*};
+}
+
+impl_elem_int!(u8, i8, u16, i16, u32, i32, u64, i64, usize);
+impl_elem_float!(f32, f64);
+
+impl ReduceOp {
+    /// Combines `other` into `acc` element-wise: `acc[i] ⊕= other[i]`.
+    /// Panics if lengths differ (an internal invariant, not user input).
+    pub fn fold_into<T: Elem>(&self, acc: &mut [T], other: &[T]) {
+        assert_eq!(acc.len(), other.len(), "combine length mismatch");
+        for (a, &b) in acc.iter_mut().zip(other) {
+            *a = T::combine(*self, *a, b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_fold() {
+        let mut a = [1i32, 2, 3];
+        ReduceOp::Sum.fold_into(&mut a, &[10, 20, 30]);
+        assert_eq!(a, [11, 22, 33]);
+    }
+
+    #[test]
+    fn prod_fold() {
+        let mut a = [2.0f64, 3.0];
+        ReduceOp::Prod.fold_into(&mut a, &[4.0, 5.0]);
+        assert_eq!(a, [8.0, 15.0]);
+    }
+
+    #[test]
+    fn max_min() {
+        assert_eq!(i64::combine(ReduceOp::Max, -3, 7), 7);
+        assert_eq!(i64::combine(ReduceOp::Min, -3, 7), -3);
+        assert_eq!(f32::combine(ReduceOp::Max, 1.5, 2.5), 2.5);
+    }
+
+    #[test]
+    fn wrapping_integer_sum() {
+        assert_eq!(u8::combine(ReduceOp::Sum, 200, 100), 44);
+    }
+
+    #[test]
+    fn empty_fold_is_noop() {
+        let mut a: [f64; 0] = [];
+        ReduceOp::Sum.fold_into(&mut a, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_fold_panics() {
+        let mut a = [1u32];
+        ReduceOp::Sum.fold_into(&mut a, &[1, 2]);
+    }
+
+    #[test]
+    fn ops_are_commutative_and_associative_for_ints() {
+        for op in [ReduceOp::Sum, ReduceOp::Prod, ReduceOp::Max, ReduceOp::Min] {
+            for a in [-5i64, 0, 3] {
+                for b in [-2i64, 7] {
+                    for c in [1i64, -9] {
+                        assert_eq!(i64::combine(op, a, b), i64::combine(op, b, a));
+                        assert_eq!(
+                            i64::combine(op, i64::combine(op, a, b), c),
+                            i64::combine(op, a, i64::combine(op, b, c))
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

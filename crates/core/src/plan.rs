@@ -1,0 +1,200 @@
+//! Persistent collective plans.
+//!
+//! Iterative applications (the paper's motivating workloads — §9's
+//! "rows and columns of a logical mesh" computations) issue the *same*
+//! collective with the same geometry every iteration. A plan runs the
+//! cost-model selection once, freezes the chosen strategy and buffer
+//! geometry, and then executes with no per-call selection overhead —
+//! the moral equivalent of MPI's persistent requests, and the natural
+//! home for the paper's observation that the hybrid choice depends only
+//! on `(operation, group shape, message length, machine)`.
+//!
+//! ```
+//! use intercom::{Communicator, plan::AllreducePlan, ReduceOp};
+//! use intercom_cost::MachineParams;
+//!
+//! let comm = intercom::comm::SelfComm::default();
+//! let cc = Communicator::world(&comm, MachineParams::PARAGON);
+//! let plan = AllreducePlan::<f64>::new(&cc, 4, ReduceOp::Sum);
+//! let mut v = vec![2.0; 4];
+//! plan.execute(&cc, &mut v).unwrap();
+//! assert_eq!(v, [2.0; 4]);
+//! ```
+
+use crate::cast::Scalar;
+use crate::comm::Comm;
+use crate::communicator::Communicator;
+use crate::error::{CommError, Result};
+use crate::op::{Elem, ReduceOp};
+use crate::{algorithms, Algo};
+use intercom_cost::{CollectiveOp, Strategy};
+use std::marker::PhantomData;
+
+fn frozen_strategy<C: Comm + ?Sized>(
+    cc: &Communicator<'_, C>,
+    op: CollectiveOp,
+    n_bytes: usize,
+) -> Strategy {
+    cc.auto_strategy(op, n_bytes)
+}
+
+/// A frozen broadcast: strategy selected once for a fixed element count.
+pub struct BcastPlan<T: Scalar> {
+    strategy: Strategy,
+    root: usize,
+    len: usize,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Scalar> BcastPlan<T> {
+    /// Plans a broadcast of `len` elements from `root`.
+    pub fn new<C: Comm + ?Sized>(cc: &Communicator<'_, C>, root: usize, len: usize) -> Self {
+        let strategy =
+            frozen_strategy(cc, CollectiveOp::Broadcast, len * std::mem::size_of::<T>());
+        BcastPlan { strategy, root, len, _marker: PhantomData }
+    }
+
+    /// The frozen strategy (for inspection/reporting).
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// Executes the planned broadcast; `buf.len()` must equal the
+    /// planned length.
+    pub fn execute<C: Comm + ?Sized>(
+        &self,
+        cc: &Communicator<'_, C>,
+        buf: &mut [T],
+    ) -> Result<()> {
+        if buf.len() != self.len {
+            return Err(CommError::BadBufferSize { expected: self.len, actual: buf.len() });
+        }
+        cc.bcast_with(self.root, buf, &Algo::Hybrid(self.strategy.clone()))
+    }
+}
+
+/// A frozen combine-to-all (allreduce).
+pub struct AllreducePlan<T: Elem> {
+    strategy: Strategy,
+    len: usize,
+    op: ReduceOp,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Elem> AllreducePlan<T> {
+    /// Plans an allreduce of `len` elements under `op`.
+    pub fn new<C: Comm + ?Sized>(cc: &Communicator<'_, C>, len: usize, op: ReduceOp) -> Self {
+        let strategy =
+            frozen_strategy(cc, CollectiveOp::CombineToAll, len * std::mem::size_of::<T>());
+        AllreducePlan { strategy, len, op, _marker: PhantomData }
+    }
+
+    /// The frozen strategy.
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// Executes the planned allreduce.
+    pub fn execute<C: Comm + ?Sized>(
+        &self,
+        cc: &Communicator<'_, C>,
+        buf: &mut [T],
+    ) -> Result<()> {
+        if buf.len() != self.len {
+            return Err(CommError::BadBufferSize { expected: self.len, actual: buf.len() });
+        }
+        cc.allreduce_with(buf, self.op, &Algo::Hybrid(self.strategy.clone()))
+    }
+}
+
+/// A frozen collect (allgather) with equal per-rank blocks.
+pub struct CollectPlan<T: Scalar> {
+    strategy: Strategy,
+    block: usize,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Scalar> CollectPlan<T> {
+    /// Plans a collect of `block` elements per member.
+    pub fn new<C: Comm + ?Sized>(cc: &Communicator<'_, C>, block: usize) -> Self {
+        let total = block * cc.size() * std::mem::size_of::<T>();
+        let strategy = frozen_strategy(cc, CollectiveOp::Collect, total);
+        CollectPlan { strategy, block, _marker: PhantomData }
+    }
+
+    /// The frozen strategy.
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// Executes the planned collect.
+    pub fn execute<C: Comm + ?Sized>(
+        &self,
+        cc: &Communicator<'_, C>,
+        mine: &[T],
+        all: &mut [T],
+    ) -> Result<()> {
+        if mine.len() != self.block {
+            return Err(CommError::BadBufferSize { expected: self.block, actual: mine.len() });
+        }
+        algorithms::collect(cc.group(), &self.strategy, mine, all, plan_tag(cc))
+    }
+}
+
+fn plan_tag<C: Comm + ?Sized>(cc: &Communicator<'_, C>) -> u64 {
+    // Planned executions share the communicator's tag sequence; route
+    // through a public collective call instead of private internals.
+    // (The collect plan calls algorithms directly, so it draws a tag the
+    // same way the Communicator does: via an ordinary collective call's
+    // reserved stream. A dedicated high bit keeps plans disjoint from
+    // ad-hoc calls that might interleave.)
+    (1 << 62) | cc.take_plan_tag()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::SelfComm;
+    use intercom_cost::MachineParams;
+
+    #[test]
+    fn plans_run_on_world_of_one() {
+        let c = SelfComm;
+        let cc = Communicator::world(&c, MachineParams::PARAGON);
+        let bp = BcastPlan::<u32>::new(&cc, 0, 3);
+        let mut v = vec![1u32, 2, 3];
+        bp.execute(&cc, &mut v).unwrap();
+        assert_eq!(v, [1, 2, 3]);
+
+        let ap = AllreducePlan::<f64>::new(&cc, 2, ReduceOp::Sum);
+        let mut w = vec![5.0, 6.0];
+        ap.execute(&cc, &mut w).unwrap();
+        assert_eq!(w, [5.0, 6.0]);
+
+        let cp = CollectPlan::<i64>::new(&cc, 2);
+        let mine = [7i64, 8];
+        let mut all = [0i64; 2];
+        cp.execute(&cc, &mine, &mut all).unwrap();
+        assert_eq!(all, mine);
+    }
+
+    #[test]
+    fn plan_rejects_wrong_lengths() {
+        let c = SelfComm;
+        let cc = Communicator::world(&c, MachineParams::PARAGON);
+        let bp = BcastPlan::<u8>::new(&cc, 0, 4);
+        let mut v = vec![0u8; 3];
+        assert!(matches!(
+            bp.execute(&cc, &mut v),
+            Err(CommError::BadBufferSize { expected: 4, actual: 3 })
+        ));
+    }
+
+    #[test]
+    fn frozen_strategy_matches_auto() {
+        let c = SelfComm;
+        let cc = Communicator::world(&c, MachineParams::PARAGON);
+        let bp = BcastPlan::<u8>::new(&cc, 0, 4096);
+        assert_eq!(*bp.strategy(), cc.auto_strategy(CollectiveOp::Broadcast, 4096));
+    }
+}

@@ -1,0 +1,130 @@
+//! Pipelined (segmented) ring broadcast — the §8 "other algorithms"
+//! family.
+//!
+//! The paper notes that theoretically superior long-vector algorithms
+//! exist — e.g. pipelined broadcasts whose β coefficient approaches `1·nβ`
+//! instead of the scatter/collect broadcast's `2·nβ` — but found them
+//! "generally difficult to implement and … extremely succeptible to
+//! timing irregulaties", and left them out of the production library.
+//! This module implements the simplest member of the family so the
+//! repository can reproduce that trade-off quantitatively (see the
+//! `pipelined` bench binary): the message is cut into `m` segments which
+//! flow down the ring, every interior node forwarding segment `k−1`
+//! while receiving segment `k`.
+//!
+//! Cost on a conflict-free ring: `(p − 2 + m)(α + (n/m)β)`; minimized at
+//! `m* = √((p−2)·nβ/α)`, approaching `nβ` for long vectors.
+
+use crate::block::partition;
+use crate::cast::Scalar;
+use crate::comm::{GroupComm, Tag};
+use crate::error::{CommError, Result};
+use crate::primitives::disjoint_pair;
+use crate::Comm;
+use intercom_cost::MachineParams;
+
+/// Pipelined ring broadcast of `buf` from logical rank `root`, using `m`
+/// segments (`m ≥ 1`; clamped to the buffer length where needed).
+pub fn pipelined_ring_bcast<T: Scalar, C: Comm + ?Sized>(
+    gc: &GroupComm<'_, C>,
+    root: usize,
+    buf: &mut [T],
+    m: usize,
+    tag: Tag,
+) -> Result<()> {
+    if root >= gc.len() {
+        return Err(CommError::InvalidRoot { root, size: gc.len() });
+    }
+    let p = gc.len();
+    if p == 1 {
+        return Ok(());
+    }
+    gc.call_overhead();
+    let m = m.max(1);
+    let segs = partition(buf.len(), m);
+    let me = gc.me();
+    // Position along the ring, root first.
+    let pos = (me + p - root) % p;
+    let right = (me + 1) % p;
+    let left = (me + p - 1) % p;
+    // Segments share one tag: matching is FIFO per (source, tag), so
+    // in-order forwarding preserves segment identity.
+    if pos == 0 {
+        // Root: pump all segments into the ring.
+        for seg in &segs {
+            gc.send(right, tag, &buf[seg.clone()])?;
+        }
+    } else if pos == p - 1 {
+        // Tail: drain only.
+        for seg in &segs {
+            gc.recv(left, tag, &mut buf[seg.clone()])?;
+        }
+    } else {
+        // Interior: receive segment 0, then forward k−1 while receiving
+        // k, then flush the last segment.
+        gc.recv(left, tag, &mut buf[segs[0].clone()])?;
+        for k in 1..m {
+            let (send, recv) = disjoint_pair(buf, segs[k - 1].clone(), segs[k].clone());
+            gc.sendrecv(right, send, left, recv, tag)?;
+        }
+        gc.send(right, tag, &buf[segs[m - 1].clone()])?;
+    }
+    Ok(())
+}
+
+/// The cost-optimal segment count `m* = √((p−2)·nβ/α)` for a pipelined
+/// broadcast of `n_bytes` over `p` ring nodes, clamped to `[1, n_bytes]`.
+pub fn optimal_segments(p: usize, n_bytes: usize, machine: &MachineParams) -> usize {
+    if p < 3 || n_bytes == 0 {
+        return 1;
+    }
+    let m = ((p as f64 - 2.0) * n_bytes as f64 * machine.beta / machine.alpha).sqrt();
+    (m.round() as usize).clamp(1, n_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::SelfComm;
+
+    #[test]
+    fn single_node_noop() {
+        let c = SelfComm;
+        let gc = GroupComm::world(&c);
+        let mut buf = [1u8, 2, 3];
+        pipelined_ring_bcast(&gc, 0, &mut buf, 4, 0).unwrap();
+        assert_eq!(buf, [1, 2, 3]);
+    }
+
+    #[test]
+    fn invalid_root_rejected() {
+        let c = SelfComm;
+        let gc = GroupComm::world(&c);
+        let mut buf = [0u8; 2];
+        assert!(matches!(
+            pipelined_ring_bcast(&gc, 1, &mut buf, 2, 0),
+            Err(CommError::InvalidRoot { .. })
+        ));
+    }
+
+    #[test]
+    fn optimal_segments_scaling() {
+        let m = MachineParams::PARAGON;
+        // Tiny messages: one segment.
+        assert_eq!(optimal_segments(32, 8, &m), 1);
+        // Long messages: many segments, growing with n and p.
+        let m1 = optimal_segments(32, 1 << 20, &m);
+        let m2 = optimal_segments(128, 1 << 20, &m);
+        assert!(m1 > 8, "{m1}");
+        assert!(m2 > m1);
+        // Degenerate cases.
+        assert_eq!(optimal_segments(2, 1 << 20, &m), 1);
+        assert_eq!(optimal_segments(32, 0, &m), 1);
+    }
+
+    #[test]
+    fn segment_count_clamped_to_length() {
+        let m = MachineParams { alpha: 1e-12, ..MachineParams::PARAGON };
+        assert!(optimal_segments(32, 16, &m) <= 16);
+    }
+}

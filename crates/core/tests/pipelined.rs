@@ -1,0 +1,70 @@
+//! Correctness of the §8 pipelined ring broadcast on the threaded
+//! backend, plus model sanity for its cost.
+
+use intercom::comm::GroupComm;
+use intercom::primitives::{optimal_segments, pipelined_ring_bcast};
+use intercom_cost::MachineParams;
+use intercom_runtime::run_world;
+
+fn payload(n: usize) -> Vec<u8> {
+    (0..n).map(|i| (i * 131 % 251) as u8).collect()
+}
+
+#[test]
+fn pipelined_bcast_delivers_all_sizes_roots_segments() {
+    for p in [2usize, 3, 5, 8, 12] {
+        for root in [0, p / 2, p - 1] {
+            for n in [0usize, 1, 10, 333] {
+                for m in [1usize, 2, 5, 16] {
+                    let expect = payload(n);
+                    let out = run_world(p, |c| {
+                        let gc = GroupComm::world(c);
+                        let mut buf = if gc.me() == root { payload(n) } else { vec![0; n] };
+                        pipelined_ring_bcast(&gc, root, &mut buf, m, 0).unwrap();
+                        buf
+                    });
+                    for (r, got) in out.iter().enumerate() {
+                        assert_eq!(
+                            got, &expect,
+                            "p={p} root={root} n={n} m={m} rank={r}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pipelined_beats_scatter_collect_in_model_for_long_vectors() {
+    // β coefficient: pipelined → (p−2+m)/m ≈ 1 for large m; scatter/
+    // collect → 2(p−1)/p ≈ 2. Check the closed forms at m*.
+    let machine = MachineParams::PARAGON_MODEL;
+    let p = 64;
+    let n = 1 << 20;
+    let m = optimal_segments(p, n, &machine);
+    let t_pipe = (p as f64 - 2.0 + m as f64)
+        * (machine.alpha + (n as f64 / m as f64) * machine.beta);
+    let t_sc = intercom_cost::collective::long_cost(
+        intercom_cost::CollectiveOp::Broadcast,
+        p,
+        intercom_cost::CostContext::LINEAR,
+    )
+    .eval(n, &machine);
+    assert!(
+        t_pipe < t_sc,
+        "pipelined {t_pipe} should beat scatter/collect {t_sc} at 1MB"
+    );
+    // ... but lose at short lengths even with its best m.
+    let n_short = 64;
+    let m_short = optimal_segments(p, n_short, &machine);
+    let t_pipe_short = (p as f64 - 2.0 + m_short as f64)
+        * (machine.alpha + (n_short as f64 / m_short as f64) * machine.beta);
+    let t_mst = intercom_cost::collective::short_cost(
+        intercom_cost::CollectiveOp::Broadcast,
+        p,
+        intercom_cost::CostContext::LINEAR,
+    )
+    .eval(n_short, &machine);
+    assert!(t_mst < t_pipe_short, "MST {t_mst} must beat pipelined {t_pipe_short} at 64B");
+}

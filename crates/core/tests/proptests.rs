@@ -1,0 +1,176 @@
+//! Property-based correctness: randomized group sizes, roots, vector
+//! lengths, reduce ops and hybrid strategies, executed on the threaded
+//! backend and checked against sequential references.
+
+use intercom::{Algo, Comm, Communicator, ReduceOp};
+use intercom_cost::{MachineParams, Strategy, StrategyKind};
+use intercom_runtime::run_world;
+use proptest::prelude::*;
+use proptest::strategy::Strategy as PropStrategy;
+
+/// A random ordered factorization of some p ≤ 24 plus a kind — i.e. an
+/// arbitrary valid hybrid strategy with its group size.
+fn arb_strategy() -> impl PropStrategy<Value = (usize, Strategy)> {
+    (2usize..=24, any::<bool>(), any::<u64>()).prop_map(|(p, mst, seed)| {
+        let fs = intercom_topology::factor::factorizations(p, 0);
+        let dims = fs[(seed as usize) % fs.len()].clone();
+        let kind = if mst { StrategyKind::Mst } else { StrategyKind::ScatterCollect };
+        (p, Strategy::new(dims, kind))
+    })
+}
+
+fn contribution(rank: usize, n: usize, salt: u64) -> Vec<i64> {
+    (0..n)
+        .map(|i| {
+            let x = (rank as u64).wrapping_mul(0x9E37_79B9).wrapping_add(i as u64) ^ salt;
+            (x % 2003) as i64 - 1001
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_broadcast_delivers_for_any_strategy(
+        (p, strategy) in arb_strategy(),
+        root_sel in any::<u64>(),
+        n in 0usize..200,
+        salt in any::<u64>(),
+    ) {
+        let root = (root_sel as usize) % p;
+        let expect = contribution(root, n, salt);
+        let algo = Algo::Hybrid(strategy);
+        let out = run_world(p, |c| {
+            let cc = Communicator::world(c, MachineParams::PARAGON);
+            let mut buf = if c.rank() == root {
+                contribution(root, n, salt)
+            } else {
+                vec![0; n]
+            };
+            cc.bcast_with(root, &mut buf, &algo).unwrap();
+            buf
+        });
+        for got in out {
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+
+    #[test]
+    fn prop_allreduce_for_any_strategy_and_op(
+        (p, strategy) in arb_strategy(),
+        n in 0usize..150,
+        op_sel in 0u8..4,
+        salt in any::<u64>(),
+    ) {
+        let op = [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod][op_sel as usize];
+        let mut expect = contribution(0, n, salt);
+        for r in 1..p {
+            op.fold_into(&mut expect, &contribution(r, n, salt));
+        }
+        let algo = Algo::Hybrid(strategy);
+        let out = run_world(p, |c| {
+            let cc = Communicator::world(c, MachineParams::PARAGON);
+            let mut buf = contribution(c.rank(), n, salt);
+            cc.allreduce_with(&mut buf, op, &algo).unwrap();
+            buf
+        });
+        for got in out {
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+
+    #[test]
+    fn prop_collect_reduce_scatter_duality(
+        (p, strategy) in arb_strategy(),
+        b in 0usize..40,
+        salt in any::<u64>(),
+    ) {
+        // reduce_scatter(contribs) then collect(blocks) == allreduce.
+        let algo = Algo::Hybrid(strategy);
+        let out = run_world(p, |c| {
+            let cc = Communicator::world(c, MachineParams::PARAGON);
+            let contrib = contribution(c.rank(), p * b, salt);
+            let mut mine = vec![0i64; b];
+            cc.reduce_scatter_with(&contrib, &mut mine, ReduceOp::Sum, &algo).unwrap();
+            let mut all = vec![0i64; p * b];
+            cc.allgather_with(&mine, &mut all, &algo).unwrap();
+            all
+        });
+        let mut expect = contribution(0, p * b, salt);
+        for r in 1..p {
+            ReduceOp::Sum.fold_into(&mut expect, &contribution(r, p * b, salt));
+        }
+        for got in out {
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+
+    #[test]
+    fn prop_scatter_gather_roundtrip(
+        p in 1usize..16,
+        b in 0usize..32,
+        root_sel in any::<u64>(),
+        salt in any::<u64>(),
+    ) {
+        let root = (root_sel as usize) % p;
+        let full = contribution(99, p * b, salt);
+        let full2 = full.clone();
+        let out = run_world(p, |c| {
+            let cc = Communicator::world(c, MachineParams::PARAGON);
+            let me = c.rank();
+            let mut mine = vec![0i64; b];
+            cc.scatter(root, if me == root { Some(&full2[..]) } else { None }, &mut mine)
+                .unwrap();
+            let mut back = vec![0i64; if me == root { p * b } else { 0 }];
+            cc.gather(root, &mine, if me == root { Some(&mut back[..]) } else { None })
+                .unwrap();
+            (mine, back)
+        });
+        for (r, (mine, _)) in out.iter().enumerate() {
+            prop_assert_eq!(&mine[..], &full[r * b..(r + 1) * b]);
+        }
+        prop_assert_eq!(&out[root].1, &full);
+    }
+
+    #[test]
+    fn prop_reduce_matches_allreduce_at_root(
+        (p, strategy) in arb_strategy(),
+        n in 1usize..100,
+        root_sel in any::<u64>(),
+        salt in any::<u64>(),
+    ) {
+        let root = (root_sel as usize) % p;
+        let algo = Algo::Hybrid(strategy);
+        let out = run_world(p, |c| {
+            let cc = Communicator::world(c, MachineParams::PARAGON);
+            let mut red = contribution(c.rank(), n, salt);
+            cc.reduce_with(root, &mut red, ReduceOp::Sum, &algo).unwrap();
+            let mut ar = contribution(c.rank(), n, salt);
+            cc.allreduce_with(&mut ar, ReduceOp::Sum, &algo).unwrap();
+            (red, ar)
+        });
+        let (red_at_root, ar_anywhere) = &out[root];
+        prop_assert_eq!(red_at_root, ar_anywhere);
+    }
+
+    #[test]
+    fn prop_auto_selection_always_correct(
+        p in 1usize..20,
+        n_exp in 0u32..14,
+        salt in any::<u64>(),
+    ) {
+        // Whatever the selector picks at any length must be correct.
+        let n = (1usize << n_exp) / 8;
+        let expect = contribution(0, n, salt);
+        let out = run_world(p, |c| {
+            let cc = Communicator::world(c, MachineParams::PARAGON);
+            let mut buf = if c.rank() == 0 { contribution(0, n, salt) } else { vec![0; n] };
+            cc.bcast(0, &mut buf).unwrap();
+            buf
+        });
+        for got in out {
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+}

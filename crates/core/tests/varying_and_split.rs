@@ -1,0 +1,121 @@
+//! Known-lengths ("v") collectives and communicator splitting on the
+//! threaded backend.
+
+use intercom::{Comm, Communicator, ReduceOp};
+use intercom_cost::MachineParams;
+use intercom_runtime::run_world;
+use intercom_topology::Mesh2D;
+
+/// Uneven per-rank counts: rank r contributes r + 1 items... with a zero
+/// thrown in.
+fn counts(p: usize) -> Vec<usize> {
+    (0..p).map(|r| if r == p / 2 { 0 } else { r + 1 }).collect()
+}
+
+#[test]
+fn allgatherv_concatenates_uneven_blocks() {
+    for p in [1usize, 2, 5, 9] {
+        let cts = counts(p);
+        let total: usize = cts.iter().sum();
+        let mut expect = Vec::new();
+        for r in 0..p {
+            expect.extend((0..cts[r]).map(|i| (r * 100 + i) as i64));
+        }
+        let cts2 = cts.clone();
+        let out = run_world(p, |c| {
+            let cc = Communicator::world(c, MachineParams::PARAGON);
+            let me = c.rank();
+            let mine: Vec<i64> = (0..cts2[me]).map(|i| (me * 100 + i) as i64).collect();
+            let mut all = vec![0i64; total];
+            cc.allgatherv(&mine, &cts2, &mut all).unwrap();
+            all
+        });
+        for (r, got) in out.iter().enumerate() {
+            assert_eq!(got, &expect, "p={p} rank={r}");
+        }
+    }
+}
+
+#[test]
+fn scatterv_gatherv_roundtrip_uneven() {
+    for p in [1usize, 3, 6] {
+        for root in [0, p - 1] {
+            let cts = counts(p);
+            let total: usize = cts.iter().sum();
+            let full: Vec<i64> = (0..total as i64).map(|x| x * 3 - 7).collect();
+            let cts2 = cts.clone();
+            let full2 = full.clone();
+            let out = run_world(p, |c| {
+                let cc = Communicator::world(c, MachineParams::PARAGON);
+                let me = c.rank();
+                let mut mine = vec![0i64; cts2[me]];
+                let send = if me == root { Some(&full2[..]) } else { None };
+                cc.scatterv(root, send, &cts2, &mut mine).unwrap();
+                let mut back = vec![0i64; if me == root { total } else { 0 }];
+                let recv = if me == root { Some(&mut back[..]) } else { None };
+                cc.gatherv(root, &mine, &cts2, recv).unwrap();
+                (mine, back)
+            });
+            // Verify scattered pieces and the gathered round-trip.
+            let mut at = 0;
+            for (r, (mine, _)) in out.iter().enumerate() {
+                assert_eq!(mine, &full[at..at + cts[r]], "p={p} root={root} rank={r}");
+                at += cts[r];
+            }
+            assert_eq!(out[root].1, full, "gatherv p={p} root={root}");
+        }
+    }
+}
+
+#[test]
+fn split_by_parity_forms_working_groups() {
+    let p = 10;
+    let out = run_world(p, |c| {
+        let cc = Communicator::world(c, MachineParams::PARAGON);
+        let me = c.rank();
+        let sub = cc.split(me % 2, me, None).unwrap();
+        let mut v = vec![1i64; 4];
+        sub.allreduce(&mut v, ReduceOp::Sum).unwrap();
+        (sub.rank(), sub.size(), v[0])
+    });
+    for (r, &(sub_rank, sub_size, sum)) in out.iter().enumerate() {
+        assert_eq!(sub_size, 5, "rank {r}");
+        assert_eq!(sum, 5);
+        assert_eq!(sub_rank, r / 2, "rank order by key within color");
+    }
+}
+
+#[test]
+fn split_with_reversed_keys_reorders() {
+    let p = 6;
+    let out = run_world(p, |c| {
+        let cc = Communicator::world(c, MachineParams::PARAGON);
+        let me = c.rank();
+        // One color, keys descending: logical order flips.
+        let sub = cc.split(0, p - me, None).unwrap();
+        sub.rank()
+    });
+    for (r, &sub_rank) in out.iter().enumerate() {
+        assert_eq!(sub_rank, p - 1 - r);
+    }
+}
+
+#[test]
+fn split_rows_of_mesh_detects_lines() {
+    let p = 12;
+    let mesh = Mesh2D::new(3, 4);
+    let out = run_world(p, |c| {
+        let cc = Communicator::world(c, MachineParams::PARAGON);
+        let me = c.rank();
+        let row = me / 4;
+        let sub = cc.split(row, me, Some(&mesh)).unwrap();
+        let mut v = vec![me as i64];
+        sub.allreduce(&mut v, ReduceOp::Max).unwrap();
+        (sub.size(), v[0])
+    });
+    for (r, &(size, maxv)) in out.iter().enumerate() {
+        assert_eq!(size, 4);
+        let row = r / 4;
+        assert_eq!(maxv, (row * 4 + 3) as i64);
+    }
+}

@@ -1,0 +1,89 @@
+//! The paper's Table 2 as data — the canonical regression fixture.
+//!
+//! Each entry pairs a strategy with the α and β coefficients the paper
+//! prints (β as the numerator over 30). Used by tests here and by the
+//! `table2` bench binary; having the table as code keeps the crate and
+//! the paper provably in sync.
+
+use crate::strategy::{Strategy, StrategyKind};
+
+/// One row of the paper's Table 2: strategy, α coefficient, β numerator
+/// over denominator 30.
+pub struct Table2Row {
+    /// Logical mesh dims (fastest-varying first) and center kind.
+    pub strategy: Strategy,
+    /// Coefficient of α.
+    pub alpha: f64,
+    /// Numerator of the β coefficient over 30 (e.g. 160 for
+    /// `(160/30)nβ`).
+    pub beta_over_30: f64,
+}
+
+/// The paper's Table 2 rows that are legible in our source scan, plus
+/// the `(1×30, SC)` pure long-vector row derived from §4/§5. The scan's
+/// "3×10 SMC = 16α + (240/30)nβ" row is inconsistent with the paper's
+/// own §6 formulas (see EXPERIMENTS.md) and is replaced by the
+/// formula-consistent value.
+pub fn paper_table2() -> Vec<Table2Row> {
+    let m = |dims: &[usize]| Strategy::new(dims.to_vec(), StrategyKind::Mst);
+    let sc = |dims: &[usize]| Strategy::new(dims.to_vec(), StrategyKind::ScatterCollect);
+    vec![
+        Table2Row { strategy: m(&[30]), alpha: 5.0, beta_over_30: 150.0 },
+        Table2Row { strategy: m(&[2, 15]), alpha: 6.0, beta_over_30: 150.0 },
+        Table2Row { strategy: m(&[3, 10]), alpha: 8.0, beta_over_30: 160.0 },
+        Table2Row { strategy: m(&[2, 3, 5]), alpha: 9.0, beta_over_30: 160.0 },
+        Table2Row { strategy: sc(&[5, 6]), alpha: 15.0, beta_over_30: 98.0 },
+        Table2Row { strategy: sc(&[6, 5]), alpha: 15.0, beta_over_30: 98.0 },
+        Table2Row { strategy: sc(&[3, 10]), alpha: 17.0, beta_over_30: 94.0 },
+        Table2Row { strategy: sc(&[10, 3]), alpha: 17.0, beta_over_30: 94.0 },
+        Table2Row { strategy: sc(&[2, 15]), alpha: 20.0, beta_over_30: 86.0 },
+        Table2Row { strategy: sc(&[30]), alpha: 34.0, beta_over_30: 58.0 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collective::{hybrid_cost, CollectiveOp, CostContext};
+
+    #[test]
+    fn every_row_matches_the_cost_model() {
+        for row in paper_table2() {
+            let c = hybrid_cost(CollectiveOp::Broadcast, &row.strategy, CostContext::LINEAR);
+            assert_eq!(c.alpha_c, row.alpha, "{} α", row.strategy);
+            assert!(
+                (c.beta_c - row.beta_over_30 / 30.0).abs() < 1e-12,
+                "{} β: model {} vs paper {}/30",
+                row.strategy,
+                c.beta_c,
+                row.beta_over_30
+            );
+        }
+    }
+
+    #[test]
+    fn footnote_three_rows_never_beat_mst() {
+        // "three of the examples in Table 2 have a cost which in fact are
+        // worse than the minimum spanning tree broadcast cost, 5α + 5nβ."
+        let rows = paper_table2();
+        let mst = &rows[0];
+        let worse: Vec<&Table2Row> = rows
+            .iter()
+            .filter(|r| r.alpha >= mst.alpha && r.beta_over_30 >= mst.beta_over_30)
+            .collect();
+        // MST itself plus exactly three dominated hybrids.
+        assert_eq!(worse.len(), 4, "{:?}", worse.iter().map(|r| r.strategy.to_string()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn beta_ordering_is_monotone() {
+        // The paper lists rows "in increasing order of the β term" (we
+        // store them decreasing-α-last; verify sortability and the
+        // extremes).
+        let rows = paper_table2();
+        let min_beta = rows.iter().map(|r| r.beta_over_30).fold(f64::INFINITY, f64::min);
+        let max_beta = rows.iter().map(|r| r.beta_over_30).fold(0.0, f64::max);
+        assert_eq!(min_beta, 58.0); // pure scatter/collect
+        assert_eq!(max_beta, 160.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! The per-rank simulated endpoint.
+
+use crate::engine::{Reply, Request};
+use crossbeam_channel::{Receiver, Sender};
+use intercom::{Comm, CommError, Result, Tag};
+
+/// A rank's endpoint inside a simulated world. Blocking operations
+/// round-trip through the central engine, which advances virtual time;
+/// `compute`/`call_overhead` are fire-and-forget clock advances (the
+/// request channel preserves per-rank order, so accounting lands in
+/// program order).
+pub struct SimComm {
+    rank: usize,
+    size: usize,
+    to_engine: Sender<(usize, Request)>,
+    from_engine: Receiver<Reply>,
+    finished: std::cell::Cell<bool>,
+}
+
+impl SimComm {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        to_engine: Sender<(usize, Request)>,
+        from_engine: Receiver<Reply>,
+    ) -> Self {
+        SimComm { rank, size, to_engine, from_engine, finished: std::cell::Cell::new(false) }
+    }
+
+    fn roundtrip(&self, req: Request) -> Result<Reply> {
+        self.to_engine.send((self.rank, req)).map_err(|_| CommError::Disconnected)?;
+        let reply = self.from_engine.recv().map_err(|_| CommError::Disconnected)?;
+        match reply.err {
+            Some(e) => Err(e),
+            None => Ok(reply),
+        }
+    }
+
+    pub(crate) fn finish(&self) {
+        if !self.finished.replace(true) {
+            let _ = self.to_engine.send((self.rank, Request::Finished));
+        }
+    }
+}
+
+impl Drop for SimComm {
+    fn drop(&mut self) {
+        // A panicking rank still tells the engine it is gone, so the
+        // simulation surfaces a deadlock diagnostic (or completes) rather
+        // than waiting forever for requests that will never come.
+        self.finish();
+    }
+}
+
+impl Comm for SimComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&self, to: usize, tag: Tag, data: &[u8]) -> Result<()> {
+        self.roundtrip(Request::Send { to, tag, data: data.to_vec() })?;
+        Ok(())
+    }
+
+    fn recv(&self, from: usize, tag: Tag, buf: &mut [u8]) -> Result<()> {
+        let reply = self.roundtrip(Request::Recv { from, tag, len: buf.len() })?;
+        let data = reply.data.ok_or(CommError::Disconnected)?;
+        buf.copy_from_slice(&data);
+        Ok(())
+    }
+
+    fn sendrecv(
+        &self,
+        to: usize,
+        data: &[u8],
+        from: usize,
+        buf: &mut [u8],
+        tag: Tag,
+    ) -> Result<()> {
+        let reply = self.roundtrip(Request::SendRecv {
+            to,
+            data: data.to_vec(),
+            from,
+            tag,
+            rlen: buf.len(),
+        })?;
+        let got = reply.data.ok_or(CommError::Disconnected)?;
+        buf.copy_from_slice(&got);
+        Ok(())
+    }
+
+    fn compute(&self, bytes: usize) {
+        let _ = self.to_engine.send((self.rank, Request::Compute { bytes }));
+    }
+
+    fn call_overhead(&self) {
+        let _ = self.to_engine.send((self.rank, Request::CallOverhead));
+    }
+}

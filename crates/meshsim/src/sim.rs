@@ -1,0 +1,270 @@
+//! Simulation orchestration: rank threads + engine loop.
+
+use crate::comm::SimComm;
+use crate::engine::Engine;
+use crate::net::NetSpec;
+use crate::trace::Trace;
+use crossbeam_channel::unbounded;
+use intercom_cost::MachineParams;
+use intercom_topology::{Hypercube, Mesh2D, Torus2D};
+
+/// Configuration of one simulated machine.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Physical network; world rank = node id.
+    pub net: NetSpec,
+    /// The α/β/γ/δ/link-excess parameters.
+    pub machine: MachineParams,
+    /// Record per-transfer trace (costs memory on big runs).
+    pub record_trace: bool,
+    /// Per-transfer timing irregularity: each message's *startup* (α) is
+    /// inflated by a deterministic factor in `[1, 1 + jitter]` (§8's
+    /// "timing irregularities" — OS interference at message handoff).
+    /// 0 = ideal.
+    pub jitter: f64,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl SimConfig {
+    /// A mesh with the given machine, no tracing, no jitter.
+    pub fn new(mesh: Mesh2D, machine: MachineParams) -> Self {
+        SimConfig {
+            net: NetSpec::Mesh(mesh),
+            machine,
+            record_trace: false,
+            jitter: 0.0,
+            jitter_seed: 0,
+        }
+    }
+
+    /// A torus (wraparound mesh, paper ref [6]) with the given machine.
+    pub fn torus(torus: Torus2D, machine: MachineParams) -> Self {
+        SimConfig {
+            net: NetSpec::Torus(torus),
+            machine,
+            record_trace: false,
+            jitter: 0.0,
+            jitter_seed: 0,
+        }
+    }
+
+    /// A hypercube (the §11 iPSC/860 target) with the given machine.
+    pub fn hypercube(cube: Hypercube, machine: MachineParams) -> Self {
+        SimConfig {
+            net: NetSpec::Hypercube(cube),
+            machine,
+            record_trace: false,
+            jitter: 0.0,
+            jitter_seed: 0,
+        }
+    }
+
+    /// Enables transfer tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Enables OS-noise-style timing jitter (deterministic per seed).
+    pub fn with_jitter(mut self, jitter: f64, seed: u64) -> Self {
+        self.jitter = jitter;
+        self.jitter_seed = seed;
+        self
+    }
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug)]
+pub struct SimReport<T> {
+    /// Per-rank return values.
+    pub results: Vec<T>,
+    /// Elapsed virtual time: the maximum final rank clock, in seconds.
+    pub elapsed: f64,
+    /// Per-rank final virtual clocks (skew shows load imbalance).
+    pub clocks: Vec<f64>,
+    /// The transfer log, when tracing was enabled.
+    pub trace: Option<Trace>,
+}
+
+impl<T> SimReport<T> {
+    /// Clock skew: latest minus earliest finisher.
+    pub fn clock_skew(&self) -> f64 {
+        let min = self.clocks.iter().cloned().fold(f64::INFINITY, f64::min);
+        (self.elapsed - min).max(0.0)
+    }
+}
+
+/// Runs `f` on every rank of the simulated machine and returns the
+/// per-rank results plus the elapsed *virtual* time under the paper's
+/// machine model. The closure receives a [`SimComm`] implementing
+/// [`intercom::Comm`], so any library collective runs unmodified.
+pub fn simulate<T, F>(cfg: &SimConfig, f: F) -> SimReport<T>
+where
+    T: Send,
+    F: Fn(&SimComm) -> T + Send + Sync,
+{
+    let p = cfg.net.nodes();
+    let mut engine = Engine::with_jitter(
+        cfg.net,
+        cfg.machine,
+        cfg.record_trace,
+        cfg.jitter,
+        cfg.jitter_seed,
+    );
+    let (req_tx, req_rx) = unbounded();
+    let mut reply_txs = Vec::with_capacity(p);
+    let mut endpoints = Vec::with_capacity(p);
+    for rank in 0..p {
+        let (tx, rx) = unbounded();
+        reply_txs.push(tx);
+        endpoints.push(SimComm::new(rank, p, req_tx.clone(), rx));
+    }
+    drop(req_tx);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (rank, comm) in endpoints.into_iter().enumerate() {
+            let builder = std::thread::Builder::new()
+                .name(format!("sim-rank-{rank}"))
+                .stack_size(1024 * 1024);
+            handles.push(
+                builder
+                    .spawn_scoped(scope, move || {
+                        let out = f(&comm);
+                        comm.finish();
+                        out
+                    })
+                    .expect("failed to spawn simulated rank"),
+            );
+        }
+        // Engine loop: consume requests while any rank can still run;
+        // advance virtual time when everyone is blocked.
+        loop {
+            for (rank, reply) in engine.drain_replies() {
+                // A send failure means the rank thread died; its requests
+                // simply stop arriving and the join below reports it.
+                let _ = reply_txs[rank].send(reply);
+            }
+            if engine.finished_count() == p {
+                break;
+            }
+            if engine.runnable_count() == 0 {
+                engine.advance();
+                continue;
+            }
+            match req_rx.recv() {
+                Ok((rank, req)) => engine.handle(rank, req),
+                Err(_) => break, // all rank threads gone
+            }
+        }
+        let results: Vec<T> = handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| match h.join() {
+                Ok(v) => v,
+                Err(e) => {
+                    let msg = e
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| e.downcast_ref::<&str>().copied())
+                        .unwrap_or("<non-string panic>");
+                    panic!("simulated rank {rank} panicked: {msg}");
+                }
+            })
+            .collect();
+        SimReport {
+            results,
+            elapsed: engine.elapsed(),
+            clocks: engine.clocks().to_vec(),
+            trace: engine.take_trace().map(Trace::new),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intercom::Comm;
+
+    fn unit() -> MachineParams {
+        MachineParams { alpha: 1.0, beta: 1.0, gamma: 0.0, delta: 0.0, link_excess: 1.0 }
+    }
+
+    #[test]
+    fn trivial_world_elapsed_zero() {
+        let cfg = SimConfig::new(Mesh2D::new(1, 1), unit());
+        let rep = simulate(&cfg, |c| c.rank());
+        assert_eq!(rep.results, vec![0]);
+        assert_eq!(rep.elapsed, 0.0);
+    }
+
+    #[test]
+    fn ping_pong_timing() {
+        let cfg = SimConfig::new(Mesh2D::new(1, 2), unit());
+        let rep = simulate(&cfg, |c| {
+            let mut buf = [0u8; 8];
+            if c.rank() == 0 {
+                c.send(1, 0, &[1u8; 8]).unwrap();
+                c.recv(1, 1, &mut buf).unwrap();
+            } else {
+                c.recv(0, 0, &mut buf).unwrap();
+                c.send(0, 1, &buf).unwrap();
+            }
+            buf[0]
+        });
+        assert_eq!(rep.results, vec![1, 1]);
+        // Two sequential α + 8β steps: 2 × 9 = 18.
+        assert!((rep.elapsed - 18.0).abs() < 1e-9, "{}", rep.elapsed);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let cfg = SimConfig::new(Mesh2D::new(2, 3), unit());
+        let run = || {
+            simulate(&cfg, |c| {
+                let p = c.size();
+                let me = c.rank();
+                let mut buf = [0u8; 16];
+                // Shift ring twice.
+                for t in 0..2u64 {
+                    c.sendrecv((me + 1) % p, &[me as u8; 16], (me + p - 1) % p, &mut buf, t)
+                        .unwrap();
+                }
+                buf[0]
+            })
+            .elapsed
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trace_is_captured() {
+        let cfg = SimConfig::new(Mesh2D::new(1, 2), unit()).with_trace();
+        let rep = simulate(&cfg, |c| {
+            let mut b = [0u8; 1];
+            if c.rank() == 0 {
+                c.send(1, 0, &[9]).unwrap();
+            } else {
+                c.recv(0, 0, &mut b).unwrap();
+            }
+        });
+        let trace = rep.trace.unwrap();
+        assert_eq!(trace.message_count(), 1);
+        assert_eq!(trace.records()[0].bytes, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated rank 1 panicked")]
+    fn rank_panic_propagates() {
+        let cfg = SimConfig::new(Mesh2D::new(1, 2), unit());
+        simulate(&cfg, |c| {
+            if c.rank() == 1 {
+                panic!("sim boom");
+            }
+            // Rank 0 must not block forever; just finish.
+        });
+    }
+}

@@ -1,0 +1,232 @@
+//! Transfer traces and derived statistics.
+//!
+//! Every completed transfer can be recorded as a [`TransferRecord`];
+//! [`Trace`] offers summaries and a step-diagram renderer used to
+//! reproduce the paper's Fig. 1 (the 12-node hybrid broadcast walk-
+//! through).
+
+use std::fmt::Write as _;
+
+/// One completed point-to-point transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferRecord {
+    /// Source world rank.
+    pub src: usize,
+    /// Destination world rank.
+    pub dst: usize,
+    /// Message tag.
+    pub tag: u64,
+    /// Payload size in bytes.
+    pub bytes: usize,
+    /// Rendezvous time (both sides ready).
+    pub start: f64,
+    /// Delivery time.
+    pub end: f64,
+    /// Physical route length in links.
+    pub hops: usize,
+}
+
+/// A completed simulation's transfer log.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    records: Vec<TransferRecord>,
+}
+
+impl Trace {
+    pub(crate) fn new(mut records: Vec<TransferRecord>) -> Self {
+        records.sort_by(|a, b| {
+            a.start.total_cmp(&b.start).then(a.src.cmp(&b.src)).then(a.dst.cmp(&b.dst))
+        });
+        Trace { records }
+    }
+
+    /// All records, ordered by start time.
+    pub fn records(&self) -> &[TransferRecord] {
+        &self.records
+    }
+
+    /// Total number of point-to-point messages.
+    pub fn message_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> usize {
+        self.records.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Total byte·hops (a proxy for network load).
+    pub fn byte_hops(&self) -> usize {
+        self.records.iter().map(|r| r.bytes * r.hops).sum()
+    }
+
+    /// Groups records into synchronous "steps": transfers whose start
+    /// times coincide (within `tol`) form one step, ordered by time.
+    /// Matches the paper's step-by-step figures for lock-step
+    /// algorithms.
+    pub fn steps(&self, tol: f64) -> Vec<Vec<&TransferRecord>> {
+        let mut steps: Vec<(f64, Vec<&TransferRecord>)> = Vec::new();
+        for r in &self.records {
+            match steps.last_mut() {
+                Some((t, v)) if (r.start - *t).abs() <= tol => v.push(r),
+                _ => steps.push((r.start, vec![r])),
+            }
+        }
+        steps.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Renders a Fig.-1-style step diagram: one line per step listing the
+    /// simultaneous transfers.
+    pub fn render_steps(&self, tol: f64) -> String {
+        let mut out = String::new();
+        for (i, step) in self.steps(tol).iter().enumerate() {
+            let _ = write!(out, "step {:>2} @ t={:<12.6}", i + 1, step[0].start);
+            let moves: Vec<String> = step
+                .iter()
+                .map(|r| format!("{}→{} ({} B)", r.src, r.dst, r.bytes))
+                .collect();
+            let _ = writeln!(out, " {}", moves.join("  "));
+        }
+        out
+    }
+
+    /// Renders an ASCII Gantt chart: one row per node, time bucketed into
+    /// `width` columns; a cell shows `▒` when the node is sending,
+    /// `░` when receiving, `█` when doing both. Rows are limited to the
+    /// first `max_nodes` nodes.
+    pub fn render_gantt(&self, width: usize, max_nodes: usize) -> String {
+        assert!(width > 0, "gantt width must be positive");
+        let t_end = self.records.iter().map(|r| r.end).fold(0.0f64, f64::max);
+        if t_end <= 0.0 {
+            return String::from("(no transfers)\n");
+        }
+        let nodes = self
+            .records
+            .iter()
+            .map(|r| r.src.max(r.dst) + 1)
+            .max()
+            .unwrap_or(0)
+            .min(max_nodes);
+        let bucket = t_end / width as f64;
+        // 0 = idle, 1 = send, 2 = recv, 3 = both.
+        let mut grid = vec![vec![0u8; width]; nodes];
+        for r in &self.records {
+            let b0 = ((r.start / bucket) as usize).min(width - 1);
+            let b1 = ((r.end / bucket).ceil() as usize).clamp(b0 + 1, width);
+            for b in b0..b1 {
+                if r.src < nodes {
+                    grid[r.src][b] |= 1;
+                }
+                if r.dst < nodes {
+                    grid[r.dst][b] |= 2;
+                }
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "time 0 .. {t_end:.6} s ({width} buckets)");
+        for (node, row) in grid.iter().enumerate() {
+            let _ = write!(out, "node {node:>4} |");
+            for &cell in row {
+                out.push(match cell {
+                    0 => ' ',
+                    1 => '▒',
+                    2 => '░',
+                    _ => '█',
+                });
+            }
+            out.push_str("|\n");
+        }
+        out
+    }
+
+    /// Per-directed-pair message counts, descending — a quick hot-spot
+    /// summary for contention analysis.
+    pub fn busiest_pairs(&self, top: usize) -> Vec<((usize, usize), usize)> {
+        let mut counts: std::collections::HashMap<(usize, usize), usize> =
+            std::collections::HashMap::new();
+        for r in &self.records {
+            *counts.entry((r.src, r.dst)).or_default() += 1;
+        }
+        let mut v: Vec<_> = counts.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(top);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(src: usize, dst: usize, start: f64, bytes: usize) -> TransferRecord {
+        TransferRecord { src, dst, tag: 0, bytes, start, end: start + 1.0, hops: 1 }
+    }
+
+    #[test]
+    fn records_sorted_by_start() {
+        let t = Trace::new(vec![rec(0, 1, 2.0, 4), rec(1, 2, 1.0, 4)]);
+        assert_eq!(t.records()[0].start, 1.0);
+    }
+
+    #[test]
+    fn steps_group_simultaneous_transfers() {
+        let t = Trace::new(vec![
+            rec(0, 1, 0.0, 8),
+            rec(2, 3, 0.0, 8),
+            rec(0, 2, 5.0, 8),
+        ]);
+        let steps = t.steps(1e-9);
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].len(), 2);
+        assert_eq!(steps[1].len(), 1);
+    }
+
+    #[test]
+    fn aggregates() {
+        let t = Trace::new(vec![rec(0, 1, 0.0, 10), rec(1, 2, 1.0, 20)]);
+        assert_eq!(t.message_count(), 2);
+        assert_eq!(t.total_bytes(), 30);
+        assert_eq!(t.byte_hops(), 30);
+    }
+
+    #[test]
+    fn render_contains_moves() {
+        let t = Trace::new(vec![rec(3, 5, 0.0, 16)]);
+        let s = t.render_steps(1e-9);
+        assert!(s.contains("3→5 (16 B)"), "{s}");
+    }
+
+    #[test]
+    fn gantt_marks_send_and_recv() {
+        let t = Trace::new(vec![rec(0, 1, 0.0, 8)]);
+        let g = t.render_gantt(10, 8);
+        assert!(g.contains("node    0 |▒"), "{g}");
+        assert!(g.contains("node    1 |░"), "{g}");
+    }
+
+    #[test]
+    fn gantt_empty_trace() {
+        let t = Trace::new(vec![]);
+        assert_eq!(t.render_gantt(10, 4), "(no transfers)\n");
+    }
+
+    #[test]
+    fn gantt_both_directions_merge() {
+        // Node 1 sends and receives in the same window: █.
+        let t = Trace::new(vec![rec(0, 1, 0.0, 8), rec(1, 2, 0.0, 8)]);
+        let g = t.render_gantt(4, 8);
+        assert!(g.lines().any(|l| l.starts_with("node    1") && l.contains('█')), "{g}");
+    }
+
+    #[test]
+    fn busiest_pairs_ordering() {
+        let t = Trace::new(vec![
+            rec(0, 1, 0.0, 8),
+            rec(0, 1, 1.0, 8),
+            rec(2, 3, 0.0, 8),
+        ]);
+        let b = t.busiest_pairs(2);
+        assert_eq!(b[0], ((0, 1), 2));
+        assert_eq!(b[1], ((2, 3), 1));
+    }
+}

@@ -1,0 +1,152 @@
+//! §4's defining property, verified from actual traces: the building
+//! blocks "incur no network conflicts" — no two transfers that overlap
+//! in time share a directed link.
+
+use intercom::{Algo, Comm, Communicator, ReduceOp};
+use intercom_cost::MachineParams;
+use intercom_meshsim::{simulate, NetSpec, SimConfig, Trace};
+use intercom_topology::{Hypercube, Mesh2D};
+
+fn machine() -> MachineParams {
+    MachineParams { alpha: 5.0, beta: 1.0, gamma: 0.0, delta: 0.0, link_excess: 1.0 }
+}
+
+/// Asserts that no pair of time-overlapping transfers shares a directed
+/// link (start/end carry the transfer's full wire occupation in the
+/// wormhole model).
+fn assert_conflict_free(trace: &Trace, net: &NetSpec) {
+    let recs = trace.records();
+    let routes: Vec<Vec<u32>> = recs
+        .iter()
+        .map(|r| {
+            let mut slots = Vec::new();
+            net.route_slots(r.src, r.dst, 0, &mut slots);
+            slots
+        })
+        .collect();
+    for i in 0..recs.len() {
+        for j in i + 1..recs.len() {
+            let (a, b) = (&recs[i], &recs[j]);
+            // Strict interior overlap; shared endpoints (one starts as
+            // the other delivers) are sequential, not concurrent.
+            let overlap = a.start < b.end - 1e-12 && b.start < a.end - 1e-12;
+            if !overlap {
+                continue;
+            }
+            for s in &routes[i] {
+                assert!(
+                    !routes[j].contains(s),
+                    "transfers {}→{} and {}→{} overlap in time and share link slot {s}",
+                    a.src,
+                    a.dst,
+                    b.src,
+                    b.dst
+                );
+            }
+        }
+    }
+}
+
+fn traced<F>(cfg: SimConfig, f: F) -> (Trace, NetSpec)
+where
+    F: Fn(&intercom_meshsim::SimComm) + Send + Sync,
+{
+    let cfg = cfg.with_trace();
+    let rep = simulate(&cfg, f);
+    (rep.trace.unwrap(), cfg.net)
+}
+
+#[test]
+fn ring_collect_on_row_is_conflict_free() {
+    let mesh = Mesh2D::new(1, 9);
+    let m = machine();
+    let (trace, net) = traced(SimConfig::new(mesh, m), move |c| {
+        let cc = Communicator::world(c, m);
+        let mine = vec![c.rank() as u8; 18];
+        let mut all = vec![0u8; 18 * 9];
+        cc.allgather_with(&mine, &mut all, &Algo::Long).unwrap();
+    });
+    assert_conflict_free(&trace, &net);
+}
+
+#[test]
+fn mst_broadcast_on_row_is_conflict_free() {
+    let mesh = Mesh2D::new(1, 13);
+    let m = machine();
+    let (trace, net) = traced(SimConfig::new(mesh, m), move |c| {
+        let cc = Communicator::world(c, m);
+        let mut buf = vec![0u8; 64];
+        cc.bcast_with(0, &mut buf, &Algo::Short).unwrap();
+    });
+    assert_conflict_free(&trace, &net);
+}
+
+#[test]
+fn ring_reduce_scatter_on_gray_cube_is_conflict_free() {
+    let cube = Hypercube::new(4);
+    let m = machine();
+    let (trace, net) = traced(SimConfig::hypercube(cube, m), move |c| {
+        let cc = Communicator::world_on_hypercube(c, m, cube).unwrap();
+        let contrib = vec![1i64; 64];
+        let mut mine = vec![0i64; 4];
+        cc.reduce_scatter_with(&contrib, &mut mine, ReduceOp::Sum, &Algo::Long).unwrap();
+    });
+    assert_conflict_free(&trace, &net);
+}
+
+#[test]
+fn mesh_staged_collect_rows_then_columns_is_conflict_free() {
+    // The §7.1 whole-mesh staging: [cols, rows] strategy — every stage
+    // within dedicated physical rows/columns.
+    let mesh = Mesh2D::new(3, 4);
+    let m = machine();
+    let strategy = intercom_cost::Strategy::on_mesh(
+        vec![4, 3],
+        intercom_cost::StrategyKind::ScatterCollect,
+        1,
+    );
+    let (trace, net) = traced(SimConfig::new(mesh, m), move |c| {
+        let cc = Communicator::world_on_mesh(c, m, mesh).unwrap();
+        let mine = vec![c.rank() as u8; 12];
+        let mut all = vec![0u8; 12 * 12];
+        cc.allgather_with(&mine, &mut all, &Algo::Hybrid(strategy.clone())).unwrap();
+    });
+    assert_conflict_free(&trace, &net);
+}
+
+#[test]
+fn interleaved_linear_hybrid_does_conflict() {
+    // Control: the §6 linear-array hybrid with interleaved groups *must*
+    // show link sharing (that's what the bold conflict factors price).
+    // Verify our checker would catch it — i.e., this configuration has
+    // at least one overlapping pair sharing a link.
+    let mesh = Mesh2D::new(1, 12);
+    let m = machine();
+    let strategy =
+        intercom_cost::Strategy::new(vec![2, 6], intercom_cost::StrategyKind::ScatterCollect);
+    let cfg = SimConfig::new(mesh, m).with_trace();
+    let rep = simulate(&cfg, move |c| {
+        let cc = Communicator::world(c, m);
+        let mut buf = vec![0u8; 1200];
+        cc.bcast_with(0, &mut buf, &Algo::Hybrid(strategy.clone())).unwrap();
+    });
+    let trace = rep.trace.unwrap();
+    let recs = trace.records();
+    let mut found_conflict = false;
+    'outer: for i in 0..recs.len() {
+        for j in i + 1..recs.len() {
+            let (a, b) = (&recs[i], &recs[j]);
+            if a.start < b.end - 1e-12 && b.start < a.end - 1e-12 {
+                let mut sa = Vec::new();
+                cfg.net.route_slots(a.src, a.dst, 0, &mut sa);
+                let mut sb = Vec::new();
+                cfg.net.route_slots(b.src, b.dst, 0, &mut sb);
+                if sa.iter().any(|s| sb.contains(s)) {
+                    found_conflict = true;
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert!(found_conflict, "expected interleaved stage-2 collects to share links");
+}

@@ -1,0 +1,76 @@
+//! The spanning tree NX-style collectives walk: plain recursive halving
+//! (the same shape InterCom's MST primitives use, but exposed without
+//! block ranges or overhead accounting — NX moved full vectors at every
+//! level).
+
+/// One level of the halving walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Level {
+    /// Root of the current range.
+    pub root: usize,
+    /// Its counterpart in the other half.
+    pub other: usize,
+}
+
+/// Walks the recursive halving of `[0, p)` down to the singleton `{me}`,
+/// with `root` the initial range root, returning the transfer of each
+/// level.
+pub fn spanning_levels(me: usize, p: usize, mut root: usize) -> Vec<Level> {
+    assert!(me < p && root < p, "me/root out of range");
+    let mut lo = 0;
+    let mut hi = p;
+    let mut out = Vec::new();
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo).div_ceil(2);
+        let other = if root < mid { mid } else { mid - 1 };
+        out.push(Level { root, other });
+        if me < mid {
+            hi = mid;
+            root = if root < mid { root } else { mid - 1 };
+        } else {
+            lo = mid;
+            root = if root < mid { mid } else { root };
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_is_log() {
+        for p in 1..64 {
+            let depth = (p as f64).log2().ceil() as usize;
+            for me in 0..p {
+                assert!(spanning_levels(me, p, 0).len() <= depth, "p={p} me={me}");
+            }
+        }
+    }
+
+    #[test]
+    fn reaches_every_rank() {
+        // Union of receive events over all ranks covers everyone but root.
+        for p in 2..20 {
+            for root in 0..p {
+                let mut reached = vec![false; p];
+                reached[root] = true;
+                for me in 0..p {
+                    for lvl in spanning_levels(me, p, root) {
+                        if me == lvl.other {
+                            reached[me] = true;
+                        }
+                    }
+                }
+                assert!(reached.iter().all(|&r| r), "p={p} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_args_panic() {
+        spanning_levels(5, 4, 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Backend self-calibration — automating the paper's §11 porting recipe.
+//!
+//! "To port the library between platforms or tune it for new operating
+//! system releases, it suffices to enter a few parameters that describe
+//! the latency, bandwidth and computation characteristics of the
+//! system." This module *measures* those parameters on the threaded
+//! backend with classic ping-pong and streaming kernels, producing a
+//! [`MachineParams`] that makes the cost-model selector reflect the host
+//! it actually runs on rather than a 1994 Paragon.
+
+use crate::endpoint::ThreadComm;
+use crate::world::run_world;
+use intercom::Comm;
+use intercom_cost::MachineParams;
+use std::time::Instant;
+
+/// Measured point-to-point characteristics of the threaded backend.
+#[derive(Debug, Clone, Copy)]
+pub struct Calibration {
+    /// Measured per-message latency (α), seconds.
+    pub alpha: f64,
+    /// Measured per-byte time (β), seconds/byte.
+    pub beta: f64,
+    /// Measured per-byte combine time (γ) for `f64` summation.
+    pub gamma: f64,
+}
+
+impl Calibration {
+    /// Converts to [`MachineParams`] (δ negligible on a native backend;
+    /// channels have no shared physical links, so `link_excess` is left
+    /// high enough to disable conflict modeling).
+    pub fn machine(&self) -> MachineParams {
+        MachineParams {
+            alpha: self.alpha,
+            beta: self.beta,
+            gamma: self.gamma,
+            delta: 0.0,
+            link_excess: 1e9,
+        }
+    }
+}
+
+fn pingpong(a: &ThreadComm, peer: usize, bytes: usize, iters: usize) -> f64 {
+    let payload = vec![0u8; bytes];
+    let mut buf = vec![0u8; bytes];
+    let start = Instant::now();
+    for i in 0..iters {
+        let tag = i as u64;
+        if a.rank() == 0 {
+            a.send(peer, tag, &payload).unwrap();
+            a.recv(peer, tag, &mut buf).unwrap();
+        } else {
+            a.recv(0, tag, &mut buf).unwrap();
+            a.send(0, tag, &payload).unwrap();
+        }
+    }
+    // One-way time per message.
+    start.elapsed().as_secs_f64() / (2.0 * iters as f64)
+}
+
+/// Measures α (small-message ping-pong), β (large-message slope) and γ
+/// (local `f64` summation throughput) on this host. Takes a fraction of
+/// a second; results are indicative, not statistically rigorous —
+/// exactly the "few parameters" the paper's port needs.
+pub fn calibrate() -> Calibration {
+    const SMALL: usize = 8;
+    const BIG: usize = 1 << 20;
+    const ITERS: usize = 64;
+    let times = run_world(2, |c| {
+        let t_small = pingpong(c, 1 - c.rank(), SMALL, ITERS);
+        let t_big = pingpong(c, 1 - c.rank(), BIG, 8);
+        (t_small, t_big)
+    });
+    let (t_small, t_big) = times[0];
+    let alpha = t_small.max(1e-9);
+    let beta = ((t_big - t_small) / (BIG - SMALL) as f64).max(1e-12);
+
+    // γ: stream-sum two large f64 buffers.
+    let n = 1 << 20;
+    let a = vec![1.0f64; n];
+    let mut b = vec![2.0f64; n];
+    let start = Instant::now();
+    for (x, &y) in b.iter_mut().zip(&a) {
+        *x += y;
+    }
+    std::hint::black_box(&b);
+    let gamma = (start.elapsed().as_secs_f64() / (n * 8) as f64).max(1e-13);
+
+    Calibration { alpha, beta, gamma }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_produces_plausible_parameters() {
+        let c = calibrate();
+        // Latency: sub-second, super-nanosecond (channel + wakeup).
+        assert!(c.alpha > 1e-9 && c.alpha < 0.1, "alpha {}", c.alpha);
+        // Bandwidth: between 1 MB/s and 1 TB/s.
+        let bw = 1.0 / c.beta;
+        assert!(bw > 1e6 && bw < 1e12, "bw {bw}");
+        // Combine: faster than 1 s/MB.
+        assert!(c.gamma < 1e-6, "gamma {}", c.gamma);
+        let m = c.machine();
+        assert_eq!(m.delta, 0.0);
+    }
+
+    #[test]
+    fn calibrated_machine_drives_selection() {
+        // The calibrated parameters must be usable by the selector
+        // end-to-end.
+        let m = calibrate().machine();
+        let s = intercom_cost::best_strategy(
+            intercom_cost::CollectiveOp::Broadcast,
+            8,
+            1 << 16,
+            &m,
+            intercom_cost::CostContext::LINEAR,
+        );
+        assert_eq!(s.nodes(), 8);
+    }
+}

@@ -1,0 +1,251 @@
+//! The per-rank endpoint: channels out to every peer, one inbox, and a
+//! stash for out-of-order arrivals.
+
+use crossbeam_channel::{Receiver, Sender};
+use intercom::{Comm, CommError, Result, Tag};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+
+/// One message in flight.
+pub(crate) struct Msg {
+    pub src: usize,
+    pub tag: Tag,
+    pub data: Vec<u8>,
+}
+
+/// Reserved tag announcing a rank's departure (sent on endpoint drop —
+/// normal completion or panic unwind). Receivers waiting on a departed
+/// rank observe [`CommError::Disconnected`] instead of hanging; because
+/// channels are FIFO, all real traffic a rank sent before dying is still
+/// delivered first.
+const FAREWELL_TAG: Tag = Tag::MAX;
+
+/// A rank's communication endpoint in a threaded world.
+///
+/// Matching semantics: receives match the oldest buffered or incoming
+/// message with the requested `(source, tag)`; messages for other
+/// `(source, tag)` pairs are stashed in arrival order, preserving the
+/// per-`(source, tag)` FIFO ordering the [`Comm`] contract requires.
+///
+/// Sends are eager (buffered, non-blocking): the data is copied into the
+/// channel immediately, so a `sendrecv` can be implemented as
+/// send-then-receive without deadlock — the §2 machine's "send and
+/// receive at the same time".
+pub struct ThreadComm {
+    rank: usize,
+    senders: Vec<Sender<Msg>>,
+    inbox: Receiver<Msg>,
+    stash: RefCell<HashMap<(usize, Tag), VecDeque<Vec<u8>>>>,
+    departed: RefCell<std::collections::HashSet<usize>>,
+}
+
+impl ThreadComm {
+    pub(crate) fn new(rank: usize, senders: Vec<Sender<Msg>>, inbox: Receiver<Msg>) -> Self {
+        ThreadComm {
+            rank,
+            senders,
+            inbox,
+            stash: RefCell::new(HashMap::new()),
+            departed: RefCell::new(std::collections::HashSet::new()),
+        }
+    }
+
+    fn check_peer(&self, peer: usize) -> Result<()> {
+        if peer < self.senders.len() {
+            Ok(())
+        } else {
+            Err(CommError::InvalidRank { rank: peer, size: self.senders.len() })
+        }
+    }
+
+    /// Pulls the next message matching `(from, tag)`, consulting the
+    /// stash first and stashing any interleaved traffic. Observing the
+    /// peer's farewell (its endpoint dropped with no matching message
+    /// queued) yields [`CommError::Disconnected`] instead of blocking
+    /// forever.
+    fn take_matching(&self, from: usize, tag: Tag) -> Result<Vec<u8>> {
+        if let Some(q) = self.stash.borrow_mut().get_mut(&(from, tag)) {
+            if let Some(data) = q.pop_front() {
+                return Ok(data);
+            }
+        }
+        if self.departed.borrow().contains(&from) {
+            return Err(CommError::Disconnected);
+        }
+        loop {
+            let msg = self.inbox.recv().map_err(|_| CommError::Disconnected)?;
+            if msg.tag == FAREWELL_TAG {
+                self.departed.borrow_mut().insert(msg.src);
+                if msg.src == from {
+                    return Err(CommError::Disconnected);
+                }
+                continue;
+            }
+            if msg.src == from && msg.tag == tag {
+                return Ok(msg.data);
+            }
+            self.stash
+                .borrow_mut()
+                .entry((msg.src, msg.tag))
+                .or_default()
+                .push_back(msg.data);
+        }
+    }
+
+    fn fill(buf: &mut [u8], data: Vec<u8>) -> Result<()> {
+        if data.len() != buf.len() {
+            return Err(CommError::LengthMismatch { expected: buf.len(), actual: data.len() });
+        }
+        buf.copy_from_slice(&data);
+        Ok(())
+    }
+}
+
+impl Drop for ThreadComm {
+    fn drop(&mut self) {
+        // Announce departure so peers blocked on this rank fail fast
+        // (normal completion after all traffic, or a panic unwind).
+        for (peer, s) in self.senders.iter().enumerate() {
+            if peer != self.rank {
+                let _ = s.send(Msg { src: self.rank, tag: FAREWELL_TAG, data: Vec::new() });
+            }
+        }
+    }
+}
+
+impl Comm for ThreadComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn send(&self, to: usize, tag: Tag, data: &[u8]) -> Result<()> {
+        debug_assert_ne!(tag, FAREWELL_TAG, "Tag::MAX is reserved");
+        self.check_peer(to)?;
+        self.senders[to]
+            .send(Msg { src: self.rank, tag, data: data.to_vec() })
+            .map_err(|_| CommError::Disconnected)
+    }
+
+    fn recv(&self, from: usize, tag: Tag, buf: &mut [u8]) -> Result<()> {
+        self.check_peer(from)?;
+        let data = self.take_matching(from, tag)?;
+        Self::fill(buf, data)
+    }
+
+    fn sendrecv(
+        &self,
+        to: usize,
+        data: &[u8],
+        from: usize,
+        buf: &mut [u8],
+        tag: Tag,
+    ) -> Result<()> {
+        self.send(to, tag, data)?;
+        self.recv(from, tag, buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam_channel::unbounded;
+
+    fn pair() -> (ThreadComm, ThreadComm) {
+        let (s0, r0) = unbounded();
+        let (s1, r1) = unbounded();
+        let a = ThreadComm::new(0, vec![s0.clone(), s1.clone()], r0);
+        let b = ThreadComm::new(1, vec![s0, s1], r1);
+        (a, b)
+    }
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (a, b) = pair();
+        a.send(1, 7, &[1, 2, 3]).unwrap();
+        let mut buf = [0u8; 3];
+        b.recv(0, 7, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_stashed() {
+        let (a, b) = pair();
+        a.send(1, 1, &[10]).unwrap();
+        a.send(1, 2, &[20]).unwrap();
+        let mut buf = [0u8; 1];
+        b.recv(0, 2, &mut buf).unwrap();
+        assert_eq!(buf, [20]);
+        b.recv(0, 1, &mut buf).unwrap();
+        assert_eq!(buf, [10]);
+    }
+
+    #[test]
+    fn fifo_within_same_tag() {
+        let (a, b) = pair();
+        a.send(1, 5, &[1]).unwrap();
+        a.send(1, 5, &[2]).unwrap();
+        let mut buf = [0u8; 1];
+        b.recv(0, 5, &mut buf).unwrap();
+        assert_eq!(buf, [1]);
+        b.recv(0, 5, &mut buf).unwrap();
+        assert_eq!(buf, [2]);
+    }
+
+    #[test]
+    fn length_mismatch_is_error() {
+        let (a, b) = pair();
+        a.send(1, 0, &[1, 2]).unwrap();
+        let mut buf = [0u8; 3];
+        assert!(matches!(
+            b.recv(0, 0, &mut buf),
+            Err(CommError::LengthMismatch { expected: 3, actual: 2 })
+        ));
+    }
+
+    #[test]
+    fn self_send_works() {
+        let (a, _b) = pair();
+        a.send(0, 3, &[9]).unwrap();
+        let mut buf = [0u8; 1];
+        a.recv(0, 3, &mut buf).unwrap();
+        assert_eq!(buf, [9]);
+    }
+
+    #[test]
+    fn invalid_peer_rejected() {
+        let (a, _b) = pair();
+        assert!(matches!(
+            a.send(5, 0, &[]),
+            Err(CommError::InvalidRank { rank: 5, size: 2 })
+        ));
+    }
+
+    #[test]
+    fn disconnected_world_detected() {
+        // Build an endpoint whose inbox has no remaining senders: any
+        // receive must report Disconnected rather than hang.
+        let (_s, r) = unbounded::<Msg>();
+        let (s_other, _r_other) = unbounded::<Msg>();
+        let lonely = ThreadComm::new(0, vec![s_other], r);
+        drop(_s);
+        let mut buf = [0u8; 1];
+        assert_eq!(lonely.recv(0, 0, &mut buf), Err(CommError::Disconnected));
+    }
+
+    #[test]
+    fn sendrecv_exchanges_both_ways() {
+        let (a, b) = pair();
+        // Pre-load b's message so a's sendrecv completes immediately.
+        b.send(0, 4, &[7, 7]).unwrap();
+        let mut abuf = [0u8; 2];
+        a.sendrecv(1, &[1, 2], 1, &mut abuf, 4).unwrap();
+        assert_eq!(abuf, [7, 7]);
+        let mut bbuf = [0u8; 2];
+        b.recv(0, 4, &mut bbuf).unwrap();
+        assert_eq!(bbuf, [1, 2]);
+    }
+}

@@ -1,0 +1,35 @@
+//! # intercom-runtime — threaded message-passing backend
+//!
+//! A real (non-simulated) backend for the InterCom library: every rank is
+//! an OS thread, point-to-point messages travel over lock-free channels,
+//! and matching is FIFO per `(source, tag)` exactly as the [`Comm`]
+//! contract requires. This is the backend a downstream user runs
+//! collectives on within one shared-memory node; the sibling
+//! `intercom-meshsim` crate provides the Paragon-timing simulation
+//! backend.
+//!
+//! ```
+//! use intercom_runtime::run_world;
+//! use intercom::{Comm, Communicator, ReduceOp};
+//! use intercom_cost::MachineParams;
+//!
+//! let sums = run_world(4, |comm| {
+//!     let cc = Communicator::world(comm, MachineParams::PARAGON);
+//!     let mut v = vec![(comm.rank() + 1) as f64; 8];
+//!     cc.allreduce(&mut v, ReduceOp::Sum).unwrap();
+//!     v[0]
+//! });
+//! assert!(sums.iter().all(|&s| s == 10.0));
+//! ```
+
+pub mod calibrate;
+pub mod endpoint;
+pub mod world;
+
+pub use calibrate::{calibrate, Calibration};
+pub use endpoint::ThreadComm;
+pub use world::run_world;
+
+// Re-exported so downstream tests can name the trait without an extra
+// dependency edge.
+pub use intercom::Comm;

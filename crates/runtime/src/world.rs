@@ -1,0 +1,129 @@
+//! World construction: one thread per rank, fully-connected channels.
+
+use crate::endpoint::{Msg, ThreadComm};
+use crossbeam_channel::unbounded;
+
+/// Runs `f` on `p` ranks, each on its own OS thread with a connected
+/// [`ThreadComm`] endpoint, and returns the per-rank results in rank
+/// order. Panics (propagating the first rank panic) if any rank panics.
+///
+/// The closure is shared by reference across threads, so it must be
+/// `Sync`; per-rank state belongs inside the closure body.
+pub fn run_world<T, F>(p: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&ThreadComm) -> T + Send + Sync,
+{
+    assert!(p > 0, "world must have at least one rank");
+    let mut senders = Vec::with_capacity(p);
+    let mut inboxes = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (s, r) = unbounded::<Msg>();
+        senders.push(s);
+        inboxes.push(r);
+    }
+    let f = &f;
+    let senders = &senders;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (rank, inbox) in inboxes.into_iter().enumerate() {
+            let builder = std::thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .stack_size(2 * 1024 * 1024);
+            let handle = builder
+                .spawn_scoped(scope, move || {
+                    let comm = ThreadComm::new(rank, senders.clone(), inbox);
+                    f(&comm)
+                })
+                .expect("failed to spawn rank thread");
+            handles.push(handle);
+        }
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| match h.join() {
+                Ok(v) => v,
+                Err(e) => {
+                    let msg = e
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| e.downcast_ref::<&str>().copied())
+                        .unwrap_or("<non-string panic>");
+                    panic!("rank {rank} panicked: {msg}");
+                }
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intercom::Comm;
+
+    #[test]
+    fn ranks_are_distinct_and_sized() {
+        let out = run_world(5, |c| (c.rank(), c.size()));
+        for (i, &(r, s)) in out.iter().enumerate() {
+            assert_eq!(r, i);
+            assert_eq!(s, 5);
+        }
+    }
+
+    #[test]
+    fn ring_pass() {
+        // Each rank forwards a token around the ring; rank 0 injects.
+        let out = run_world(6, |c| {
+            let p = c.size();
+            let me = c.rank();
+            let right = (me + 1) % p;
+            let left = (me + p - 1) % p;
+            let mut token = [0u8];
+            if me == 0 {
+                c.send(right, 1, &[42]).unwrap();
+                c.recv(left, 1, &mut token).unwrap();
+            } else {
+                c.recv(left, 1, &mut token).unwrap();
+                c.send(right, 1, &token).unwrap();
+            }
+            token[0]
+        });
+        assert!(out.iter().all(|&t| t == 42));
+    }
+
+    #[test]
+    fn simultaneous_exchange_via_sendrecv() {
+        let out = run_world(4, |c| {
+            let p = c.size();
+            let me = c.rank();
+            let right = (me + 1) % p;
+            let left = (me + p - 1) % p;
+            let mut got = [0u8];
+            c.sendrecv(right, &[me as u8], left, &mut got, 9).unwrap();
+            got[0] as usize
+        });
+        assert_eq!(out, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 panicked")]
+    fn rank_panic_propagates() {
+        run_world(3, |c| {
+            if c.rank() == 2 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_world_rejected() {
+        run_world(0, |_| ());
+    }
+
+    #[test]
+    fn world_of_one() {
+        let out = run_world(1, |c| c.size());
+        assert_eq!(out, vec![1]);
+    }
+}

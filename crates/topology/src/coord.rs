@@ -1,0 +1,59 @@
+//! Row/column coordinates on a 2-D mesh.
+
+use std::fmt;
+
+/// A `(row, col)` position on a 2-D mesh.
+///
+/// Rows grow downward, columns grow rightward; the node with id 0 sits at
+/// `(0, 0)` and ids are assigned in row-major order (the Paragon
+/// convention used throughout the paper's examples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Coord {
+    /// Row index, `0..rows`.
+    pub row: usize,
+    /// Column index, `0..cols`.
+    pub col: usize,
+}
+
+impl Coord {
+    /// Creates a coordinate.
+    pub const fn new(row: usize, col: usize) -> Self {
+        Coord { row, col }
+    }
+
+    /// Manhattan (L1) distance to `other`: the number of mesh hops an XY
+    /// route between the two nodes traverses.
+    pub fn manhattan(&self, other: &Coord) -> usize {
+        self.row.abs_diff(other.row) + self.col.abs_diff(other.col)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.row, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_symmetric() {
+        let a = Coord::new(2, 5);
+        let b = Coord::new(7, 1);
+        assert_eq!(a.manhattan(&b), 9);
+        assert_eq!(b.manhattan(&a), 9);
+    }
+
+    #[test]
+    fn manhattan_zero_for_same() {
+        let a = Coord::new(3, 3);
+        assert_eq!(a.manhattan(&a), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Coord::new(1, 2).to_string(), "(1,2)");
+    }
+}

@@ -1,0 +1,251 @@
+//! The physical machine: a `rows × cols` mesh with bidirectional links.
+
+use crate::coord::Coord;
+use std::fmt;
+
+/// A physical node id, assigned row-major: `id = row * cols + col`.
+pub type NodeId = usize;
+
+/// One of the four mesh directions a directed link can point in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Toward larger column indices.
+    East,
+    /// Toward smaller column indices.
+    West,
+    /// Toward larger row indices.
+    South,
+    /// Toward smaller row indices.
+    North,
+}
+
+impl Direction {
+    /// All four directions, in a fixed enumeration order.
+    pub const ALL: [Direction; 4] = [
+        Direction::East,
+        Direction::West,
+        Direction::South,
+        Direction::North,
+    ];
+
+    /// Dense index of this direction, `0..4`, matching [`Direction::ALL`].
+    pub fn index(&self) -> usize {
+        match self {
+            Direction::East => 0,
+            Direction::West => 1,
+            Direction::South => 2,
+            Direction::North => 3,
+        }
+    }
+}
+
+/// A *directed* physical link, identified by the node it leaves and the
+/// direction it points. Bidirectional mesh links are modeled as two
+/// independent directed links (each full-duplex direction has its own
+/// bandwidth, matching the paper's machine model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId {
+    /// Node the link departs from.
+    pub from: NodeId,
+    /// Direction of travel.
+    pub dir: Direction,
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = match self.dir {
+            Direction::East => "E",
+            Direction::West => "W",
+            Direction::South => "S",
+            Direction::North => "N",
+        };
+        write!(f, "{}→{}", self.from, d)
+    }
+}
+
+/// A two-dimensional mesh of `rows × cols` processing nodes with
+/// bidirectional nearest-neighbour links (the paper's target machine, §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh2D {
+    rows: usize,
+    cols: usize,
+}
+
+impl Mesh2D {
+    /// Creates a mesh. Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "mesh dimensions must be positive");
+        Mesh2D { rows, cols }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of nodes, `rows × cols`.
+    pub fn nodes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Coordinate of a node id (row-major). Panics if out of range.
+    pub fn coord(&self, id: NodeId) -> Coord {
+        assert!(id < self.nodes(), "node id {id} out of range");
+        Coord::new(id / self.cols, id % self.cols)
+    }
+
+    /// Node id at a coordinate (row-major). Panics if out of range.
+    pub fn id(&self, c: Coord) -> NodeId {
+        assert!(
+            c.row < self.rows && c.col < self.cols,
+            "coordinate {c} out of range for {}x{} mesh",
+            self.rows,
+            self.cols
+        );
+        c.row * self.cols + c.col
+    }
+
+    /// Whether `id` is a valid node id on this mesh.
+    pub fn contains(&self, id: NodeId) -> bool {
+        id < self.nodes()
+    }
+
+    /// The neighbour of `id` in direction `dir`, if one exists (mesh, not
+    /// torus: edge nodes have no neighbour off the edge).
+    pub fn neighbor(&self, id: NodeId, dir: Direction) -> Option<NodeId> {
+        let c = self.coord(id);
+        let n = match dir {
+            Direction::East if c.col + 1 < self.cols => Coord::new(c.row, c.col + 1),
+            Direction::West if c.col > 0 => Coord::new(c.row, c.col - 1),
+            Direction::South if c.row + 1 < self.rows => Coord::new(c.row + 1, c.col),
+            Direction::North if c.row > 0 => Coord::new(c.row - 1, c.col),
+            _ => return None,
+        };
+        Some(self.id(n))
+    }
+
+    /// Every directed link in the mesh. A `rows × cols` mesh has
+    /// `2·(rows·(cols−1) + cols·(rows−1))` directed links.
+    pub fn links(&self) -> Vec<LinkId> {
+        let mut out = Vec::new();
+        for id in 0..self.nodes() {
+            for dir in Direction::ALL {
+                if self.neighbor(id, dir).is_some() {
+                    out.push(LinkId { from: id, dir });
+                }
+            }
+        }
+        out
+    }
+
+    /// The node ids of physical row `r`, west to east.
+    pub fn row_nodes(&self, r: usize) -> Vec<NodeId> {
+        assert!(r < self.rows, "row {r} out of range");
+        (0..self.cols).map(|c| self.id(Coord::new(r, c))).collect()
+    }
+
+    /// The node ids of physical column `c`, north to south.
+    pub fn col_nodes(&self, c: usize) -> Vec<NodeId> {
+        assert!(c < self.cols, "column {c} out of range");
+        (0..self.rows).map(|r| self.id(Coord::new(r, c))).collect()
+    }
+
+    /// All node ids in row-major order — the canonical linear-array view of
+    /// the whole machine.
+    pub fn all_nodes(&self) -> Vec<NodeId> {
+        (0..self.nodes()).collect()
+    }
+
+    /// Dense slot of a directed link: `from · 4 + direction index`. Edge
+    /// slots for non-existent boundary links are simply never referenced;
+    /// the slot space has size [`Mesh2D::link_slots`].
+    pub fn link_slot(&self, l: LinkId) -> usize {
+        l.from * 4 + l.dir.index()
+    }
+
+    /// Size of the dense directed-link slot space, `4 · nodes`.
+    pub fn link_slots(&self) -> usize {
+        4 * self.nodes()
+    }
+}
+
+impl fmt::Display for Mesh2D {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} mesh", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_coord_roundtrip() {
+        let m = Mesh2D::new(15, 30);
+        for id in 0..m.nodes() {
+            assert_eq!(m.id(m.coord(id)), id);
+        }
+    }
+
+    #[test]
+    fn neighbors_interior() {
+        let m = Mesh2D::new(4, 5);
+        let c = m.id(Coord::new(2, 2));
+        assert_eq!(m.neighbor(c, Direction::East), Some(m.id(Coord::new(2, 3))));
+        assert_eq!(m.neighbor(c, Direction::West), Some(m.id(Coord::new(2, 1))));
+        assert_eq!(m.neighbor(c, Direction::South), Some(m.id(Coord::new(3, 2))));
+        assert_eq!(m.neighbor(c, Direction::North), Some(m.id(Coord::new(1, 2))));
+    }
+
+    #[test]
+    fn neighbors_corner() {
+        let m = Mesh2D::new(3, 3);
+        assert_eq!(m.neighbor(0, Direction::West), None);
+        assert_eq!(m.neighbor(0, Direction::North), None);
+        assert_eq!(m.neighbor(8, Direction::East), None);
+        assert_eq!(m.neighbor(8, Direction::South), None);
+    }
+
+    #[test]
+    fn link_count_formula() {
+        for (r, c) in [(1, 1), (1, 8), (4, 4), (15, 30), (16, 32)] {
+            let m = Mesh2D::new(r, c);
+            let expect = 2 * (r * (c - 1) + c * (r - 1));
+            assert_eq!(m.links().len(), expect, "{r}x{c}");
+        }
+    }
+
+    #[test]
+    fn rows_and_cols_slices() {
+        let m = Mesh2D::new(3, 4);
+        assert_eq!(m.row_nodes(1), vec![4, 5, 6, 7]);
+        assert_eq!(m.col_nodes(2), vec![2, 6, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_id_panics() {
+        Mesh2D::new(2, 2).coord(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_panics() {
+        Mesh2D::new(0, 3);
+    }
+
+    #[test]
+    fn single_node_mesh() {
+        let m = Mesh2D::new(1, 1);
+        assert_eq!(m.nodes(), 1);
+        assert!(m.links().is_empty());
+        for dir in Direction::ALL {
+            assert_eq!(m.neighbor(0, dir), None);
+        }
+    }
+}

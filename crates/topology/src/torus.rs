@@ -1,0 +1,189 @@
+//! 2-D torus (wraparound mesh) — the related-work topology of the
+//! paper's reference [6] (Bermond, Michallon, Trystram, "Broadcasting in
+//! Wraparound Meshes with Parallel Monodirectional Links").
+//!
+//! A torus adds wraparound links to the mesh, making every row and
+//! column a *physical* ring: the bucket primitives' wrap message becomes
+//! a single hop instead of a `c−1`-hop backhaul, and XY routing can take
+//! the shorter way around each dimension. The simulator supports it as a
+//! third [`NetSpec`](../../intercom_meshsim/net/enum.NetSpec.html)
+//! variant, enabling mesh-vs-torus ablations.
+
+use crate::coord::Coord;
+use crate::mesh::{Direction, LinkId, NodeId};
+use std::fmt;
+
+/// A `rows × cols` torus: mesh plus wraparound links in both dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Torus2D {
+    rows: usize,
+    cols: usize,
+}
+
+impl Torus2D {
+    /// Creates a torus. Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "torus dimensions must be positive");
+        Torus2D { rows, cols }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total nodes.
+    pub fn nodes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Coordinate of a node id (row-major).
+    pub fn coord(&self, id: NodeId) -> Coord {
+        assert!(id < self.nodes(), "node id {id} out of range");
+        Coord::new(id / self.cols, id % self.cols)
+    }
+
+    /// Node id at a coordinate.
+    pub fn id(&self, c: Coord) -> NodeId {
+        assert!(c.row < self.rows && c.col < self.cols, "coordinate out of range");
+        c.row * self.cols + c.col
+    }
+
+    /// The neighbour in `dir`, wrapping around the edges.
+    pub fn neighbor(&self, id: NodeId, dir: Direction) -> NodeId {
+        let c = self.coord(id);
+        let n = match dir {
+            Direction::East => Coord::new(c.row, (c.col + 1) % self.cols),
+            Direction::West => Coord::new(c.row, (c.col + self.cols - 1) % self.cols),
+            Direction::South => Coord::new((c.row + 1) % self.rows, c.col),
+            Direction::North => Coord::new((c.row + self.rows - 1) % self.rows, c.col),
+        };
+        self.id(n)
+    }
+
+    /// Dense slot of a directed link: `from · 4 + direction index`.
+    pub fn link_slot(&self, l: LinkId) -> usize {
+        l.from * 4 + l.dir.index()
+    }
+
+    /// Size of the dense directed-link slot space, `4 · nodes` (every
+    /// slot is a real link on a torus, unlike the mesh's boundary gaps —
+    /// except in degenerate 1-wide dimensions where East/West coincide).
+    pub fn link_slots(&self) -> usize {
+        4 * self.nodes()
+    }
+
+    /// Shortest-way dimension-ordered route: columns first (choosing the
+    /// shorter wrap direction), then rows.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+        let a = self.coord(src);
+        let b = self.coord(dst);
+        let mut out = Vec::new();
+        let mut cur = src;
+        // Column leg: shorter of east/west.
+        let fwd = (b.col + self.cols - a.col) % self.cols;
+        let (steps, dir) = if fwd <= self.cols - fwd {
+            (fwd, Direction::East)
+        } else {
+            (self.cols - fwd, Direction::West)
+        };
+        for _ in 0..steps {
+            out.push(LinkId { from: cur, dir });
+            cur = self.neighbor(cur, dir);
+        }
+        // Row leg: shorter of south/north.
+        let fwd = (b.row + self.rows - a.row) % self.rows;
+        let (steps, dir) = if fwd <= self.rows - fwd {
+            (fwd, Direction::South)
+        } else {
+            (self.rows - fwd, Direction::North)
+        };
+        for _ in 0..steps {
+            out.push(LinkId { from: cur, dir });
+            cur = self.neighbor(cur, dir);
+        }
+        debug_assert_eq!(cur, dst);
+        out
+    }
+}
+
+impl fmt::Display for Torus2D {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} torus", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraparound_neighbors() {
+        let t = Torus2D::new(3, 4);
+        assert_eq!(t.neighbor(3, Direction::East), 0); // row 0 wraps
+        assert_eq!(t.neighbor(0, Direction::West), 3);
+        assert_eq!(t.neighbor(0, Direction::North), 8); // col 0 wraps
+        assert_eq!(t.neighbor(8, Direction::South), 0);
+    }
+
+    #[test]
+    fn route_takes_shorter_way_around() {
+        let t = Torus2D::new(1, 8);
+        // 0 → 6: forward 6 hops, backward 2 → west twice.
+        let r = t.route(0, 6);
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|l| l.dir == Direction::West));
+        // 0 → 3: forward 3 is shorter.
+        assert_eq!(t.route(0, 3).len(), 3);
+    }
+
+    #[test]
+    fn route_reaches_destination_everywhere() {
+        let t = Torus2D::new(4, 5);
+        for s in 0..t.nodes() {
+            for d in 0..t.nodes() {
+                let r = t.route(s, d);
+                let mut cur = s;
+                for l in &r {
+                    assert_eq!(l.from, cur);
+                    cur = t.neighbor(cur, l.dir);
+                }
+                assert_eq!(cur, d);
+                // Never longer than half the torus in each dimension.
+                assert!(r.len() <= 5 / 2 + 4 / 2 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_shift_is_single_hop_everywhere() {
+        // On a torus row, the ring's wrap message is one hop — the
+        // latency advantage over the mesh backhaul.
+        let t = Torus2D::new(1, 6);
+        for i in 0..6 {
+            assert_eq!(t.route(i, (i + 1) % 6).len(), 1);
+        }
+    }
+
+    #[test]
+    fn link_slots_unique() {
+        let t = Torus2D::new(2, 3);
+        let mut seen = std::collections::HashSet::new();
+        for from in 0..t.nodes() {
+            for dir in Direction::ALL {
+                assert!(seen.insert(t.link_slot(LinkId { from, dir })));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_rejected() {
+        Torus2D::new(0, 4);
+    }
+}

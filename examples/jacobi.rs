@@ -1,0 +1,114 @@
+//! 1-D Jacobi heat diffusion with halo exchange and a collective
+//! convergence test — the everyday SPMD pattern the paper's machine
+//! model describes: neighbour `sendrecv` (the §2 "send and receive at
+//! the same time") plus a global combine each sweep.
+//!
+//! Run: `cargo run --example jacobi`
+
+use intercom::{Comm, Communicator, ReduceOp};
+use intercom_cost::MachineParams;
+use intercom_runtime::run_world;
+
+const P: usize = 6;
+const LOCAL: usize = 32; // interior cells per rank
+const TOL: f64 = 1e-7;
+const MAX_SWEEPS: usize = 60_000;
+
+fn main() {
+    let results = run_world(P, |comm| {
+        let cc = Communicator::world(comm, MachineParams::PARAGON);
+        let me = comm.rank();
+        let left = me.checked_sub(1);
+        let right = if me + 1 < P { Some(me + 1) } else { None };
+
+        // u[0] and u[LOCAL+1] are halo cells; fixed boundary u=1 on the
+        // global left edge, u=0 on the right.
+        let mut u = vec![0.0f64; LOCAL + 2];
+        if me == 0 {
+            u[0] = 1.0;
+        }
+        let mut sweeps = 0;
+        loop {
+            // Halo exchange: interior pattern is a simultaneous shift in
+            // both directions; edges degenerate to single send/recv.
+            let tag = sweeps as u64;
+            let my_first = [u[1]];
+            let my_last = [u[LOCAL]];
+            let mut from_left = [u[0]];
+            let mut from_right = [u[LOCAL + 1]];
+            match (left, right) {
+                (Some(l), Some(r)) => {
+                    comm.sendrecv(
+                        r,
+                        intercom::Scalar::as_bytes(&my_last),
+                        l,
+                        intercom::Scalar::as_bytes_mut(&mut from_left),
+                        2 * tag,
+                    )
+                    .unwrap();
+                    comm.sendrecv(
+                        l,
+                        intercom::Scalar::as_bytes(&my_first),
+                        r,
+                        intercom::Scalar::as_bytes_mut(&mut from_right),
+                        2 * tag + 1,
+                    )
+                    .unwrap();
+                }
+                (None, Some(r)) => {
+                    comm.send(r, 2 * tag, intercom::Scalar::as_bytes(&my_last)).unwrap();
+                    comm.recv(r, 2 * tag + 1, intercom::Scalar::as_bytes_mut(&mut from_right))
+                        .unwrap();
+                }
+                (Some(l), None) => {
+                    comm.recv(l, 2 * tag, intercom::Scalar::as_bytes_mut(&mut from_left))
+                        .unwrap();
+                    comm.send(l, 2 * tag + 1, intercom::Scalar::as_bytes(&my_first)).unwrap();
+                }
+                (None, None) => {}
+            }
+            if left.is_some() {
+                u[0] = from_left[0];
+            }
+            if right.is_some() {
+                u[LOCAL + 1] = from_right[0];
+            }
+
+            // Jacobi sweep + local residual.
+            let mut next = u.clone();
+            let mut local_res = 0.0f64;
+            for i in 1..=LOCAL {
+                next[i] = 0.5 * (u[i - 1] + u[i + 1]);
+                local_res = local_res.max((next[i] - u[i]).abs());
+            }
+            u = next;
+            if me == 0 {
+                u[0] = 1.0;
+            }
+            if me == P - 1 {
+                u[LOCAL + 1] = 0.0;
+            }
+
+            // Global convergence test: combine-to-all max.
+            let mut res = vec![local_res];
+            cc.allreduce(&mut res, ReduceOp::Max).unwrap();
+            sweeps += 1;
+            if res[0] < TOL || sweeps >= MAX_SWEEPS {
+                break;
+            }
+        }
+        (sweeps, u[LOCAL / 2])
+    });
+
+    let sweeps = results[0].0;
+    assert!(sweeps < MAX_SWEEPS, "did not converge");
+    println!("Jacobi converged in {sweeps} sweeps across {P} ranks");
+    assert!(results.iter().all(|&(s, _)| s == sweeps), "ranks disagree on sweeps");
+    // Steady state is the linear ramp from 1 to 0: check monotone
+    // midpoint values across ranks.
+    let mids: Vec<f64> = results.iter().map(|&(_, m)| m).collect();
+    for w in mids.windows(2) {
+        assert!(w[0] > w[1], "midpoints must decrease left→right: {mids:?}");
+    }
+    println!("steady-state midpoints (decreasing): {mids:?}");
+}

@@ -1,0 +1,89 @@
+//! Distributed matrix–vector multiply on a logical 2-D process mesh —
+//! the kind of application the paper's §9 group communication serves:
+//! "many applications require parallel implementations formulated in
+//! terms of computation and communication within node groups (e.g. rows
+//! and columns of a logical mesh)."
+//!
+//! Layout: a `P = R×C` process mesh owns an `N×N` matrix in blocks;
+//! `y = A·x` needs x-parts collected along columns and y-contributions
+//! combined along rows — one group collect and one group distributed
+//! combine per multiply.
+//!
+//! Run: `cargo run --example matvec`
+
+use intercom::{Comm, Communicator, ReduceOp};
+use intercom_cost::MachineParams;
+use intercom_runtime::run_world;
+use intercom_topology::Mesh2D;
+
+const R: usize = 3; // process rows
+const C: usize = 4; // process cols
+const NB: usize = 5; // block size: matrix is (R·NB) × (C·NB)
+
+fn main() {
+    let nrows = R * NB;
+    let ncols = C * NB;
+    println!("matvec: {nrows}x{ncols} matrix on a {R}x{C} process mesh\n");
+
+    // Dense reference on one core.
+    let a = |i: usize, j: usize| ((i * 31 + j * 17) % 13) as f64 - 6.0;
+    let x_ref: Vec<f64> = (0..ncols).map(|j| (j as f64 * 0.5).cos()).collect();
+    let mut y_ref = vec![0.0f64; nrows];
+    for (i, y) in y_ref.iter_mut().enumerate() {
+        for j in 0..ncols {
+            *y += a(i, j) * x_ref[j];
+        }
+    }
+
+    let y_dist = run_world(R * C, |comm| {
+        let mesh = Mesh2D::new(R, C);
+        let machine = MachineParams::PARAGON;
+        let me = comm.rank();
+        let (pr, pc) = (me / C, me % C);
+
+        // Group communicators: my process row and my process column
+        // (§9 group collectives with structure detection).
+        let row_cc =
+            Communicator::from_group(comm, machine, mesh.row_nodes(pr), Some(&mesh)).unwrap();
+        let col_cc =
+            Communicator::from_group(comm, machine, mesh.col_nodes(pc), Some(&mesh)).unwrap();
+
+        // My matrix block and my slice of x (distributed by process
+        // column; the column's topmost process holds it).
+        let my_x: Vec<f64> = x_ref[pc * NB..(pc + 1) * NB].to_vec();
+
+        // 1. Everyone in my process column needs the x-slice of this
+        //    column: broadcast within the column group from its head.
+        let mut x_block = my_x.clone();
+        col_cc.bcast(0, &mut x_block).unwrap();
+
+        // 2. Local block multiply: y_partial(i) = Σ_j A(i,j)·x(j) over my
+        //    column range, for my row range.
+        let mut y_partial = vec![0.0f64; NB];
+        for bi in 0..NB {
+            let gi = pr * NB + bi;
+            for bj in 0..NB {
+                let gj = pc * NB + bj;
+                y_partial[bi] += a(gi, gj) * x_block[bj];
+            }
+        }
+
+        // 3. Combine partial y across my process row: a combine-to-all
+        //    within the row group gives every row member the full y-part.
+        row_cc.allreduce(&mut y_partial, ReduceOp::Sum).unwrap();
+
+        (me, pr, y_partial)
+    });
+
+    // Verify: every process in row pr holds y_ref[pr·NB .. (pr+1)·NB].
+    let mut max_err = 0.0f64;
+    for (me, pr, y) in &y_dist {
+        for (bi, v) in y.iter().enumerate() {
+            let err = (v - y_ref[pr * NB + bi]).abs();
+            max_err = max_err.max(err);
+            assert!(err < 1e-9, "rank {me} row {pr} element {bi}: {v} vs {}", y_ref[pr * NB + bi]);
+        }
+    }
+    println!("distributed result matches dense reference (max |err| = {max_err:.2e})");
+    println!("group collectives used: column broadcast + row combine-to-all");
+}

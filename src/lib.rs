@@ -1,0 +1,14 @@
+//! # intercom-suite
+//!
+//! Umbrella package for the InterCom reproduction: re-exports every crate
+//! in the workspace so the examples under `examples/` and the integration
+//! tests under `tests/` can reach the whole system through one dependency.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use intercom;
+pub use intercom_cost as cost;
+pub use intercom_meshsim as meshsim;
+pub use intercom_nx as nx;
+pub use intercom_runtime as runtime;
+pub use intercom_topology as topology;

@@ -1,0 +1,211 @@
+//! Workspace-level integration: the whole stack — topology, cost model,
+//! core algorithms, both backends, NX baseline — exercised together.
+
+use intercom::{Algo, Comm, Communicator, ReduceOp};
+use intercom_cost::{CollectiveOp, MachineParams};
+use intercom_meshsim::{simulate, SimConfig};
+use intercom_runtime::run_world;
+use intercom_topology::Mesh2D;
+
+#[test]
+fn paper_pipeline_smoke() {
+    // A miniature of the full Table-3 pipeline on a 4x6 mesh: iCC auto
+    // beats NX for a long collect, NX holds its own at 8 bytes.
+    let mesh = Mesh2D::new(4, 6);
+    let machine = MachineParams::PARAGON;
+    let p = mesh.nodes();
+
+    let icc = |n: usize| {
+        let cfg = SimConfig::new(mesh, machine);
+        simulate(&cfg, move |c| {
+            let cc = Communicator::world_on_mesh(c, machine, mesh).unwrap();
+            let b = (n / p).max(1);
+            let mine = vec![c.rank() as u8; b];
+            let mut all = vec![0u8; p * b];
+            cc.allgather(&mine, &mut all).unwrap();
+            all[0]
+        })
+        .elapsed
+    };
+    let nx = |n: usize| {
+        let cfg = SimConfig::new(mesh, machine);
+        simulate(&cfg, move |c| {
+            let b = (n / p).max(1);
+            let mine = vec![c.rank() as u8; b];
+            let mut all = vec![0u8; p * b];
+            intercom_nx::nx_gcolx(c, &mine, &mut all).unwrap();
+            all[0]
+        })
+        .elapsed
+    };
+
+    let ratio_long = nx(1 << 18) / icc(1 << 18);
+    assert!(ratio_long > 3.0, "long-vector collect ratio only {ratio_long}");
+    let ratio_short = nx(8) / icc(8);
+    assert!(ratio_short > 1.0, "NX's sequential gcolx must lose even at 8B: {ratio_short}");
+}
+
+#[test]
+fn selector_decisions_match_measurements() {
+    // For a spread of lengths, the strategy the model picks must be at
+    // least as fast (in simulation) as the strategy it rejects — the
+    // property that makes Auto trustworthy.
+    let mesh = Mesh2D::new(4, 4);
+    let machine = MachineParams::PARAGON;
+    for n in [8usize, 2048, 1 << 18] {
+        let t_auto = {
+            let cfg = SimConfig::new(mesh, machine);
+            simulate(&cfg, move |c| {
+                let cc = Communicator::world_on_mesh(c, machine, mesh).unwrap();
+                let mut buf = vec![0u8; n];
+                cc.bcast_with(0, &mut buf, &Algo::Auto).unwrap();
+            })
+            .elapsed
+        };
+        for algo in [Algo::Short, Algo::Long] {
+            let cfg = SimConfig::new(mesh, machine);
+            let a = algo.clone();
+            let t = simulate(&cfg, move |c| {
+                let cc = Communicator::world_on_mesh(c, machine, mesh).unwrap();
+                let mut buf = vec![0u8; n];
+                cc.bcast_with(0, &mut buf, &a).unwrap();
+            })
+            .elapsed;
+            assert!(
+                t_auto <= t * 1.3 + 1e-9,
+                "auto ({t_auto}) much slower than {algo:?} ({t}) at n={n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn nx_shim_equals_library_results() {
+    // The NXtoiCC facade (§10) and the baseline produce identical data.
+    let p = 6;
+    let out = run_world(p, |c| {
+        let cc = Communicator::world(c, MachineParams::PARAGON);
+        let nxw = intercom::nx_compat::NxWorld::new(&cc);
+        let mut via_shim = vec![(c.rank() + 1) as f64; 10];
+        nxw.gdsum(&mut via_shim).unwrap();
+        let mut via_nx = vec![(c.rank() + 1) as f64; 10];
+        intercom_nx::nx_gdsum(c, &mut via_nx).unwrap();
+        (via_shim, via_nx)
+    });
+    for (shim, baseline) in out {
+        assert_eq!(shim, baseline);
+    }
+}
+
+#[test]
+fn group_row_column_collectives_on_mesh_backend() {
+    // Row and column groups of a simulated mesh, with structure-aware
+    // selection, produce correct results.
+    let mesh = Mesh2D::new(3, 4);
+    let machine = MachineParams::PARAGON;
+    let cfg = SimConfig::new(mesh, machine);
+    let rep = simulate(&cfg, move |c| {
+        let mw = intercom::groups::MeshWorld::new(c, mesh, machine).unwrap();
+        let row = mw.my_row().unwrap();
+        let col = mw.my_col().unwrap();
+        let mut r = vec![1.0f64; 8];
+        row.allreduce(&mut r, ReduceOp::Sum).unwrap();
+        let mut cl = vec![1.0f64; 8];
+        col.allreduce(&mut cl, ReduceOp::Sum).unwrap();
+        (r[0], cl[0])
+    });
+    for (row_sum, col_sum) in rep.results {
+        assert_eq!(row_sum, 4.0);
+        assert_eq!(col_sum, 3.0);
+    }
+}
+
+#[test]
+fn every_collective_on_simulated_non_power_of_two_mesh() {
+    // The paper's headline: non-power-of-two grids are first-class. Run
+    // all seven collectives on a 3x5 simulated mesh.
+    let mesh = Mesh2D::new(3, 5);
+    let machine = MachineParams::PARAGON;
+    let p = mesh.nodes();
+    let cfg = SimConfig::new(mesh, machine);
+    let rep = simulate(&cfg, move |c| {
+        let cc = Communicator::world_on_mesh(c, machine, mesh).unwrap();
+        let me = c.rank();
+
+        let mut b = vec![me as i64; 11];
+        if me == 2 {
+            b = (0..11).collect();
+        }
+        cc.bcast(2, &mut b).unwrap();
+
+        let mut red = vec![1i64; 7];
+        cc.reduce(0, &mut red, ReduceOp::Sum).unwrap();
+
+        let mut ar = vec![2i64; 7];
+        cc.allreduce(&mut ar, ReduceOp::Sum).unwrap();
+
+        let mine = vec![me as i64; 3];
+        let mut all = vec![0i64; 3 * p];
+        cc.allgather(&mine, &mut all).unwrap();
+
+        let contrib: Vec<i64> = (0..2 * p as i64).collect();
+        let mut block = vec![0i64; 2];
+        cc.reduce_scatter(&contrib, &mut block, ReduceOp::Sum).unwrap();
+
+        let mut piece = vec![0i64; 2];
+        let full: Vec<i64> = (0..2 * p as i64).collect();
+        cc.scatter(1, if me == 1 { Some(&full[..]) } else { None }, &mut piece).unwrap();
+
+        let mut gat = vec![0i64; if me == 1 { 2 * p } else { 0 }];
+        cc.gather(1, &piece, if me == 1 { Some(&mut gat[..]) } else { None }).unwrap();
+
+        (b, red, ar, all, block, piece, gat, me)
+    });
+    for (b, red, ar, all, block, piece, _gat, me) in &rep.results {
+        assert_eq!(b, &(0..11).collect::<Vec<i64>>());
+        if *me == 0 {
+            assert!(red.iter().all(|&x| x == p as i64));
+        }
+        assert!(ar.iter().all(|&x| x == 2 * p as i64));
+        let expect_all: Vec<i64> = (0..p as i64).flat_map(|r| [r, r, r]).collect();
+        assert_eq!(all, &expect_all);
+        assert_eq!(block[0], (2 * *me as i64) * p as i64);
+        assert_eq!(piece, &[2 * *me as i64, 2 * *me as i64 + 1]);
+    }
+    let gat_at_1 = &rep.results.iter().find(|r| r.7 == 1).unwrap().6;
+    assert_eq!(gat_at_1, &(0..2 * p as i64).collect::<Vec<i64>>());
+    assert!(rep.elapsed > 0.0);
+}
+
+#[test]
+fn cost_model_and_simulator_agree_on_mesh_staging_latency() {
+    // §7.1: bucket stages within rows/columns have latency (r+c−2)α.
+    // Verify via a long collect whose selected strategy is [cols, rows].
+    let (r, c) = (3usize, 4usize);
+    let mesh = Mesh2D::new(r, c);
+    let machine =
+        MachineParams { alpha: 1.0, beta: 1e-9, gamma: 0.0, delta: 0.0, link_excess: 1.0 };
+    let p = r * c;
+    let b = 1 << 14;
+    let cfg = SimConfig::new(mesh, machine);
+    let strategy = intercom_cost::Strategy::on_mesh(
+        vec![c, r],
+        intercom_cost::StrategyKind::ScatterCollect,
+        1,
+    );
+    let s2 = strategy.clone();
+    let rep = simulate(&cfg, move |comm| {
+        let cc = Communicator::world_on_mesh(comm, machine, mesh).unwrap();
+        let mine = vec![0u8; b];
+        let mut all = vec![0u8; p * b];
+        cc.allgather_with(&mine, &mut all, &Algo::Hybrid(s2.clone())).unwrap();
+    });
+    // β negligible: elapsed ≈ (c−1)α + (r−1)α = (r+c−2)α.
+    let expect = (r + c - 2) as f64 * machine.alpha;
+    assert!(
+        (rep.elapsed - expect).abs() < 0.05 * expect,
+        "elapsed {} vs (r+c-2)α = {expect}",
+        rep.elapsed
+    );
+    let _ = CollectiveOp::Collect;
+}

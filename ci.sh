@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Offline CI gate: everything here must pass with no network and no
+# external crates (the workspace's default feature set is std-only).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> hotpath bench (smoke)"
+cargo run --release -p intercom-bench --bin hotpath -- --smoke >/dev/null
+
+echo "ci.sh: all green"

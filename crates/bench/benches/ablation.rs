@@ -73,7 +73,10 @@ fn ablation_report() {
     //    links gain headroom (why NX loses less on lightly-loaded nets).
     println!("-- link excess vs MST broadcast contention, 8x16, n=256K --");
     for k in [1.0f64, 2.0, 4.0] {
-        let m = MachineParams { link_excess: k, ..machine };
+        let m = MachineParams {
+            link_excess: k,
+            ..machine
+        };
         let t = sim_bcast(mesh, m, n, Algo::Short);
         println!("link_excess={k}: short bcast = {t:.6}");
     }

@@ -13,9 +13,11 @@ fn bench_bcast(c: &mut Criterion) {
     g.sample_size(10);
     for n in [256usize, 64 * 1024] {
         g.throughput(Throughput::Bytes(n as u64));
-        for (name, algo) in
-            [("short", Algo::Short), ("long", Algo::Long), ("auto", Algo::Auto)]
-        {
+        for (name, algo) in [
+            ("short", Algo::Short),
+            ("long", Algo::Long),
+            ("auto", Algo::Auto),
+        ] {
             g.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
                 b.iter(|| {
                     run_world(P, |comm| {
@@ -36,9 +38,11 @@ fn bench_allreduce(c: &mut Criterion) {
     g.sample_size(10);
     for n in [256usize, 16 * 1024] {
         g.throughput(Throughput::Bytes((n * 8) as u64));
-        for (name, algo) in
-            [("short", Algo::Short), ("long", Algo::Long), ("auto", Algo::Auto)]
-        {
+        for (name, algo) in [
+            ("short", Algo::Short),
+            ("long", Algo::Long),
+            ("auto", Algo::Auto),
+        ] {
             g.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
                 b.iter(|| {
                     run_world(P, |comm| {
@@ -59,9 +63,11 @@ fn bench_allgather(c: &mut Criterion) {
     g.sample_size(10);
     for b_items in [64usize, 8 * 1024] {
         g.throughput(Throughput::Bytes((b_items * P) as u64));
-        for (name, algo) in
-            [("short", Algo::Short), ("long", Algo::Long), ("auto", Algo::Auto)]
-        {
+        for (name, algo) in [
+            ("short", Algo::Short),
+            ("long", Algo::Long),
+            ("auto", Algo::Auto),
+        ] {
             g.bench_with_input(BenchmarkId::new(name, b_items), &b_items, |bch, &bi| {
                 bch.iter(|| {
                     run_world(P, |comm| {

@@ -10,9 +10,7 @@ fn bench_select(c: &mut Criterion) {
     let mut g = c.benchmark_group("selector");
     for p in [30usize, 512, 1024] {
         g.bench_with_input(BenchmarkId::new("linear", p), &p, |b, &p| {
-            b.iter(|| {
-                best_strategy(CollectiveOp::Broadcast, p, 65536, &m, CostContext::LINEAR)
-            })
+            b.iter(|| best_strategy(CollectiveOp::Broadcast, p, 65536, &m, CostContext::LINEAR))
         });
     }
     g.bench_function("mesh_16x32", |b| {

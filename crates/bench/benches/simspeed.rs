@@ -19,9 +19,8 @@ fn bench_sim(c: &mut Criterion) {
                 b.iter(|| {
                     let cfg = SimConfig::new(mesh, MachineParams::PARAGON);
                     simulate(&cfg, |comm| {
-                        let cc =
-                            Communicator::world_on_mesh(comm, MachineParams::PARAGON, mesh)
-                                .unwrap();
+                        let cc = Communicator::world_on_mesh(comm, MachineParams::PARAGON, mesh)
+                            .unwrap();
                         let mut buf = vec![0u8; 4096];
                         cc.bcast_with(0, &mut buf, &Algo::Auto).unwrap();
                     })

@@ -9,7 +9,10 @@ fn main() {
     let mesh = Mesh2D::new(8, 16);
     let m = MachineParams::PARAGON;
     for (name, f) in [
-        ("bcast", bcast_time as fn(Mesh2D, MachineParams, usize, Series) -> f64),
+        (
+            "bcast",
+            bcast_time as fn(Mesh2D, MachineParams, usize, Series) -> f64,
+        ),
         ("collect", collect_time),
         ("gsum", gsum_time),
     ] {

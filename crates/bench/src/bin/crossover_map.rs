@@ -7,9 +7,7 @@
 //!
 //! Run: `cargo run -p intercom-bench --bin crossover_map`
 
-use intercom_cost::{
-    best_strategy, CollectiveOp, CostContext, MachineParams, StrategyKind,
-};
+use intercom_cost::{best_strategy, CollectiveOp, CostContext, MachineParams, StrategyKind};
 
 fn class(p: usize, n: usize, machine: &MachineParams) -> char {
     let s = best_strategy(CollectiveOp::Broadcast, p, n, machine, CostContext::LINEAR);
@@ -30,7 +28,14 @@ fn main() {
     print!("{:>5} |", "p\\n");
     let n_exps: Vec<u32> = (3..=20).collect();
     for e in &n_exps {
-        print!("{}", if e % 2 == 0 { ((e / 10) as u8 + b'0') as char } else { ' ' });
+        print!(
+            "{}",
+            if e % 2 == 0 {
+                ((e / 10) as u8 + b'0') as char
+            } else {
+                ' '
+            }
+        );
     }
     println!();
     print!("{:>5} |", "");
@@ -54,8 +59,10 @@ fn main() {
     println!("prime p rows show the §6 caveat (no factorization → no hybrids:");
     println!("the selector jumps straight from M to S).");
     for p in [13usize, 31, 127] {
-        let line: String =
-            n_exps.iter().map(|&e| class(p, 1usize << e, &machine)).collect();
+        let line: String = n_exps
+            .iter()
+            .map(|&e| class(p, 1usize << e, &machine))
+            .collect();
         println!("{p:>5} |{line}   (prime)");
     }
 }

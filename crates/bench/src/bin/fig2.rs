@@ -52,7 +52,13 @@ fn main() {
     println!("selector's choice (full enumeration) per message length:");
     let mut t = Table::new(vec!["bytes", "strategy", "predicted time (s)"]);
     for n in pow2_sweep(8, 1 << 20, 2) {
-        let s = best_strategy(CollectiveOp::Broadcast, 30, n, &machine, CostContext::LINEAR);
+        let s = best_strategy(
+            CollectiveOp::Broadcast,
+            30,
+            n,
+            &machine,
+            CostContext::LINEAR,
+        );
         let time = hybrid_cost(CollectiveOp::Broadcast, &s, CostContext::LINEAR).eval(n, &machine);
         t.row(vec![n.to_string(), s.to_string(), format!("{time:.6e}")]);
     }

@@ -16,7 +16,12 @@ use intercom_bench::sizes::pow2_sweep;
 use intercom_cost::MachineParams;
 use intercom_topology::Mesh2D;
 
-const SERIES: [Series; 4] = [Series::IccAuto, Series::IccShort, Series::IccLong, Series::Nx];
+const SERIES: [Series; 4] = [
+    Series::IccAuto,
+    Series::IccShort,
+    Series::IccLong,
+    Series::Nx,
+];
 
 fn panel(
     title: &str,

@@ -21,9 +21,7 @@ fn group_collect_time(mesh: Mesh2D, machine: MachineParams, members: Vec<usize>,
     let cfg = SimConfig::new(mesh, machine);
     let members2 = members.clone();
     simulate(&cfg, move |c| {
-        let Ok(cc) =
-            Communicator::from_group(c, machine, members2.clone(), Some(&mesh))
-        else {
+        let Ok(cc) = Communicator::from_group(c, machine, members2.clone(), Some(&mesh)) else {
             return; // not a member: idle
         };
         let mine = vec![c.rank() as u8; b];
@@ -55,7 +53,9 @@ fn main() {
     let mut scattered: Vec<usize> = (0..mesh.nodes()).step_by(8).collect();
     let mut state = 0xDEADBEEFu64;
     for i in (1..scattered.len()).rev() {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = (state >> 33) as usize % (i + 1);
         scattered.swap(i, j);
     }

@@ -55,7 +55,13 @@ fn main() {
     println!("iPSC/860 port: {cube}, Gray-code ring embedding\n");
 
     println!("broadcast, simulated seconds:");
-    let mut t = Table::new(vec!["bytes", "short (MST)", "long (SC)", "auto", "pipelined"]);
+    let mut t = Table::new(vec![
+        "bytes",
+        "short (MST)",
+        "long (SC)",
+        "auto",
+        "pipelined",
+    ]);
     for n in [8usize, 4096, 65536, 1 << 20] {
         t.row(vec![
             fmt_bytes(n),

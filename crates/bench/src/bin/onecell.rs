@@ -21,5 +21,8 @@ fn main() {
         "collect" => collect_time(mesh, m, n, series),
         _ => gsum_time(mesh, m, n, series),
     };
-    println!("{op} {series:?} n={n} {rows}x{cols}: sim={sim:.6}s host={:?}", t0.elapsed());
+    println!(
+        "{op} {series:?} n={n} {rows}x{cols}: sim={sim:.6}s host={:?}",
+        t0.elapsed()
+    );
 }

@@ -49,10 +49,7 @@ fn main() {
     println!("§8 — pipelined vs scatter/collect broadcast, {P}-node ring\n");
 
     for jitter in [0.0f64, 1.0] {
-        println!(
-            "== per-message jitter: {}% ==",
-            (jitter * 100.0) as u32
-        );
+        println!("== per-message jitter: {}% ==", (jitter * 100.0) as u32);
         let mut t = Table::new(vec![
             "bytes",
             "segments m*",
@@ -63,7 +60,10 @@ fn main() {
         for n in [4096usize, 65536, 1 << 20] {
             // Average over a few seeds when jittered.
             let seeds: &[u64] = if jitter == 0.0 { &[0] } else { &[1, 2, 3, 4] };
-            let pipe: f64 = seeds.iter().map(|&s| run_pipelined(machine, n, jitter, s)).sum::<f64>()
+            let pipe: f64 = seeds
+                .iter()
+                .map(|&s| run_pipelined(machine, n, jitter, s))
+                .sum::<f64>()
                 / seeds.len() as f64;
             let sc: f64 = seeds
                 .iter()

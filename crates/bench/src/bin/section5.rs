@@ -6,7 +6,10 @@
 use intercom_cost::composed::render_catalog;
 
 fn main() {
-    let p: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(30);
+    let p: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30);
     println!("§5 composed algorithms on a {p}-node linear array\n");
     println!("{}", render_catalog(p));
     println!("(α coefficients: ⌈log p⌉ = startup-optimal; 2⌈log p⌉ = within the");

@@ -62,7 +62,11 @@ fn main() {
             (s, c)
         })
         .collect();
-    by_beta.sort_by(|a, b| a.1.beta_c.total_cmp(&b.1.beta_c).then(a.1.alpha_c.total_cmp(&b.1.alpha_c)));
+    by_beta.sort_by(|a, b| {
+        a.1.beta_c
+            .total_cmp(&b.1.beta_c)
+            .then(a.1.alpha_c.total_cmp(&b.1.alpha_c))
+    });
     for (s, c) in by_beta {
         if c.alpha_c < best_alpha {
             best_alpha = c.alpha_c;

@@ -14,7 +14,11 @@ use intercom_topology::Mesh2D;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let mesh = if quick { Mesh2D::new(8, 16) } else { Mesh2D::new(16, 32) };
+    let mesh = if quick {
+        Mesh2D::new(8, 16)
+    } else {
+        Mesh2D::new(16, 32)
+    };
     let machine = MachineParams::PARAGON;
 
     println!(
@@ -31,9 +35,15 @@ fn main() {
     // Paper's measured values for the 16x32 mesh, for side-by-side
     // comparison (NX, iCC) per (operation, length).
     let paper: &[(&str, [(f64, f64); 3])] = &[
-        ("Broadcast", [(0.0012, 0.0013), (0.031, 0.012), (0.94, 0.075)]),
+        (
+            "Broadcast",
+            [(0.0012, 0.0013), (0.031, 0.012), (0.94, 0.075)],
+        ),
         ("Collect", [(0.27, 0.0035), (0.32, 0.013), (0.51, 0.10)]),
-        ("Global Sum", [(0.0036, 0.0041), (0.17, 0.024), (2.72, 0.17)]),
+        (
+            "Global Sum",
+            [(0.0036, 0.0041), (0.17, 0.024), (2.72, 0.17)],
+        ),
     ];
 
     let mut t = Table::new(vec![

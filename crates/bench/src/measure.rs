@@ -138,7 +138,12 @@ mod tests {
     #[test]
     fn all_series_produce_positive_times() {
         let (mesh, m) = small();
-        for s in [Series::IccAuto, Series::IccShort, Series::IccLong, Series::Nx] {
+        for s in [
+            Series::IccAuto,
+            Series::IccShort,
+            Series::IccLong,
+            Series::Nx,
+        ] {
             assert!(bcast_time(mesh, m, 256, s) > 0.0, "{s:?}");
             assert!(collect_time(mesh, m, 256, s) > 0.0, "{s:?}");
             assert!(gsum_time(mesh, m, 256, s) > 0.0, "{s:?}");
@@ -167,9 +172,7 @@ mod tests {
         let n = 1 << 18;
         assert!(bcast_time(mesh, m, n, Series::IccAuto) < bcast_time(mesh, m, n, Series::Nx));
         assert!(gsum_time(mesh, m, n, Series::IccAuto) < gsum_time(mesh, m, n, Series::Nx));
-        assert!(
-            collect_time(mesh, m, n, Series::IccAuto) < collect_time(mesh, m, n, Series::Nx)
-        );
+        assert!(collect_time(mesh, m, n, Series::IccAuto) < collect_time(mesh, m, n, Series::Nx));
     }
 
     #[test]

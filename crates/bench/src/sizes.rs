@@ -6,7 +6,10 @@ pub fn pow2_sweep(lo: usize, hi: usize, step: u32) -> Vec<usize> {
     assert!(lo >= 1 && hi >= lo && step >= 1);
     let lo_exp = usize::BITS - lo.next_power_of_two().leading_zeros() - 1;
     let hi_exp = usize::BITS - hi.next_power_of_two().leading_zeros() - 1;
-    (lo_exp..=hi_exp).step_by(step as usize).map(|e| 1usize << e).collect()
+    (lo_exp..=hi_exp)
+        .step_by(step as usize)
+        .map(|e| 1usize << e)
+        .collect()
 }
 
 /// The paper's Table 3 vector lengths: 8 B, 64 KB, 1 MB.

@@ -28,8 +28,11 @@ pub fn alltoall<T: Scalar, C: Comm + ?Sized>(
     tag: Tag,
 ) -> Result<()> {
     let p = gc.len();
-    if send.len() != recv.len() || send.len() % p != 0 {
-        return Err(CommError::BadBufferSize { expected: recv.len(), actual: send.len() });
+    if send.len() != recv.len() || !send.len().is_multiple_of(p) {
+        return Err(CommError::BadBufferSize {
+            expected: recv.len(),
+            actual: send.len(),
+        });
     }
     let b = send.len() / p;
     let me = gc.me();
@@ -39,7 +42,10 @@ pub fn alltoall<T: Scalar, C: Comm + ?Sized>(
     for t in 1..p {
         let to = (me + t) % p;
         let from = (me + p - t) % p;
-        let (sblock, rblock) = (&send[to * b..(to + 1) * b], &mut recv[from * b..(from + 1) * b]);
+        let (sblock, rblock) = (
+            &send[to * b..(to + 1) * b],
+            &mut recv[from * b..(from + 1) * b],
+        );
         gc.sendrecv(to, sblock, from, rblock, tag + t as Tag)?;
     }
     Ok(())

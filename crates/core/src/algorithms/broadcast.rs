@@ -26,7 +26,10 @@ pub fn broadcast<T: Scalar, C: Comm + ?Sized>(
 ) -> Result<()> {
     check_strategy(gc, strategy)?;
     if root >= gc.len() {
-        return Err(CommError::InvalidRoot { root, size: gc.len() });
+        return Err(CommError::InvalidRoot {
+            root,
+            size: gc.len(),
+        });
     }
     bcast_rec(gc, &strategy.dims, strategy.kind, root, buf, tag)
 }
@@ -67,7 +70,14 @@ fn bcast_rec<T: Scalar, C: Comm + ?Sized>(
     // root / d0) now holds block `my0` and acts as the plane's root.
     let plane = gc.plane(d0);
     let my_block = blocks[my0].clone();
-    bcast_rec(&plane, &dims[1..], kind, root / d0, &mut buf[my_block], tag + LEVEL_TAG_STRIDE)?;
+    bcast_rec(
+        &plane,
+        &dims[1..],
+        kind,
+        root / d0,
+        &mut buf[my_block],
+        tag + LEVEL_TAG_STRIDE,
+    )?;
     // Stage 2: simultaneous collects within every dim-0 line reassemble
     // the full vector.
     let line = gc.line(d0);
@@ -105,6 +115,9 @@ mod tests {
         let gc = GroupComm::world(&c);
         let mut buf = [0u8; 4];
         let err = broadcast(&gc, &Strategy::pure_mst(1), 2, &mut buf, 0);
-        assert!(matches!(err, Err(CommError::InvalidRoot { root: 2, size: 1 })));
+        assert!(matches!(
+            err,
+            Err(CommError::InvalidRoot { root: 2, size: 1 })
+        ));
     }
 }

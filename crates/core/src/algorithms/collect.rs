@@ -19,7 +19,10 @@ use crate::cast::Scalar;
 use crate::comm::{Comm, GroupComm, Tag};
 use crate::error::{CommError, Result};
 use crate::op::{Elem, ReduceOp};
-use crate::primitives::{mst_bcast, mst_gather, mst_reduce, mst_scatter, ring_collect, ring_reduce_scatter};
+use crate::primitives::{
+    mst_bcast, mst_gather, mst_reduce_scratch, mst_scatter, ring_collect,
+    ring_reduce_scatter_scratch,
+};
 use intercom_cost::{Strategy, StrategyKind};
 use std::ops::Range;
 
@@ -38,11 +41,29 @@ pub fn collect<T: Scalar, C: Comm + ?Sized>(
     all: &mut [T],
     tag: Tag,
 ) -> Result<()> {
+    collect_scratch(gc, strategy, mine, all, tag, &mut Vec::new())
+}
+
+/// [`collect`] with a caller-supplied scratch buffer for the multi-dim
+/// slot un-permutation, so repeated planned executions ([`crate::plan::CollectPlan`])
+/// reuse one steady-state allocation instead of copying `all` afresh
+/// every call.
+pub fn collect_scratch<T: Scalar, C: Comm + ?Sized>(
+    gc: &GroupComm<'_, C>,
+    strategy: &Strategy,
+    mine: &[T],
+    all: &mut [T],
+    tag: Tag,
+    scratch: &mut Vec<T>,
+) -> Result<()> {
     check_strategy(gc, strategy)?;
     let p = gc.len();
     let b = mine.len();
     if all.len() != p * b {
-        return Err(CommError::BadBufferSize { expected: p * b, actual: all.len() });
+        return Err(CommError::BadBufferSize {
+            expected: p * b,
+            actual: all.len(),
+        });
     }
     let dims = &strategy.dims;
     // Place my block at my slot and run the template over slot order.
@@ -52,10 +73,11 @@ pub fn collect<T: Scalar, C: Comm + ?Sized>(
     // Un-permute into rank order (identity for one-dimensional
     // strategies).
     if dims.len() > 1 {
-        let work = all.to_vec();
+        scratch.clear();
+        scratch.extend_from_slice(all);
         for q in 0..p {
             let s = slot_of(dims, q);
-            all[q * b..(q + 1) * b].copy_from_slice(&work[s * b..(s + 1) * b]);
+            all[q * b..(q + 1) * b].copy_from_slice(&scratch[s * b..(s + 1) * b]);
         }
     }
     Ok(())
@@ -113,21 +135,28 @@ pub fn reduce_scatter<T: Elem, C: Comm + ?Sized>(
     let p = gc.len();
     let b = mine.len();
     if contrib.len() != p * b {
-        return Err(CommError::BadBufferSize { expected: p * b, actual: contrib.len() });
+        return Err(CommError::BadBufferSize {
+            expected: p * b,
+            actual: contrib.len(),
+        });
     }
     let dims = &strategy.dims;
-    // Permute the contribution into slot order.
+    // Permute the contribution into slot order. The work buffer and the
+    // per-stage bucket scratch are each allocated once here and threaded
+    // through every recursion level.
     let mut work = vec![T::default(); p * b];
     for q in 0..p {
         let s = slot_of(dims, q);
         work[s * b..(s + 1) * b].copy_from_slice(&contrib[q * b..(q + 1) * b]);
     }
-    rs_rec(gc, dims, strategy.kind, &mut work, b, op, tag)?;
+    let mut scratch = Vec::new();
+    rs_rec(gc, dims, strategy.kind, &mut work, b, op, tag, &mut scratch)?;
     let my_slot = slot_of(dims, gc.me());
     mine.copy_from_slice(&work[my_slot * b..(my_slot + 1) * b]);
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn rs_rec<T: Elem, C: Comm + ?Sized>(
     gc: &GroupComm<'_, C>,
     dims: &[usize],
@@ -136,6 +165,7 @@ fn rs_rec<T: Elem, C: Comm + ?Sized>(
     b: usize,
     op: ReduceOp,
     tag: Tag,
+    scratch: &mut Vec<T>,
 ) -> Result<()> {
     let p = gc.len();
     if p == 1 {
@@ -147,10 +177,12 @@ fn rs_rec<T: Elem, C: Comm + ?Sized>(
             StrategyKind::Mst => {
                 // Short distributed combine: combine-to-one followed by
                 // scatter (§5.1).
-                mst_reduce(gc, 0, work, op, tag)?;
+                mst_reduce_scratch(gc, 0, work, op, tag, scratch)?;
                 mst_scatter(gc, 0, work, &blocks, tag + 1)
             }
-            StrategyKind::ScatterCollect => ring_reduce_scatter(gc, work, &blocks, op, tag),
+            StrategyKind::ScatterCollect => {
+                ring_reduce_scatter_scratch(gc, work, &blocks, op, tag, scratch)
+            }
         };
     }
     let d0 = dims[0];
@@ -160,11 +192,20 @@ fn rs_rec<T: Elem, C: Comm + ?Sized>(
     // within my line; member j keeps super-block j (its own plane's).
     let line = gc.line(d0);
     let blocks = equal_blocks(d0, sub * b);
-    ring_reduce_scatter(&line, work, &blocks, op, tag)?;
+    ring_reduce_scatter_scratch(&line, work, &blocks, op, tag, scratch)?;
     // Stage 2 is void: recurse within my plane on my super-block.
     let plane = gc.plane(d0);
     let plane_range = my0 * sub * b..(my0 + 1) * sub * b;
-    rs_rec(&plane, &dims[1..], kind, &mut work[plane_range], b, op, tag + LEVEL_TAG_STRIDE)
+    rs_rec(
+        &plane,
+        &dims[1..],
+        kind,
+        &mut work[plane_range],
+        b,
+        op,
+        tag + LEVEL_TAG_STRIDE,
+        scratch,
+    )
 }
 
 #[cfg(test)]
@@ -188,8 +229,15 @@ mod tests {
         let gc = GroupComm::world(&c);
         let contrib = [1.5f32, 2.5];
         let mut mine = [0.0f32; 2];
-        reduce_scatter(&gc, &Strategy::pure_mst(1), &contrib, &mut mine, ReduceOp::Sum, 0)
-            .unwrap();
+        reduce_scatter(
+            &gc,
+            &Strategy::pure_mst(1),
+            &contrib,
+            &mut mine,
+            ReduceOp::Sum,
+            0,
+        )
+        .unwrap();
         assert_eq!(mine, contrib);
     }
 
@@ -201,13 +249,26 @@ mod tests {
         let mut all = [0u8; 3];
         assert!(matches!(
             collect(&gc, &Strategy::pure_mst(1), &mine, &mut all, 0),
-            Err(CommError::BadBufferSize { expected: 2, actual: 3 })
+            Err(CommError::BadBufferSize {
+                expected: 2,
+                actual: 3
+            })
         ));
         let contrib = [0i16; 5];
         let mut m = [0i16; 2];
         assert!(matches!(
-            reduce_scatter(&gc, &Strategy::pure_mst(1), &contrib, &mut m, ReduceOp::Sum, 0),
-            Err(CommError::BadBufferSize { expected: 2, actual: 5 })
+            reduce_scatter(
+                &gc,
+                &Strategy::pure_mst(1),
+                &contrib,
+                &mut m,
+                ReduceOp::Sum,
+                0
+            ),
+            Err(CommError::BadBufferSize {
+                expected: 2,
+                actual: 5
+            })
         ));
     }
 }

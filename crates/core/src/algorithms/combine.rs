@@ -13,7 +13,9 @@ use crate::block::partition;
 use crate::comm::{Comm, GroupComm, Tag};
 use crate::error::{CommError, Result};
 use crate::op::{Elem, ReduceOp};
-use crate::primitives::{mst_bcast, mst_gather, mst_reduce, ring_collect, ring_reduce_scatter};
+use crate::primitives::{
+    mst_bcast, mst_gather, mst_reduce_scratch, ring_collect, ring_reduce_scatter_scratch,
+};
 use intercom_cost::{Strategy, StrategyKind};
 
 /// Combine-to-one: every member contributes `buf`; on return, the root's
@@ -27,13 +29,43 @@ pub fn reduce<T: Elem, C: Comm + ?Sized>(
     op: ReduceOp,
     tag: Tag,
 ) -> Result<()> {
-    check_strategy(gc, strategy)?;
-    if root >= gc.len() {
-        return Err(CommError::InvalidRoot { root, size: gc.len() });
-    }
-    reduce_rec(gc, &strategy.dims, strategy.kind, root, buf, op, tag)
+    let mut scratch = Vec::new();
+    reduce_scratch(gc, strategy, root, buf, op, tag, &mut scratch)
 }
 
+/// [`reduce`] with caller-provided scratch, threaded through every
+/// recursion level and ring stage: a persistent plan (or any caller
+/// issuing the same reduce repeatedly) pays zero steady-state
+/// allocations for temporaries.
+pub fn reduce_scratch<T: Elem, C: Comm + ?Sized>(
+    gc: &GroupComm<'_, C>,
+    strategy: &Strategy,
+    root: usize,
+    buf: &mut [T],
+    op: ReduceOp,
+    tag: Tag,
+    scratch: &mut Vec<T>,
+) -> Result<()> {
+    check_strategy(gc, strategy)?;
+    if root >= gc.len() {
+        return Err(CommError::InvalidRoot {
+            root,
+            size: gc.len(),
+        });
+    }
+    reduce_rec(
+        gc,
+        &strategy.dims,
+        strategy.kind,
+        root,
+        buf,
+        op,
+        tag,
+        scratch,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
 fn reduce_rec<T: Elem, C: Comm + ?Sized>(
     gc: &GroupComm<'_, C>,
     dims: &[usize],
@@ -42,6 +74,7 @@ fn reduce_rec<T: Elem, C: Comm + ?Sized>(
     buf: &mut [T],
     op: ReduceOp,
     tag: Tag,
+    scratch: &mut Vec<T>,
 ) -> Result<()> {
     let p = gc.len();
     if p == 1 {
@@ -49,10 +82,10 @@ fn reduce_rec<T: Elem, C: Comm + ?Sized>(
     }
     if dims.len() == 1 {
         return match kind {
-            StrategyKind::Mst => mst_reduce(gc, root, buf, op, tag),
+            StrategyKind::Mst => mst_reduce_scratch(gc, root, buf, op, tag, scratch),
             StrategyKind::ScatterCollect => {
                 let blocks = partition(buf.len(), p);
-                ring_reduce_scatter(gc, buf, &blocks, op, tag)?;
+                ring_reduce_scatter_scratch(gc, buf, &blocks, op, tag, scratch)?;
                 mst_gather(gc, root, buf, &blocks, tag + 1)
             }
         };
@@ -64,12 +97,21 @@ fn reduce_rec<T: Elem, C: Comm + ?Sized>(
     // Stage 1: every dim-0 line combines-and-scatters its members'
     // contributions; member j keeps the line-combined block j.
     let line = gc.line(d0);
-    ring_reduce_scatter(&line, buf, &blocks, op, tag)?;
+    ring_reduce_scatter_scratch(&line, buf, &blocks, op, tag, scratch)?;
     // Recurse within my plane: the plane member in the root's line
     // (plane rank root / d0) accumulates the fully-combined block `my0`.
     let plane = gc.plane(d0);
     let my_block = blocks[my0].clone();
-    reduce_rec(&plane, &dims[1..], kind, root / d0, &mut buf[my_block], op, tag + LEVEL_TAG_STRIDE)?;
+    reduce_rec(
+        &plane,
+        &dims[1..],
+        kind,
+        root / d0,
+        &mut buf[my_block],
+        op,
+        tag + LEVEL_TAG_STRIDE,
+        scratch,
+    )?;
     // Stage 2: only the root's line gathers the combined blocks to root.
     if me / d0 == root / d0 {
         mst_gather(&line, root % d0, buf, &blocks, tag + 1)?;
@@ -86,8 +128,21 @@ pub fn allreduce<T: Elem, C: Comm + ?Sized>(
     op: ReduceOp,
     tag: Tag,
 ) -> Result<()> {
+    let mut scratch = Vec::new();
+    allreduce_scratch(gc, strategy, buf, op, tag, &mut scratch)
+}
+
+/// [`allreduce`] with caller-provided scratch (see [`reduce_scratch`]).
+pub fn allreduce_scratch<T: Elem, C: Comm + ?Sized>(
+    gc: &GroupComm<'_, C>,
+    strategy: &Strategy,
+    buf: &mut [T],
+    op: ReduceOp,
+    tag: Tag,
+    scratch: &mut Vec<T>,
+) -> Result<()> {
     check_strategy(gc, strategy)?;
-    allreduce_rec(gc, &strategy.dims, strategy.kind, buf, op, tag)
+    allreduce_rec(gc, &strategy.dims, strategy.kind, buf, op, tag, scratch)
 }
 
 fn allreduce_rec<T: Elem, C: Comm + ?Sized>(
@@ -97,6 +152,7 @@ fn allreduce_rec<T: Elem, C: Comm + ?Sized>(
     buf: &mut [T],
     op: ReduceOp,
     tag: Tag,
+    scratch: &mut Vec<T>,
 ) -> Result<()> {
     let p = gc.len();
     if p == 1 {
@@ -107,13 +163,13 @@ fn allreduce_rec<T: Elem, C: Comm + ?Sized>(
             StrategyKind::Mst => {
                 // Short combine-to-all: combine-to-one followed by
                 // broadcast (§5.1), both rooted at logical 0.
-                mst_reduce(gc, 0, buf, op, tag)?;
+                mst_reduce_scratch(gc, 0, buf, op, tag, scratch)?;
                 mst_bcast(gc, 0, buf, tag + 1)
             }
             StrategyKind::ScatterCollect => {
                 // Long: distributed combine followed by collect (§5.2).
                 let blocks = partition(buf.len(), p);
-                ring_reduce_scatter(gc, buf, &blocks, op, tag)?;
+                ring_reduce_scatter_scratch(gc, buf, &blocks, op, tag, scratch)?;
                 ring_collect(gc, buf, &blocks, tag + 1)
             }
         };
@@ -122,10 +178,18 @@ fn allreduce_rec<T: Elem, C: Comm + ?Sized>(
     let my0 = gc.me() % d0;
     let blocks = partition(buf.len(), d0);
     let line = gc.line(d0);
-    ring_reduce_scatter(&line, buf, &blocks, op, tag)?;
+    ring_reduce_scatter_scratch(&line, buf, &blocks, op, tag, scratch)?;
     let plane = gc.plane(d0);
     let my_block = blocks[my0].clone();
-    allreduce_rec(&plane, &dims[1..], kind, &mut buf[my_block], op, tag + LEVEL_TAG_STRIDE)?;
+    allreduce_rec(
+        &plane,
+        &dims[1..],
+        kind,
+        &mut buf[my_block],
+        op,
+        tag + LEVEL_TAG_STRIDE,
+        scratch,
+    )?;
     ring_collect(&line, buf, &blocks, tag + 1)
 }
 

@@ -28,8 +28,8 @@ mod varying;
 
 pub use alltoall::alltoall;
 pub use broadcast::broadcast;
-pub use collect::{collect, reduce_scatter};
-pub use combine::{allreduce, reduce};
+pub use collect::{collect, collect_scratch, reduce_scatter};
+pub use combine::{allreduce, allreduce_scratch, reduce, reduce_scratch};
 pub use scatter_gather::{gather, scatter};
 pub use varying::{allgatherv, gatherv, scatterv};
 
@@ -105,7 +105,10 @@ mod tests {
         for r in 0..p {
             let c = r % 3;
             let s = slot_of(&dims, r);
-            assert!(s >= c * (p / 3) && s < (c + 1) * (p / 3), "rank {r} slot {s}");
+            assert!(
+                s >= c * (p / 3) && s < (c + 1) * (p / 3),
+                "rank {r} slot {s}"
+            );
         }
     }
 }

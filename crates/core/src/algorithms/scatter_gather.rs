@@ -21,16 +21,25 @@ pub fn scatter<T: Scalar, C: Comm + ?Sized>(
     tag: Tag,
 ) -> Result<()> {
     if root >= gc.len() {
-        return Err(CommError::InvalidRoot { root, size: gc.len() });
+        return Err(CommError::InvalidRoot {
+            root,
+            size: gc.len(),
+        });
     }
     let p = gc.len();
     let b = mine.len();
     let me = gc.me();
     let mut work;
     if me == root {
-        let f = full.ok_or(CommError::BadBufferSize { expected: p * b, actual: 0 })?;
+        let f = full.ok_or(CommError::BadBufferSize {
+            expected: p * b,
+            actual: 0,
+        })?;
         if f.len() != p * b {
-            return Err(CommError::BadBufferSize { expected: p * b, actual: f.len() });
+            return Err(CommError::BadBufferSize {
+                expected: p * b,
+                actual: f.len(),
+            });
         }
         work = f.to_vec();
     } else {
@@ -52,7 +61,10 @@ pub fn gather<T: Scalar, C: Comm + ?Sized>(
     tag: Tag,
 ) -> Result<()> {
     if root >= gc.len() {
-        return Err(CommError::InvalidRoot { root, size: gc.len() });
+        return Err(CommError::InvalidRoot {
+            root,
+            size: gc.len(),
+        });
     }
     let p = gc.len();
     let b = mine.len();
@@ -61,9 +73,15 @@ pub fn gather<T: Scalar, C: Comm + ?Sized>(
     work[me * b..(me + 1) * b].copy_from_slice(mine);
     mst_gather(gc, root, &mut work, &equal_blocks(p, b), tag)?;
     if me == root {
-        let f = full.ok_or(CommError::BadBufferSize { expected: p * b, actual: 0 })?;
+        let f = full.ok_or(CommError::BadBufferSize {
+            expected: p * b,
+            actual: 0,
+        })?;
         if f.len() != p * b {
-            return Err(CommError::BadBufferSize { expected: p * b, actual: f.len() });
+            return Err(CommError::BadBufferSize {
+                expected: p * b,
+                actual: f.len(),
+            });
         }
         f.copy_from_slice(&work);
     }
@@ -119,7 +137,10 @@ mod tests {
         let mut mine = [0u8; 2];
         assert!(matches!(
             scatter(&gc, 0, Some(&full), &mut mine, 0),
-            Err(CommError::BadBufferSize { expected: 2, actual: 5 })
+            Err(CommError::BadBufferSize {
+                expected: 2,
+                actual: 5
+            })
         ));
     }
 }

@@ -27,7 +27,10 @@ fn blocks_from_counts(counts: &[usize]) -> Vec<Range<usize>> {
 
 fn check_counts<C: Comm + ?Sized>(gc: &GroupComm<'_, C>, counts: &[usize]) -> Result<usize> {
     if counts.len() != gc.len() {
-        return Err(CommError::BadBufferSize { expected: gc.len(), actual: counts.len() });
+        return Err(CommError::BadBufferSize {
+            expected: gc.len(),
+            actual: counts.len(),
+        });
     }
     Ok(counts.iter().sum())
 }
@@ -44,19 +47,31 @@ pub fn scatterv<T: Scalar, C: Comm + ?Sized>(
     tag: Tag,
 ) -> Result<()> {
     if root >= gc.len() {
-        return Err(CommError::InvalidRoot { root, size: gc.len() });
+        return Err(CommError::InvalidRoot {
+            root,
+            size: gc.len(),
+        });
     }
     let total = check_counts(gc, counts)?;
     let me = gc.me();
     if mine.len() != counts[me] {
-        return Err(CommError::BadBufferSize { expected: counts[me], actual: mine.len() });
+        return Err(CommError::BadBufferSize {
+            expected: counts[me],
+            actual: mine.len(),
+        });
     }
     let blocks = blocks_from_counts(counts);
     let mut work;
     if me == root {
-        let f = full.ok_or(CommError::BadBufferSize { expected: total, actual: 0 })?;
+        let f = full.ok_or(CommError::BadBufferSize {
+            expected: total,
+            actual: 0,
+        })?;
         if f.len() != total {
-            return Err(CommError::BadBufferSize { expected: total, actual: f.len() });
+            return Err(CommError::BadBufferSize {
+                expected: total,
+                actual: f.len(),
+            });
         }
         work = f.to_vec();
     } else {
@@ -78,21 +93,33 @@ pub fn gatherv<T: Scalar, C: Comm + ?Sized>(
     tag: Tag,
 ) -> Result<()> {
     if root >= gc.len() {
-        return Err(CommError::InvalidRoot { root, size: gc.len() });
+        return Err(CommError::InvalidRoot {
+            root,
+            size: gc.len(),
+        });
     }
     let total = check_counts(gc, counts)?;
     let me = gc.me();
     if mine.len() != counts[me] {
-        return Err(CommError::BadBufferSize { expected: counts[me], actual: mine.len() });
+        return Err(CommError::BadBufferSize {
+            expected: counts[me],
+            actual: mine.len(),
+        });
     }
     let blocks = blocks_from_counts(counts);
     let mut work = vec![T::default(); total];
     work[blocks[me].clone()].copy_from_slice(mine);
     mst_gather(gc, root, &mut work, &blocks, tag)?;
     if me == root {
-        let f = full.ok_or(CommError::BadBufferSize { expected: total, actual: 0 })?;
+        let f = full.ok_or(CommError::BadBufferSize {
+            expected: total,
+            actual: 0,
+        })?;
         if f.len() != total {
-            return Err(CommError::BadBufferSize { expected: total, actual: f.len() });
+            return Err(CommError::BadBufferSize {
+                expected: total,
+                actual: f.len(),
+            });
         }
         f.copy_from_slice(&work);
     }
@@ -113,10 +140,16 @@ pub fn allgatherv<T: Scalar, C: Comm + ?Sized>(
     let total = check_counts(gc, counts)?;
     let me = gc.me();
     if mine.len() != counts[me] {
-        return Err(CommError::BadBufferSize { expected: counts[me], actual: mine.len() });
+        return Err(CommError::BadBufferSize {
+            expected: counts[me],
+            actual: mine.len(),
+        });
     }
     if all.len() != total {
-        return Err(CommError::BadBufferSize { expected: total, actual: all.len() });
+        return Err(CommError::BadBufferSize {
+            expected: total,
+            actual: all.len(),
+        });
     }
     let blocks = blocks_from_counts(counts);
     all[blocks[me].clone()].copy_from_slice(mine);
@@ -152,7 +185,10 @@ mod tests {
         let mut mine = [0u8; 1];
         assert!(matches!(
             scatterv::<u8, _>(&gc, 0, Some(&[1]), &[1, 1], &mut mine, 0),
-            Err(CommError::BadBufferSize { expected: 1, actual: 2 })
+            Err(CommError::BadBufferSize {
+                expected: 1,
+                actual: 2
+            })
         ));
     }
 
@@ -163,7 +199,10 @@ mod tests {
         let mut mine = [0u8; 2];
         assert!(matches!(
             scatterv::<u8, _>(&gc, 0, Some(&[1]), &[1], &mut mine, 0),
-            Err(CommError::BadBufferSize { expected: 1, actual: 2 })
+            Err(CommError::BadBufferSize {
+                expected: 1,
+                actual: 2
+            })
         ));
     }
 

@@ -32,6 +32,7 @@ pub fn partition(n: usize, p: usize) -> Vec<Range<usize>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "heavy-tests")]
     use proptest::prelude::*;
 
     #[test]
@@ -60,6 +61,7 @@ mod tests {
         assert_eq!(partition(7, 1), vec![0..7]);
     }
 
+    #[cfg(feature = "heavy-tests")]
     proptest! {
         #[test]
         fn prop_partition_covers_exactly(n in 0usize..10_000, p in 1usize..64) {

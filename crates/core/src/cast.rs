@@ -25,9 +25,7 @@ pub trait Scalar: Copy + Default + PartialEq + std::fmt::Debug + sealed::Sealed 
         // SAFETY: `Self` is a sealed POD type with no padding bytes; any
         // `&[Self]` is a valid initialized byte region of
         // `len * SIZE` bytes, and `u8` has alignment 1.
-        unsafe {
-            std::slice::from_raw_parts(slice.as_ptr().cast::<u8>(), slice.len() * Self::SIZE)
-        }
+        unsafe { std::slice::from_raw_parts(slice.as_ptr().cast::<u8>(), slice.len() * Self::SIZE) }
     }
 
     /// Views a mutable slice of elements as its underlying bytes.

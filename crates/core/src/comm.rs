@@ -46,14 +46,8 @@ pub trait Comm {
     fn recv(&self, from: usize, tag: Tag, buf: &mut [u8]) -> Result<()>;
 
     /// Concurrent send-to / receive-from (possibly different peers).
-    fn sendrecv(
-        &self,
-        to: usize,
-        data: &[u8],
-        from: usize,
-        buf: &mut [u8],
-        tag: Tag,
-    ) -> Result<()>;
+    fn sendrecv(&self, to: usize, data: &[u8], from: usize, buf: &mut [u8], tag: Tag)
+        -> Result<()>;
 
     /// Accounts local combine work over `bytes` bytes (γ term). Real
     /// backends do the arithmetic in caller code; timing backends advance
@@ -84,7 +78,10 @@ impl Comm for SelfComm {
         Err(CommError::InvalidRank { rank: to, size: 1 })
     }
     fn recv(&self, from: usize, _tag: Tag, _buf: &mut [u8]) -> Result<()> {
-        Err(CommError::InvalidRank { rank: from, size: 1 })
+        Err(CommError::InvalidRank {
+            rank: from,
+            size: 1,
+        })
     }
     fn sendrecv(
         &self,
@@ -165,7 +162,11 @@ impl<'a, C: Comm + ?Sized> GroupComm<'a, C> {
         debug_assert_eq!(self.len() % d, 0, "line extent must divide group");
         let base = self.me / d * d;
         let members = self.members[base..base + d].to_vec();
-        GroupComm { comm: self.comm, members, me: self.me % d }
+        GroupComm {
+            comm: self.comm,
+            members,
+            me: self.me % d,
+        }
     }
 
     /// My dimension-0 *plane* for a first-dimension extent `d`: the
@@ -175,8 +176,14 @@ impl<'a, C: Comm + ?Sized> GroupComm<'a, C> {
     pub fn plane(&self, d: usize) -> GroupComm<'a, C> {
         debug_assert_eq!(self.len() % d, 0, "plane extent must divide group");
         let offset = self.me % d;
-        let members = (0..self.len() / d).map(|j| self.members[offset + j * d]).collect();
-        GroupComm { comm: self.comm, members, me: self.me / d }
+        let members = (0..self.len() / d)
+            .map(|j| self.members[offset + j * d])
+            .collect();
+        GroupComm {
+            comm: self.comm,
+            members,
+            me: self.me / d,
+        }
     }
 
     /// Validates a logical peer rank.
@@ -184,7 +191,10 @@ impl<'a, C: Comm + ?Sized> GroupComm<'a, C> {
         if peer < self.len() {
             Ok(())
         } else {
-            Err(CommError::InvalidRank { rank: peer, size: self.len() })
+            Err(CommError::InvalidRank {
+                rank: peer,
+                size: self.len(),
+            })
         }
     }
 
@@ -197,7 +207,8 @@ impl<'a, C: Comm + ?Sized> GroupComm<'a, C> {
     /// Typed blocking receive from logical rank `from`.
     pub fn recv<T: Scalar>(&self, from: usize, tag: Tag, buf: &mut [T]) -> Result<()> {
         self.check(from)?;
-        self.comm.recv(self.members[from], tag, T::as_bytes_mut(buf))
+        self.comm
+            .recv(self.members[from], tag, T::as_bytes_mut(buf))
     }
 
     /// Typed concurrent exchange: send `data` to `to` while receiving
@@ -256,7 +267,10 @@ mod tests {
     #[test]
     fn group_requires_membership() {
         let c = SelfComm;
-        assert!(matches!(GroupComm::new(&c, vec![3, 4]), Err(CommError::NotInGroup)));
+        assert!(matches!(
+            GroupComm::new(&c, vec![3, 4]),
+            Err(CommError::NotInGroup)
+        ));
         let g = GroupComm::new(&c, vec![0]).unwrap();
         assert_eq!(g.me(), 0);
     }
@@ -312,7 +326,7 @@ mod tests {
         let p1 = g.plane(2); // strip dim0 (coord 1): [1,3,5,7,9,11], me=3
         assert_eq!(p1.me(), 3);
         let line2 = p1.line(3); // dim1 line within plane: [7/?]..
-        // p1 members [1,3,5,7,9,11]; me=3 → base 3/3*3=3 → members[3..6] = [7,9,11]
+                                // p1 members [1,3,5,7,9,11]; me=3 → base 3/3*3=3 → members[3..6] = [7,9,11]
         assert_eq!(line2.members(), &[7, 9, 11]);
         assert_eq!(line2.me(), 0);
     }

@@ -46,7 +46,12 @@ impl<'a, C: Comm + ?Sized> Communicator<'a, C> {
     pub fn world(comm: &'a C, machine: MachineParams) -> Self {
         let gc = GroupComm::world(comm);
         let shape = GroupShape::Linear(gc.len());
-        Communicator { gc, machine, shape, next_tag: Cell::new(0) }
+        Communicator {
+            gc,
+            machine,
+            shape,
+            next_tag: Cell::new(0),
+        }
     }
 
     /// The whole world as a physical `mesh` (row-major rank order):
@@ -54,14 +59,22 @@ impl<'a, C: Comm + ?Sized> Communicator<'a, C> {
     pub fn world_on_mesh(comm: &'a C, machine: MachineParams, mesh: Mesh2D) -> Result<Self> {
         let gc = GroupComm::world(comm);
         let shape = if mesh.nodes() == gc.len() {
-            GroupShape::Mesh { rows: mesh.rows(), cols: mesh.cols() }
+            GroupShape::Mesh {
+                rows: mesh.rows(),
+                cols: mesh.cols(),
+            }
         } else {
             return Err(crate::error::CommError::BadBufferSize {
                 expected: gc.len(),
                 actual: mesh.nodes(),
             });
         };
-        Ok(Communicator { gc, machine, shape, next_tag: Cell::new(0) })
+        Ok(Communicator {
+            gc,
+            machine,
+            shape,
+            next_tag: Cell::new(0),
+        })
     }
 
     /// The whole world as a physical hypercube (§11's iPSC/860 port):
@@ -81,7 +94,12 @@ impl<'a, C: Comm + ?Sized> Communicator<'a, C> {
         }
         let gc = GroupComm::new(comm, cube.gray_ring())?;
         let shape = GroupShape::Linear(gc.len());
-        Ok(Communicator { gc, machine, shape, next_tag: Cell::new(0) })
+        Ok(Communicator {
+            gc,
+            machine,
+            shape,
+            next_tag: Cell::new(0),
+        })
     }
 
     /// A group communicator from an explicit member list (§9). When the
@@ -99,7 +117,12 @@ impl<'a, C: Comm + ?Sized> Communicator<'a, C> {
             _ => GroupShape::Linear(members.len()),
         };
         let gc = GroupComm::new(comm, members)?;
-        Ok(Communicator { gc, machine, shape, next_tag: Cell::new(0) })
+        Ok(Communicator {
+            gc,
+            machine,
+            shape,
+            next_tag: Cell::new(0),
+        })
     }
 
     /// My logical rank within the group.
@@ -173,7 +196,11 @@ impl<'a, C: Comm + ?Sized> Communicator<'a, C> {
 
     /// Broadcast with an explicit algorithm choice.
     pub fn bcast_with<T: Scalar>(&self, root: usize, buf: &mut [T], algo: &Algo) -> Result<()> {
-        let s = self.resolve(CollectiveOp::Broadcast, std::mem::size_of_val(&buf[..]), algo);
+        let s = self.resolve(
+            CollectiveOp::Broadcast,
+            std::mem::size_of_val(&buf[..]),
+            algo,
+        );
         algorithms::broadcast(&self.gc, &s, root, buf, self.fresh_tag())
     }
 
@@ -190,7 +217,11 @@ impl<'a, C: Comm + ?Sized> Communicator<'a, C> {
         op: ReduceOp,
         algo: &Algo,
     ) -> Result<()> {
-        let s = self.resolve(CollectiveOp::CombineToOne, std::mem::size_of_val(&buf[..]), algo);
+        let s = self.resolve(
+            CollectiveOp::CombineToOne,
+            std::mem::size_of_val(&buf[..]),
+            algo,
+        );
         algorithms::reduce(&self.gc, &s, root, buf, op, self.fresh_tag())
     }
 
@@ -212,13 +243,12 @@ impl<'a, C: Comm + ?Sized> Communicator<'a, C> {
     }
 
     /// Combine-to-all with an explicit algorithm choice.
-    pub fn allreduce_with<T: Elem>(
-        &self,
-        buf: &mut [T],
-        op: ReduceOp,
-        algo: &Algo,
-    ) -> Result<()> {
-        let s = self.resolve(CollectiveOp::CombineToAll, std::mem::size_of_val(&buf[..]), algo);
+    pub fn allreduce_with<T: Elem>(&self, buf: &mut [T], op: ReduceOp, algo: &Algo) -> Result<()> {
+        let s = self.resolve(
+            CollectiveOp::CombineToAll,
+            std::mem::size_of_val(&buf[..]),
+            algo,
+        );
         algorithms::allreduce(&self.gc, &s, buf, op, self.fresh_tag())
     }
 
@@ -242,12 +272,7 @@ impl<'a, C: Comm + ?Sized> Communicator<'a, C> {
     }
 
     /// Collect with an explicit algorithm choice.
-    pub fn allgather_with<T: Scalar>(
-        &self,
-        mine: &[T],
-        all: &mut [T],
-        algo: &Algo,
-    ) -> Result<()> {
+    pub fn allgather_with<T: Scalar>(&self, mine: &[T], all: &mut [T], algo: &Algo) -> Result<()> {
         let s = self.resolve(CollectiveOp::Collect, std::mem::size_of_val(&all[..]), algo);
         algorithms::collect(&self.gc, &s, mine, all, self.fresh_tag())
     }
@@ -271,8 +296,11 @@ impl<'a, C: Comm + ?Sized> Communicator<'a, C> {
         op: ReduceOp,
         algo: &Algo,
     ) -> Result<()> {
-        let s =
-            self.resolve(CollectiveOp::DistributedCombine, std::mem::size_of_val(contrib), algo);
+        let s = self.resolve(
+            CollectiveOp::DistributedCombine,
+            std::mem::size_of_val(contrib),
+            algo,
+        );
         algorithms::reduce_scatter(&self.gc, &s, contrib, mine, op, self.fresh_tag())
     }
 
@@ -287,12 +315,7 @@ impl<'a, C: Comm + ?Sized> Communicator<'a, C> {
     }
 
     /// Gather every member's `mine` into the root's `full`.
-    pub fn gather<T: Scalar>(
-        &self,
-        root: usize,
-        mine: &[T],
-        full: Option<&mut [T]>,
-    ) -> Result<()> {
+    pub fn gather<T: Scalar>(&self, root: usize, mine: &[T], full: Option<&mut [T]>) -> Result<()> {
         algorithms::gather(&self.gc, root, mine, full, self.fresh_tag())
     }
 
@@ -319,12 +342,7 @@ impl<'a, C: Comm + ?Sized> Communicator<'a, C> {
     }
 
     /// Collect with per-rank counts (`gcolx` known-lengths semantics).
-    pub fn allgatherv<T: Scalar>(
-        &self,
-        mine: &[T],
-        counts: &[usize],
-        all: &mut [T],
-    ) -> Result<()> {
+    pub fn allgatherv<T: Scalar>(&self, mine: &[T], counts: &[usize], all: &mut [T]) -> Result<()> {
         algorithms::allgatherv(&self.gc, mine, counts, all, self.fresh_tag())
     }
 
@@ -363,8 +381,10 @@ impl<'a, C: Comm + ?Sized> Communicator<'a, C> {
             .map(|r| (table[2 * r + 1] as usize, r))
             .collect();
         members.sort_unstable();
-        let world_members: Vec<usize> =
-            members.into_iter().map(|(_, r)| self.gc.world_rank(r)).collect();
+        let world_members: Vec<usize> = members
+            .into_iter()
+            .map(|(_, r)| self.gc.world_rank(r))
+            .collect();
         Communicator::from_group(self.gc.comm(), self.machine, world_members, mesh)
     }
 }
@@ -410,8 +430,9 @@ mod tests {
     #[test]
     fn mesh_world_requires_matching_size() {
         let c = SelfComm;
-        assert!(Communicator::world_on_mesh(&c, MachineParams::PARAGON, Mesh2D::new(2, 2))
-            .is_err());
+        assert!(
+            Communicator::world_on_mesh(&c, MachineParams::PARAGON, Mesh2D::new(2, 2)).is_err()
+        );
         let cc =
             Communicator::world_on_mesh(&c, MachineParams::PARAGON, Mesh2D::new(1, 1)).unwrap();
         assert_eq!(cc.shape(), GroupShape::Mesh { rows: 1, cols: 1 });

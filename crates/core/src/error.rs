@@ -61,13 +61,22 @@ impl fmt::Display for CommError {
                 write!(f, "root {root} out of range for group of {size}")
             }
             CommError::LengthMismatch { expected, actual } => {
-                write!(f, "receive length mismatch: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "receive length mismatch: expected {expected} bytes, got {actual}"
+                )
             }
             CommError::BadBufferSize { expected, actual } => {
-                write!(f, "buffer size mismatch: expected {expected} items, got {actual}")
+                write!(
+                    f,
+                    "buffer size mismatch: expected {expected} items, got {actual}"
+                )
             }
             CommError::Disconnected => write!(f, "peer disconnected"),
-            CommError::StrategyMismatch { strategy_nodes, group_len } => write!(
+            CommError::StrategyMismatch {
+                strategy_nodes,
+                group_len,
+            } => write!(
                 f,
                 "strategy covers {strategy_nodes} nodes but group has {group_len} members"
             ),
@@ -84,10 +93,15 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(CommError::InvalidRank { rank: 9, size: 4 }.to_string().contains("9"));
-        assert!(CommError::LengthMismatch { expected: 8, actual: 4 }
+        assert!(CommError::InvalidRank { rank: 9, size: 4 }
             .to_string()
-            .contains("expected 8"));
+            .contains("9"));
+        assert!(CommError::LengthMismatch {
+            expected: 8,
+            actual: 4
+        }
+        .to_string()
+        .contains("expected 8"));
         assert!(CommError::Disconnected.to_string().contains("disconnected"));
     }
 }

@@ -31,7 +31,11 @@ impl<'a, C: Comm + ?Sized> MeshWorld<'a, C> {
                 actual: comm.size(),
             });
         }
-        Ok(MeshWorld { comm, mesh, machine })
+        Ok(MeshWorld {
+            comm,
+            mesh,
+            machine,
+        })
     }
 
     /// The mesh geometry.

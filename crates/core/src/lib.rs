@@ -44,7 +44,9 @@ pub mod groups;
 pub mod nx_compat;
 pub mod op;
 pub mod plan;
+pub mod pool;
 pub mod primitives;
+pub mod rng;
 pub mod selector;
 
 pub use cast::Scalar;
@@ -52,3 +54,5 @@ pub use comm::{Comm, GroupComm, Tag};
 pub use communicator::{Algo, Communicator};
 pub use error::{CommError, Result};
 pub use op::{Elem, ReduceOp};
+pub use pool::{BufferPool, PoolStats};
+pub use rng::SplitMix64;

@@ -21,12 +21,12 @@
 //! assert_eq!(v, [2.0; 4]);
 //! ```
 
+use crate::algorithms;
 use crate::cast::Scalar;
 use crate::comm::Comm;
 use crate::communicator::Communicator;
 use crate::error::{CommError, Result};
 use crate::op::{Elem, ReduceOp};
-use crate::{algorithms, Algo};
 use intercom_cost::{CollectiveOp, Strategy};
 use std::marker::PhantomData;
 
@@ -49,9 +49,13 @@ pub struct BcastPlan<T: Scalar> {
 impl<T: Scalar> BcastPlan<T> {
     /// Plans a broadcast of `len` elements from `root`.
     pub fn new<C: Comm + ?Sized>(cc: &Communicator<'_, C>, root: usize, len: usize) -> Self {
-        let strategy =
-            frozen_strategy(cc, CollectiveOp::Broadcast, len * std::mem::size_of::<T>());
-        BcastPlan { strategy, root, len, _marker: PhantomData }
+        let strategy = frozen_strategy(cc, CollectiveOp::Broadcast, len * std::mem::size_of::<T>());
+        BcastPlan {
+            strategy,
+            root,
+            len,
+            _marker: PhantomData,
+        }
     }
 
     /// The frozen strategy (for inspection/reporting).
@@ -61,32 +65,42 @@ impl<T: Scalar> BcastPlan<T> {
 
     /// Executes the planned broadcast; `buf.len()` must equal the
     /// planned length.
-    pub fn execute<C: Comm + ?Sized>(
-        &self,
-        cc: &Communicator<'_, C>,
-        buf: &mut [T],
-    ) -> Result<()> {
+    pub fn execute<C: Comm + ?Sized>(&self, cc: &Communicator<'_, C>, buf: &mut [T]) -> Result<()> {
         if buf.len() != self.len {
-            return Err(CommError::BadBufferSize { expected: self.len, actual: buf.len() });
+            return Err(CommError::BadBufferSize {
+                expected: self.len,
+                actual: buf.len(),
+            });
         }
-        cc.bcast_with(self.root, buf, &Algo::Hybrid(self.strategy.clone()))
+        algorithms::broadcast(cc.group(), &self.strategy, self.root, buf, plan_tag(cc))
     }
 }
 
-/// A frozen combine-to-all (allreduce).
+/// A frozen combine-to-all (allreduce). The plan owns the combine
+/// scratch buffer, so repeated executions allocate nothing: the strategy
+/// is frozen once, the scratch grows to its steady-state size on the
+/// first execution, and every later call reuses both.
 pub struct AllreducePlan<T: Elem> {
     strategy: Strategy,
     len: usize,
     op: ReduceOp,
-    _marker: PhantomData<T>,
+    scratch: std::cell::RefCell<Vec<T>>,
 }
 
 impl<T: Elem> AllreducePlan<T> {
     /// Plans an allreduce of `len` elements under `op`.
     pub fn new<C: Comm + ?Sized>(cc: &Communicator<'_, C>, len: usize, op: ReduceOp) -> Self {
-        let strategy =
-            frozen_strategy(cc, CollectiveOp::CombineToAll, len * std::mem::size_of::<T>());
-        AllreducePlan { strategy, len, op, _marker: PhantomData }
+        let strategy = frozen_strategy(
+            cc,
+            CollectiveOp::CombineToAll,
+            len * std::mem::size_of::<T>(),
+        );
+        AllreducePlan {
+            strategy,
+            len,
+            op,
+            scratch: std::cell::RefCell::new(Vec::new()),
+        }
     }
 
     /// The frozen strategy.
@@ -95,23 +109,32 @@ impl<T: Elem> AllreducePlan<T> {
     }
 
     /// Executes the planned allreduce.
-    pub fn execute<C: Comm + ?Sized>(
-        &self,
-        cc: &Communicator<'_, C>,
-        buf: &mut [T],
-    ) -> Result<()> {
+    pub fn execute<C: Comm + ?Sized>(&self, cc: &Communicator<'_, C>, buf: &mut [T]) -> Result<()> {
         if buf.len() != self.len {
-            return Err(CommError::BadBufferSize { expected: self.len, actual: buf.len() });
+            return Err(CommError::BadBufferSize {
+                expected: self.len,
+                actual: buf.len(),
+            });
         }
-        cc.allreduce_with(buf, self.op, &Algo::Hybrid(self.strategy.clone()))
+        let mut scratch = self.scratch.borrow_mut();
+        algorithms::allreduce_scratch(
+            cc.group(),
+            &self.strategy,
+            buf,
+            self.op,
+            plan_tag(cc),
+            &mut scratch,
+        )
     }
 }
 
-/// A frozen collect (allgather) with equal per-rank blocks.
+/// A frozen collect (allgather) with equal per-rank blocks. The plan
+/// owns the slot-permutation scratch, so repeated executions of a
+/// multi-dimensional strategy reuse one steady-state buffer.
 pub struct CollectPlan<T: Scalar> {
     strategy: Strategy,
     block: usize,
-    _marker: PhantomData<T>,
+    scratch: std::cell::RefCell<Vec<T>>,
 }
 
 impl<T: Scalar> CollectPlan<T> {
@@ -119,7 +142,11 @@ impl<T: Scalar> CollectPlan<T> {
     pub fn new<C: Comm + ?Sized>(cc: &Communicator<'_, C>, block: usize) -> Self {
         let total = block * cc.size() * std::mem::size_of::<T>();
         let strategy = frozen_strategy(cc, CollectiveOp::Collect, total);
-        CollectPlan { strategy, block, _marker: PhantomData }
+        CollectPlan {
+            strategy,
+            block,
+            scratch: std::cell::RefCell::new(Vec::new()),
+        }
     }
 
     /// The frozen strategy.
@@ -135,9 +162,20 @@ impl<T: Scalar> CollectPlan<T> {
         all: &mut [T],
     ) -> Result<()> {
         if mine.len() != self.block {
-            return Err(CommError::BadBufferSize { expected: self.block, actual: mine.len() });
+            return Err(CommError::BadBufferSize {
+                expected: self.block,
+                actual: mine.len(),
+            });
         }
-        algorithms::collect(cc.group(), &self.strategy, mine, all, plan_tag(cc))
+        let mut scratch = self.scratch.borrow_mut();
+        algorithms::collect_scratch(
+            cc.group(),
+            &self.strategy,
+            mine,
+            all,
+            plan_tag(cc),
+            &mut scratch,
+        )
     }
 }
 
@@ -186,7 +224,10 @@ mod tests {
         let mut v = vec![0u8; 3];
         assert!(matches!(
             bp.execute(&cc, &mut v),
-            Err(CommError::BadBufferSize { expected: 4, actual: 3 })
+            Err(CommError::BadBufferSize {
+                expected: 4,
+                actual: 3
+            })
         ));
     }
 
@@ -195,6 +236,9 @@ mod tests {
         let c = SelfComm;
         let cc = Communicator::world(&c, MachineParams::PARAGON);
         let bp = BcastPlan::<u8>::new(&cc, 0, 4096);
-        assert_eq!(*bp.strategy(), cc.auto_strategy(CollectiveOp::Broadcast, 4096));
+        assert_eq!(
+            *bp.strategy(),
+            cc.auto_strategy(CollectiveOp::Broadcast, 4096)
+        );
     }
 }

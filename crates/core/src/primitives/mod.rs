@@ -23,9 +23,9 @@ pub mod mst;
 pub mod pipeline;
 pub mod ring;
 
-pub use mst::{mst_bcast, mst_gather, mst_reduce, mst_scatter};
+pub use mst::{mst_bcast, mst_gather, mst_reduce, mst_reduce_scratch, mst_scatter};
 pub use pipeline::{optimal_segments, pipelined_ring_bcast};
-pub use ring::{ring_collect, ring_reduce_scatter};
+pub use ring::{ring_collect, ring_reduce_scatter, ring_reduce_scatter_scratch};
 
 use std::ops::Range;
 

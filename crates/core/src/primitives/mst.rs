@@ -30,17 +30,53 @@ struct Level {
     other: usize,
 }
 
+/// The recorded halving walk: at most `⌈log₂ p⌉ ≤ usize::BITS` levels,
+/// held inline so tracing the path costs no heap allocation (the walk
+/// runs on every hop of every MST primitive).
+#[derive(Debug, Clone, Copy)]
+struct LevelPath {
+    levels: [Level; usize::BITS as usize],
+    len: usize,
+}
+
+impl LevelPath {
+    fn iter(&self) -> std::slice::Iter<'_, Level> {
+        self.levels[..self.len].iter()
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl<'a> IntoIterator for &'a LevelPath {
+    type Item = &'a Level;
+    type IntoIter = std::slice::Iter<'a, Level>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// Walks the halving recursion from `[0, p)` down to a singleton around
 /// `me`, recording each level. `root` is the range root at entry.
-fn levels(me: usize, p: usize, mut root: usize) -> Vec<Level> {
+fn levels(me: usize, p: usize, mut root: usize) -> LevelPath {
     let mut lo = 0;
     let mut hi = p;
-    let mut out = Vec::new();
+    let mut out = LevelPath {
+        levels: [Level {
+            mid: 0,
+            root: 0,
+            other: 0,
+        }; usize::BITS as usize],
+        len: 0,
+    };
     while hi - lo > 1 {
         // Left half [lo, mid) is the larger on odd sizes.
         let mid = lo + (hi - lo).div_ceil(2);
         let other = if root < mid { mid } else { mid - 1 };
-        out.push(Level { mid, root, other });
+        out.levels[out.len] = Level { mid, root, other };
+        out.len += 1;
         if me < mid {
             hi = mid;
             root = if root < mid { root } else { mid - 1 };
@@ -56,7 +92,10 @@ fn check_root<C: Comm + ?Sized>(gc: &GroupComm<'_, C>, root: usize) -> Result<()
     if root < gc.len() {
         Ok(())
     } else {
-        Err(CommError::InvalidRoot { root, size: gc.len() })
+        Err(CommError::InvalidRoot {
+            root,
+            size: gc.len(),
+        })
     }
 }
 
@@ -70,7 +109,7 @@ pub fn mst_bcast<T: Scalar, C: Comm + ?Sized>(
 ) -> Result<()> {
     check_root(gc, root)?;
     let me = gc.me();
-    for lvl in levels(me, gc.len(), root) {
+    for lvl in levels(me, gc.len(), root).iter() {
         gc.call_overhead();
         if me == lvl.root {
             gc.send(lvl.other, tag, buf)?;
@@ -92,18 +131,35 @@ pub fn mst_reduce<T: Elem, C: Comm + ?Sized>(
     op: ReduceOp,
     tag: Tag,
 ) -> Result<()> {
+    let mut scratch = Vec::new();
+    mst_reduce_scratch(gc, root, buf, op, tag, &mut scratch)
+}
+
+/// [`mst_reduce`] with caller-provided scratch: `scratch` is resized to
+/// `buf.len()` (growing its allocation at most once across a whole
+/// collective's steps) so composed algorithms reuse one buffer for every
+/// step instead of allocating per recursion level.
+pub fn mst_reduce_scratch<T: Elem, C: Comm + ?Sized>(
+    gc: &GroupComm<'_, C>,
+    root: usize,
+    buf: &mut [T],
+    op: ReduceOp,
+    tag: Tag,
+    scratch: &mut Vec<T>,
+) -> Result<()> {
     check_root(gc, root)?;
     let me = gc.me();
     let path = levels(me, gc.len(), root);
-    let mut scratch = vec![T::default(); buf.len()];
+    scratch.clear();
+    scratch.resize(buf.len(), T::default());
     // Broadcast communications in reverse order, data flowing inward.
     for lvl in path.iter().rev() {
         gc.call_overhead();
         if me == lvl.other {
             gc.send(lvl.root, tag, buf)?;
         } else if me == lvl.root {
-            gc.recv(lvl.other, tag, &mut scratch)?;
-            op.fold_into(buf, &scratch);
+            gc.recv(lvl.other, tag, &mut scratch[..])?;
+            op.fold_into(buf, scratch);
             gc.compute(std::mem::size_of_val(&buf[..]));
         }
     }
@@ -125,7 +181,7 @@ pub fn mst_scatter<T: Scalar, C: Comm + ?Sized>(
     let me = gc.me();
     let mut lo = 0;
     let mut hi = gc.len();
-    for lvl in levels(me, gc.len(), root) {
+    for lvl in levels(me, gc.len(), root).iter() {
         gc.call_overhead();
         // Region held by the half not containing the current root.
         let region = if lvl.root < lvl.mid {
@@ -162,13 +218,14 @@ pub fn mst_gather<T: Scalar, C: Comm + ?Sized>(
     let me = gc.me();
     let path = levels(me, gc.len(), root);
     // Reconstruct the [lo, hi) extents alongside the path so the reversed
-    // replay knows each level's region.
-    let mut extents = Vec::with_capacity(path.len());
+    // replay knows each level's region (inline like the path itself — no
+    // per-call heap allocation).
+    let mut extents = [(0usize, 0usize); usize::BITS as usize];
     {
         let mut lo = 0;
         let mut hi = gc.len();
-        for lvl in &path {
-            extents.push((lo, hi));
+        for (i, lvl) in path.iter().enumerate() {
+            extents[i] = (lo, hi);
             if me < lvl.mid {
                 hi = lvl.mid;
             } else {
@@ -176,7 +233,7 @@ pub fn mst_gather<T: Scalar, C: Comm + ?Sized>(
             }
         }
     }
-    for (lvl, &(lo, hi)) in path.iter().zip(&extents).rev() {
+    for (lvl, &(lo, hi)) in path.iter().zip(extents[..path.len].iter()).rev() {
         gc.call_overhead();
         let region = if lvl.root < lvl.mid {
             blocks[lvl.mid].start..blocks[hi - 1].end
@@ -227,7 +284,7 @@ mod tests {
                 for root in 0..p {
                     let mut lo = 0;
                     let mut hi = p;
-                    for lvl in levels(me, p, root) {
+                    for lvl in levels(me, p, root).iter() {
                         if me < lvl.mid {
                             hi = lvl.mid;
                         } else {
@@ -250,7 +307,7 @@ mod tests {
                 for root in 0..p {
                     let mut lo = 0;
                     let mut hi = p;
-                    for lvl in levels(me, p, root) {
+                    for lvl in levels(me, p, root).iter() {
                         assert!((lo..hi).contains(&lvl.root), "root escaped range");
                         assert!((lo..hi).contains(&lvl.other));
                         // root and other on opposite sides of mid

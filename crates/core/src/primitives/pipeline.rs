@@ -33,7 +33,10 @@ pub fn pipelined_ring_bcast<T: Scalar, C: Comm + ?Sized>(
     tag: Tag,
 ) -> Result<()> {
     if root >= gc.len() {
-        return Err(CommError::InvalidRoot { root, size: gc.len() });
+        return Err(CommError::InvalidRoot {
+            root,
+            size: gc.len(),
+        });
     }
     let p = gc.len();
     if p == 1 {
@@ -124,7 +127,10 @@ mod tests {
 
     #[test]
     fn segment_count_clamped_to_length() {
-        let m = MachineParams { alpha: 1e-12, ..MachineParams::PARAGON };
+        let m = MachineParams {
+            alpha: 1e-12,
+            ..MachineParams::PARAGON
+        };
         assert!(optimal_segments(32, 16, &m) <= 16);
     }
 }

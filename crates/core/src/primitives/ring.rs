@@ -61,6 +61,22 @@ pub fn ring_reduce_scatter<T: Elem, C: Comm + ?Sized>(
     op: ReduceOp,
     tag: Tag,
 ) -> Result<()> {
+    let mut scratch = Vec::new();
+    ring_reduce_scatter_scratch(gc, buf, blocks, op, tag, &mut scratch)
+}
+
+/// [`ring_reduce_scatter`] with caller-provided scratch: `scratch` is
+/// resized to the largest block (growing its allocation at most once
+/// across a whole collective's steps) so composed algorithms reuse one
+/// bucket buffer for every ring stage instead of allocating per level.
+pub fn ring_reduce_scatter_scratch<T: Elem, C: Comm + ?Sized>(
+    gc: &GroupComm<'_, C>,
+    buf: &mut [T],
+    blocks: &[Range<usize>],
+    op: ReduceOp,
+    tag: Tag,
+    scratch: &mut Vec<T>,
+) -> Result<()> {
     let p = gc.len();
     debug_check_blocks(blocks, p, buf.len());
     if p == 1 {
@@ -71,7 +87,8 @@ pub fn ring_reduce_scatter<T: Elem, C: Comm + ?Sized>(
     let right = (me + 1) % p;
     let left = (me + p - 1) % p;
     let max_block = blocks.iter().map(|b| b.len()).max().unwrap_or(0);
-    let mut scratch = vec![T::default(); max_block];
+    scratch.clear();
+    scratch.resize(max_block, T::default());
     for t in 0..p - 1 {
         let sb = (me + p - t - 1) % p; // partially-combined block sent on
         let rb = (me + p - t - 2) % p; // bucket arriving from the left

@@ -22,7 +22,10 @@ fn hybrids(p: usize) -> Vec<Algo> {
     for dims in intercom_topology::factor::factorizations(p, 0) {
         if dims.len() >= 2 {
             out.push(Algo::Hybrid(Strategy::new(dims.clone(), StrategyKind::Mst)));
-            out.push(Algo::Hybrid(Strategy::new(dims, StrategyKind::ScatterCollect)));
+            out.push(Algo::Hybrid(Strategy::new(
+                dims,
+                StrategyKind::ScatterCollect,
+            )));
         }
     }
     // Bound the explosion for rich composites: keep at most 8.
@@ -85,7 +88,8 @@ fn reduce_all_sizes_roots_algos() {
                     let out = run_world(p, |c| {
                         let cc = Communicator::world(c, MachineParams::PARAGON);
                         let mut buf = contribution(cc.rank(), n);
-                        cc.reduce_with(root, &mut buf, ReduceOp::Sum, &algo).unwrap();
+                        cc.reduce_with(root, &mut buf, ReduceOp::Sum, &algo)
+                            .unwrap();
                         buf
                     });
                     assert_eq!(
@@ -115,7 +119,10 @@ fn allreduce_all_sizes_algos_and_ops() {
                     buf
                 });
                 for (r, got) in out.iter().enumerate() {
-                    assert_eq!(got, &expect, "allreduce p={p} op={op:?} algo={algo:?} rank={r}");
+                    assert_eq!(
+                        got, &expect,
+                        "allreduce p={p} op={op:?} algo={algo:?} rank={r}"
+                    );
                 }
             }
         }
@@ -162,7 +169,8 @@ fn reduce_scatter_all_sizes_algos() {
                     let cc = Communicator::world(c, MachineParams::PARAGON);
                     let contrib = contribution(cc.rank(), p * b);
                     let mut mine = vec![0i64; b];
-                    cc.reduce_scatter_with(&contrib, &mut mine, ReduceOp::Sum, &algo).unwrap();
+                    cc.reduce_scatter_with(&contrib, &mut mine, ReduceOp::Sum, &algo)
+                        .unwrap();
                     mine
                 });
                 for (r, got) in out.iter().enumerate() {
@@ -188,18 +196,33 @@ fn scatter_and_gather_all_sizes() {
                     let cc = Communicator::world(c, MachineParams::PARAGON);
                     let me = cc.rank();
                     let mut mine = vec![0i64; b];
-                    let send = if me == root { Some(&full_for_world[..]) } else { None };
+                    let send = if me == root {
+                        Some(&full_for_world[..])
+                    } else {
+                        None
+                    };
                     cc.scatter(root, send, &mut mine).unwrap();
                     // Round-trip: gather back and verify at the root.
                     let mut back = vec![0i64; if me == root { p * b } else { 0 }];
-                    let recv = if me == root { Some(&mut back[..]) } else { None };
+                    let recv = if me == root {
+                        Some(&mut back[..])
+                    } else {
+                        None
+                    };
                     cc.gather(root, &mine, recv).unwrap();
                     (mine, back)
                 });
                 for (r, (mine, _)) in out.iter().enumerate() {
-                    assert_eq!(mine, &full[r * b..(r + 1) * b], "scatter p={p} root={root} b={b}");
+                    assert_eq!(
+                        mine,
+                        &full[r * b..(r + 1) * b],
+                        "scatter p={p} root={root} b={b}"
+                    );
                 }
-                assert_eq!(out[root].1, full, "gather round-trip p={p} root={root} b={b}");
+                assert_eq!(
+                    out[root].1, full,
+                    "gather round-trip p={p} root={root} b={b}"
+                );
             }
         }
     }
@@ -216,8 +239,9 @@ fn float_allreduce_is_deterministic_across_algos() {
         let run = || {
             run_world(p, |c| {
                 let cc = Communicator::world(c, MachineParams::PARAGON);
-                let mut buf: Vec<f64> =
-                    (0..40).map(|i| ((cc.rank() * 37 + i) as f64).sin()).collect();
+                let mut buf: Vec<f64> = (0..40)
+                    .map(|i| ((cc.rank() * 37 + i) as f64).sin())
+                    .collect();
                 cc.allreduce_with(&mut buf, ReduceOp::Sum, &algo).unwrap();
                 buf
             })

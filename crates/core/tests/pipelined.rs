@@ -19,15 +19,16 @@ fn pipelined_bcast_delivers_all_sizes_roots_segments() {
                     let expect = payload(n);
                     let out = run_world(p, |c| {
                         let gc = GroupComm::world(c);
-                        let mut buf = if gc.me() == root { payload(n) } else { vec![0; n] };
+                        let mut buf = if gc.me() == root {
+                            payload(n)
+                        } else {
+                            vec![0; n]
+                        };
                         pipelined_ring_bcast(&gc, root, &mut buf, m, 0).unwrap();
                         buf
                     });
                     for (r, got) in out.iter().enumerate() {
-                        assert_eq!(
-                            got, &expect,
-                            "p={p} root={root} n={n} m={m} rank={r}"
-                        );
+                        assert_eq!(got, &expect, "p={p} root={root} n={n} m={m} rank={r}");
                     }
                 }
             }
@@ -43,8 +44,8 @@ fn pipelined_beats_scatter_collect_in_model_for_long_vectors() {
     let p = 64;
     let n = 1 << 20;
     let m = optimal_segments(p, n, &machine);
-    let t_pipe = (p as f64 - 2.0 + m as f64)
-        * (machine.alpha + (n as f64 / m as f64) * machine.beta);
+    let t_pipe =
+        (p as f64 - 2.0 + m as f64) * (machine.alpha + (n as f64 / m as f64) * machine.beta);
     let t_sc = intercom_cost::collective::long_cost(
         intercom_cost::CollectiveOp::Broadcast,
         p,
@@ -66,5 +67,8 @@ fn pipelined_beats_scatter_collect_in_model_for_long_vectors() {
         intercom_cost::CostContext::LINEAR,
     )
     .eval(n_short, &machine);
-    assert!(t_mst < t_pipe_short, "MST {t_mst} must beat pipelined {t_pipe_short} at 64B");
+    assert!(
+        t_mst < t_pipe_short,
+        "MST {t_mst} must beat pipelined {t_pipe_short} at 64B"
+    );
 }

@@ -1,6 +1,10 @@
 //! Property-based correctness: randomized group sizes, roots, vector
 //! lengths, reduce ops and hybrid strategies, executed on the threaded
 //! backend and checked against sequential references.
+//!
+//! Gated behind the non-default `heavy-tests` feature because it needs
+//! the external `proptest` crate (see the dep policy in the README).
+#![cfg(feature = "heavy-tests")]
 
 use intercom::{Algo, Comm, Communicator, ReduceOp};
 use intercom_cost::{MachineParams, Strategy, StrategyKind};
@@ -14,7 +18,11 @@ fn arb_strategy() -> impl PropStrategy<Value = (usize, Strategy)> {
     (2usize..=24, any::<bool>(), any::<u64>()).prop_map(|(p, mst, seed)| {
         let fs = intercom_topology::factor::factorizations(p, 0);
         let dims = fs[(seed as usize) % fs.len()].clone();
-        let kind = if mst { StrategyKind::Mst } else { StrategyKind::ScatterCollect };
+        let kind = if mst {
+            StrategyKind::Mst
+        } else {
+            StrategyKind::ScatterCollect
+        };
         (p, Strategy::new(dims, kind))
     })
 }
@@ -22,7 +30,10 @@ fn arb_strategy() -> impl PropStrategy<Value = (usize, Strategy)> {
 fn contribution(rank: usize, n: usize, salt: u64) -> Vec<i64> {
     (0..n)
         .map(|i| {
-            let x = (rank as u64).wrapping_mul(0x9E37_79B9).wrapping_add(i as u64) ^ salt;
+            let x = (rank as u64)
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(i as u64)
+                ^ salt;
             (x % 2003) as i64 - 1001
         })
         .collect()

@@ -73,8 +73,7 @@ fn mixed_collective_soak() {
                     let mine = vec![me as i64; n];
                     let mut all = vec![0i64; n * P];
                     cc.allgather_with(&mine, &mut all, &algo).unwrap();
-                    let ok = (0..P)
-                        .all(|r| all[r * n..(r + 1) * n].iter().all(|&x| x == r as i64));
+                    let ok = (0..P).all(|r| all[r * n..(r + 1) * n].iter().all(|&x| x == r as i64));
                     if !ok {
                         failures.push(format!("step {step} allgather"));
                     }
@@ -108,9 +107,7 @@ fn soak_on_group_subset() {
     let members: Vec<usize> = vec![1, 3, 5, 7];
     let m2 = members.clone();
     let out = run_world(P, |c| {
-        let Ok(cc) =
-            Communicator::from_group(c, MachineParams::PARAGON, m2.clone(), None)
-        else {
+        let Ok(cc) = Communicator::from_group(c, MachineParams::PARAGON, m2.clone(), None) else {
             return true;
         };
         for n in [1usize, 5, 64] {

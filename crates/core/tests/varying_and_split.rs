@@ -18,8 +18,8 @@ fn allgatherv_concatenates_uneven_blocks() {
         let cts = counts(p);
         let total: usize = cts.iter().sum();
         let mut expect = Vec::new();
-        for r in 0..p {
-            expect.extend((0..cts[r]).map(|i| (r * 100 + i) as i64));
+        for (r, &ct) in cts.iter().enumerate() {
+            expect.extend((0..ct).map(|i| (r * 100 + i) as i64));
         }
         let cts2 = cts.clone();
         let out = run_world(p, |c| {
@@ -52,7 +52,11 @@ fn scatterv_gatherv_roundtrip_uneven() {
                 let send = if me == root { Some(&full2[..]) } else { None };
                 cc.scatterv(root, send, &cts2, &mut mine).unwrap();
                 let mut back = vec![0i64; if me == root { total } else { 0 }];
-                let recv = if me == root { Some(&mut back[..]) } else { None };
+                let recv = if me == root {
+                    Some(&mut back[..])
+                } else {
+                    None
+                };
                 cc.gatherv(root, &mine, &cts2, recv).unwrap();
                 (mine, back)
             });

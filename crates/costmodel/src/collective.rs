@@ -95,21 +95,31 @@ pub struct CostContext {
 
 impl CostContext {
     /// The pure §2/§6 linear-array model (used for Table 2 and Fig. 2).
-    pub const LINEAR: CostContext =
-        CostContext { model: ConflictModel::LinearArray, link_excess: 1.0 };
+    pub const LINEAR: CostContext = CostContext {
+        model: ConflictModel::LinearArray,
+        link_excess: 1.0,
+    };
 
     /// Stages mapped to physical mesh rows/columns (§7.1): conflict-free.
-    pub const MESH: CostContext =
-        CostContext { model: ConflictModel::MeshRowsCols, link_excess: 1.0 };
+    pub const MESH: CostContext = CostContext {
+        model: ConflictModel::MeshRowsCols,
+        link_excess: 1.0,
+    };
 
     /// Linear-array conflicts discounted by a machine's link excess.
     pub fn linear_with(machine: &MachineParams) -> Self {
-        CostContext { model: ConflictModel::LinearArray, link_excess: machine.link_excess }
+        CostContext {
+            model: ConflictModel::LinearArray,
+            link_excess: machine.link_excess,
+        }
     }
 
     /// Mesh rows/columns staging with a machine's link excess.
     pub fn mesh_with(machine: &MachineParams) -> Self {
-        CostContext { model: ConflictModel::MeshRowsCols, link_excess: machine.link_excess }
+        CostContext {
+            model: ConflictModel::MeshRowsCols,
+            link_excess: machine.link_excess,
+        }
     }
 }
 
@@ -156,7 +166,12 @@ impl StageCosts {
     fn mst_scatter(&self, s: &Strategy, i: usize) -> CostExpr {
         let d = s.dims[i];
         let frac = (d as f64 - 1.0) / d as f64;
-        CostExpr::new(ceil_log2(d), frac * self.beta_scale(s, i), 0.0, ceil_log2(d))
+        CostExpr::new(
+            ceil_log2(d),
+            frac * self.beta_scale(s, i),
+            0.0,
+            ceil_log2(d),
+        )
     }
 
     fn mst_gather(&self, s: &Strategy, i: usize) -> CostExpr {
@@ -298,7 +313,11 @@ mod tests {
     const P: usize = 30;
 
     fn bcast(dims: Vec<usize>, kind: StrategyKind) -> CostExpr {
-        hybrid_cost(CollectiveOp::Broadcast, &Strategy::new(dims, kind), CostContext::LINEAR)
+        hybrid_cost(
+            CollectiveOp::Broadcast,
+            &Strategy::new(dims, kind),
+            CostContext::LINEAR,
+        )
     }
 
     // ---- Table 2 reproduction (paper page 110) ----
@@ -500,7 +519,10 @@ mod tests {
         let disc = hybrid_cost(
             CollectiveOp::Broadcast,
             &s,
-            CostContext { model: ConflictModel::LinearArray, link_excess: 2.0 },
+            CostContext {
+                model: ConflictModel::LinearArray,
+                link_excess: 2.0,
+            },
         );
         assert!(disc.beta_c < full.beta_c);
     }

@@ -32,9 +32,21 @@ pub fn catalog(p: usize) -> Vec<CatalogEntry> {
         long: long_cost(op, p, ctx),
     };
     vec![
-        entry(CollectiveOp::Broadcast, "MST broadcast", "scatter + bucket collect"),
-        entry(CollectiveOp::Scatter, "MST scatter", "MST scatter (serves both regimes)"),
-        entry(CollectiveOp::Gather, "MST gather", "MST gather (serves both regimes)"),
+        entry(
+            CollectiveOp::Broadcast,
+            "MST broadcast",
+            "scatter + bucket collect",
+        ),
+        entry(
+            CollectiveOp::Scatter,
+            "MST scatter",
+            "MST scatter (serves both regimes)",
+        ),
+        entry(
+            CollectiveOp::Gather,
+            "MST gather",
+            "MST gather (serves both regimes)",
+        ),
         entry(
             CollectiveOp::Collect,
             "gather + MST broadcast",

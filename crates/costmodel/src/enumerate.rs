@@ -64,7 +64,11 @@ pub fn enumerate_mesh_strategies(rows: usize, cols: usize, max_dims: usize) -> V
                 continue;
             }
             out.push(Strategy::on_mesh(dims.clone(), StrategyKind::Mst, rp.len()));
-            out.push(Strategy::on_mesh(dims, StrategyKind::ScatterCollect, rp.len()));
+            out.push(Strategy::on_mesh(
+                dims,
+                StrategyKind::ScatterCollect,
+                rp.len(),
+            ));
         }
     }
     out

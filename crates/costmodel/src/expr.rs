@@ -26,31 +26,53 @@ pub struct CostExpr {
 
 impl CostExpr {
     /// The zero cost.
-    pub const ZERO: CostExpr = CostExpr { alpha_c: 0.0, beta_c: 0.0, gamma_c: 0.0, delta_c: 0.0 };
+    pub const ZERO: CostExpr = CostExpr {
+        alpha_c: 0.0,
+        beta_c: 0.0,
+        gamma_c: 0.0,
+        delta_c: 0.0,
+    };
 
     /// A pure latency term `c·α`.
     pub fn alpha(c: f64) -> Self {
-        CostExpr { alpha_c: c, ..Self::ZERO }
+        CostExpr {
+            alpha_c: c,
+            ..Self::ZERO
+        }
     }
 
     /// A pure bandwidth term `c·nβ`.
     pub fn beta(c: f64) -> Self {
-        CostExpr { beta_c: c, ..Self::ZERO }
+        CostExpr {
+            beta_c: c,
+            ..Self::ZERO
+        }
     }
 
     /// A pure compute term `c·nγ`.
     pub fn gamma(c: f64) -> Self {
-        CostExpr { gamma_c: c, ..Self::ZERO }
+        CostExpr {
+            gamma_c: c,
+            ..Self::ZERO
+        }
     }
 
     /// A pure software-overhead term `c·δ`.
     pub fn delta(c: f64) -> Self {
-        CostExpr { delta_c: c, ..Self::ZERO }
+        CostExpr {
+            delta_c: c,
+            ..Self::ZERO
+        }
     }
 
     /// Builds a cost from all four coefficients.
     pub fn new(alpha_c: f64, beta_c: f64, gamma_c: f64, delta_c: f64) -> Self {
-        CostExpr { alpha_c, beta_c, gamma_c, delta_c }
+        CostExpr {
+            alpha_c,
+            beta_c,
+            gamma_c,
+            delta_c,
+        }
     }
 
     /// Predicted time in seconds for an `n`-byte vector on machine `m`.
@@ -153,6 +175,7 @@ impl fmt::Display for CostExpr {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "heavy-tests")]
     use proptest::prelude::*;
 
     #[test]
@@ -182,6 +205,7 @@ mod tests {
         assert_eq!(b.beta_c, 6.0);
     }
 
+    #[cfg(feature = "heavy-tests")]
     proptest! {
         #[test]
         fn prop_eval_linear_in_addition(

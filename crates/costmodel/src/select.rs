@@ -39,7 +39,11 @@ pub fn rank_strategies(
         .map(|s| {
             let cost = hybrid_cost(op, &s, ctx);
             let time = cost.eval(n, machine);
-            RankedStrategy { strategy: s, cost, time }
+            RankedStrategy {
+                strategy: s,
+                cost,
+                time,
+            }
         })
         .collect();
     ranked.sort_by(|a, b| a.time.total_cmp(&b.time));
@@ -153,15 +157,26 @@ mod tests {
         // Pure M and pure SC are both 1-dim; a "true" hybrid has ≥ 2 dims
         // OR the scan at least must switch kinds. Check kinds switch:
         let short = best_strategy(CollectiveOp::Broadcast, 36, 8, &m, CostContext::LINEAR);
-        let long =
-            best_strategy(CollectiveOp::Broadcast, 36, 1 << 22, &m, CostContext::LINEAR);
+        let long = best_strategy(
+            CollectiveOp::Broadcast,
+            36,
+            1 << 22,
+            &m,
+            CostContext::LINEAR,
+        );
         assert_ne!(short.kind, long.kind);
         let _ = seen_hybrid;
     }
 
     #[test]
     fn best_mesh_strategy_covers_mesh() {
-        let s = best_mesh_strategy(CollectiveOp::Collect, 16, 32, 65536, &MachineParams::PARAGON);
+        let s = best_mesh_strategy(
+            CollectiveOp::Collect,
+            16,
+            32,
+            65536,
+            &MachineParams::PARAGON,
+        );
         assert_eq!(s.nodes(), 512);
     }
 

@@ -60,19 +60,31 @@ pub struct Strategy {
 impl Strategy {
     /// Pure short-vector algorithm on all `p` nodes: `(1×p, M)`.
     pub fn pure_mst(p: usize) -> Self {
-        Strategy { dims: vec![p], kind: StrategyKind::Mst, mesh_split: None }
+        Strategy {
+            dims: vec![p],
+            kind: StrategyKind::Mst,
+            mesh_split: None,
+        }
     }
 
     /// Pure long-vector algorithm on all `p` nodes: `(1×p, SC)`.
     pub fn pure_long(p: usize) -> Self {
-        Strategy { dims: vec![p], kind: StrategyKind::ScatterCollect, mesh_split: None }
+        Strategy {
+            dims: vec![p],
+            kind: StrategyKind::ScatterCollect,
+            mesh_split: None,
+        }
     }
 
     /// Builds a linear-array strategy, validating the dims.
     pub fn new(dims: Vec<usize>, kind: StrategyKind) -> Self {
         assert!(!dims.is_empty(), "strategy needs at least one dimension");
         assert!(dims.iter().all(|&d| d >= 1), "dims must be positive");
-        Strategy { dims, kind, mesh_split: None }
+        Strategy {
+            dims,
+            kind,
+            mesh_split: None,
+        }
     }
 
     /// Builds a mesh-mapped strategy whose first `row_dims` dims factor
@@ -141,7 +153,11 @@ impl Strategy {
 
     /// The paper's logical-mesh name, e.g. `"2x3x5"`.
     pub fn mesh_name(&self) -> String {
-        self.dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x")
+        self.dims
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("x")
     }
 }
 
@@ -158,10 +174,22 @@ mod tests {
     #[test]
     fn letters_match_paper_names() {
         assert_eq!(Strategy::new(vec![30], StrategyKind::Mst).letters(), "M");
-        assert_eq!(Strategy::new(vec![2, 15], StrategyKind::Mst).letters(), "SMC");
-        assert_eq!(Strategy::new(vec![2, 3, 5], StrategyKind::Mst).letters(), "SSMCC");
-        assert_eq!(Strategy::new(vec![5, 6], StrategyKind::ScatterCollect).letters(), "SSCC");
-        assert_eq!(Strategy::new(vec![30], StrategyKind::ScatterCollect).letters(), "SC");
+        assert_eq!(
+            Strategy::new(vec![2, 15], StrategyKind::Mst).letters(),
+            "SMC"
+        );
+        assert_eq!(
+            Strategy::new(vec![2, 3, 5], StrategyKind::Mst).letters(),
+            "SSMCC"
+        );
+        assert_eq!(
+            Strategy::new(vec![5, 6], StrategyKind::ScatterCollect).letters(),
+            "SSCC"
+        );
+        assert_eq!(
+            Strategy::new(vec![30], StrategyKind::ScatterCollect).letters(),
+            "SC"
+        );
     }
 
     #[test]

@@ -28,16 +28,56 @@ pub fn paper_table2() -> Vec<Table2Row> {
     let m = |dims: &[usize]| Strategy::new(dims.to_vec(), StrategyKind::Mst);
     let sc = |dims: &[usize]| Strategy::new(dims.to_vec(), StrategyKind::ScatterCollect);
     vec![
-        Table2Row { strategy: m(&[30]), alpha: 5.0, beta_over_30: 150.0 },
-        Table2Row { strategy: m(&[2, 15]), alpha: 6.0, beta_over_30: 150.0 },
-        Table2Row { strategy: m(&[3, 10]), alpha: 8.0, beta_over_30: 160.0 },
-        Table2Row { strategy: m(&[2, 3, 5]), alpha: 9.0, beta_over_30: 160.0 },
-        Table2Row { strategy: sc(&[5, 6]), alpha: 15.0, beta_over_30: 98.0 },
-        Table2Row { strategy: sc(&[6, 5]), alpha: 15.0, beta_over_30: 98.0 },
-        Table2Row { strategy: sc(&[3, 10]), alpha: 17.0, beta_over_30: 94.0 },
-        Table2Row { strategy: sc(&[10, 3]), alpha: 17.0, beta_over_30: 94.0 },
-        Table2Row { strategy: sc(&[2, 15]), alpha: 20.0, beta_over_30: 86.0 },
-        Table2Row { strategy: sc(&[30]), alpha: 34.0, beta_over_30: 58.0 },
+        Table2Row {
+            strategy: m(&[30]),
+            alpha: 5.0,
+            beta_over_30: 150.0,
+        },
+        Table2Row {
+            strategy: m(&[2, 15]),
+            alpha: 6.0,
+            beta_over_30: 150.0,
+        },
+        Table2Row {
+            strategy: m(&[3, 10]),
+            alpha: 8.0,
+            beta_over_30: 160.0,
+        },
+        Table2Row {
+            strategy: m(&[2, 3, 5]),
+            alpha: 9.0,
+            beta_over_30: 160.0,
+        },
+        Table2Row {
+            strategy: sc(&[5, 6]),
+            alpha: 15.0,
+            beta_over_30: 98.0,
+        },
+        Table2Row {
+            strategy: sc(&[6, 5]),
+            alpha: 15.0,
+            beta_over_30: 98.0,
+        },
+        Table2Row {
+            strategy: sc(&[3, 10]),
+            alpha: 17.0,
+            beta_over_30: 94.0,
+        },
+        Table2Row {
+            strategy: sc(&[10, 3]),
+            alpha: 17.0,
+            beta_over_30: 94.0,
+        },
+        Table2Row {
+            strategy: sc(&[2, 15]),
+            alpha: 20.0,
+            beta_over_30: 86.0,
+        },
+        Table2Row {
+            strategy: sc(&[30]),
+            alpha: 34.0,
+            beta_over_30: 58.0,
+        },
     ]
 }
 
@@ -72,7 +112,15 @@ mod tests {
             .filter(|r| r.alpha >= mst.alpha && r.beta_over_30 >= mst.beta_over_30)
             .collect();
         // MST itself plus exactly three dominated hybrids.
-        assert_eq!(worse.len(), 4, "{:?}", worse.iter().map(|r| r.strategy.to_string()).collect::<Vec<_>>());
+        assert_eq!(
+            worse.len(),
+            4,
+            "{:?}",
+            worse
+                .iter()
+                .map(|r| r.strategy.to_string())
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -81,7 +129,10 @@ mod tests {
         // store them decreasing-α-last; verify sortability and the
         // extremes).
         let rows = paper_table2();
-        let min_beta = rows.iter().map(|r| r.beta_over_30).fold(f64::INFINITY, f64::min);
+        let min_beta = rows
+            .iter()
+            .map(|r| r.beta_over_30)
+            .fold(f64::INFINITY, f64::min);
         let max_beta = rows.iter().map(|r| r.beta_over_30).fold(0.0, f64::max);
         assert_eq!(min_beta, 58.0); // pure scatter/collect
         assert_eq!(max_beta, 160.0);

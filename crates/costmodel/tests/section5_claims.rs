@@ -2,9 +2,7 @@
 //! model over a sweep of group sizes.
 
 use intercom_cost::collective::{hybrid_cost, long_cost, short_cost};
-use intercom_cost::{
-    enumerate_strategies, CollectiveOp, CostContext, MachineParams, Strategy,
-};
+use intercom_cost::{enumerate_strategies, CollectiveOp, CostContext, MachineParams, Strategy};
 
 fn log2c(p: usize) -> f64 {
     if p <= 1 {
@@ -127,11 +125,11 @@ fn selection_agrees_with_brute_force() {
                 &machine,
                 CostContext::LINEAR,
             );
-            let best_t = hybrid_cost(CollectiveOp::Broadcast, &best, CostContext::LINEAR)
-                .eval(n, &machine);
+            let best_t =
+                hybrid_cost(CollectiveOp::Broadcast, &best, CostContext::LINEAR).eval(n, &machine);
             for s in enumerate_strategies(p, 0) {
-                let t = hybrid_cost(CollectiveOp::Broadcast, &s, CostContext::LINEAR)
-                    .eval(n, &machine);
+                let t =
+                    hybrid_cost(CollectiveOp::Broadcast, &s, CostContext::LINEAR).eval(n, &machine);
                 assert!(
                     best_t <= t + 1e-15,
                     "p={p} n={n}: {best} ({best_t}) beaten by {s} ({t})"
@@ -146,7 +144,10 @@ fn hybrid_costs_scale_with_conflict_discount() {
     // Raising link excess never increases any strategy's cost, and
     // strictly helps at least one interleaved hybrid.
     let base = CostContext::LINEAR;
-    let relaxed = CostContext { link_excess: 4.0, ..CostContext::LINEAR };
+    let relaxed = CostContext {
+        link_excess: 4.0,
+        ..CostContext::LINEAR
+    };
     let mut strictly_helped = false;
     for s in enumerate_strategies(24, 0) {
         let c0 = hybrid_cost(CollectiveOp::Broadcast, &s, base);

@@ -1,19 +1,27 @@
 //! The per-rank simulated endpoint.
 
 use crate::engine::{Reply, Request};
-use crossbeam_channel::{Receiver, Sender};
-use intercom::{Comm, CommError, Result, Tag};
+use intercom::{BufferPool, Comm, CommError, PoolStats, Result, Tag};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
 
 /// A rank's endpoint inside a simulated world. Blocking operations
 /// round-trip through the central engine, which advances virtual time;
 /// `compute`/`call_overhead` are fire-and-forget clock advances (the
 /// request channel preserves per-rank order, so accounting lands in
 /// program order).
+///
+/// Payloads travel in pooled `Vec<u8>`s drawn from one pool shared by
+/// the whole simulated world: `send` acquires and fills a buffer, the
+/// engine moves it end to end without re-buffering, and the receiving
+/// endpoint returns it to the pool after copying into the caller's
+/// buffer — steady-state hops allocate nothing.
 pub struct SimComm {
     rank: usize,
     size: usize,
     to_engine: Sender<(usize, Request)>,
     from_engine: Receiver<Reply>,
+    pool: Arc<BufferPool>,
     finished: std::cell::Cell<bool>,
 }
 
@@ -23,17 +31,50 @@ impl SimComm {
         size: usize,
         to_engine: Sender<(usize, Request)>,
         from_engine: Receiver<Reply>,
+        pool: Arc<BufferPool>,
     ) -> Self {
-        SimComm { rank, size, to_engine, from_engine, finished: std::cell::Cell::new(false) }
+        SimComm {
+            rank,
+            size,
+            to_engine,
+            from_engine,
+            pool,
+            finished: std::cell::Cell::new(false),
+        }
     }
 
     fn roundtrip(&self, req: Request) -> Result<Reply> {
-        self.to_engine.send((self.rank, req)).map_err(|_| CommError::Disconnected)?;
-        let reply = self.from_engine.recv().map_err(|_| CommError::Disconnected)?;
+        self.to_engine
+            .send((self.rank, req))
+            .map_err(|_| CommError::Disconnected)?;
+        let reply = self
+            .from_engine
+            .recv()
+            .map_err(|_| CommError::Disconnected)?;
         match reply.err {
             Some(e) => Err(e),
             None => Ok(reply),
         }
+    }
+
+    /// Copies a pooled payload from `data` for shipment to the engine.
+    fn pooled_copy(&self, data: &[u8]) -> Vec<u8> {
+        let mut payload = self.pool.acquire(data.len());
+        payload.extend_from_slice(data);
+        payload
+    }
+
+    /// Unpacks a reply's payload into `buf` and recycles the buffer.
+    fn unpack(&self, reply: Reply, buf: &mut [u8]) -> Result<()> {
+        let data = reply.data.ok_or(CommError::Disconnected)?;
+        buf.copy_from_slice(&data);
+        self.pool.release(data);
+        Ok(())
+    }
+
+    /// Counters of the world-shared payload pool.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     pub(crate) fn finish(&self) {
@@ -62,15 +103,21 @@ impl Comm for SimComm {
     }
 
     fn send(&self, to: usize, tag: Tag, data: &[u8]) -> Result<()> {
-        self.roundtrip(Request::Send { to, tag, data: data.to_vec() })?;
+        self.roundtrip(Request::Send {
+            to,
+            tag,
+            data: self.pooled_copy(data),
+        })?;
         Ok(())
     }
 
     fn recv(&self, from: usize, tag: Tag, buf: &mut [u8]) -> Result<()> {
-        let reply = self.roundtrip(Request::Recv { from, tag, len: buf.len() })?;
-        let data = reply.data.ok_or(CommError::Disconnected)?;
-        buf.copy_from_slice(&data);
-        Ok(())
+        let reply = self.roundtrip(Request::Recv {
+            from,
+            tag,
+            len: buf.len(),
+        })?;
+        self.unpack(reply, buf)
     }
 
     fn sendrecv(
@@ -83,14 +130,12 @@ impl Comm for SimComm {
     ) -> Result<()> {
         let reply = self.roundtrip(Request::SendRecv {
             to,
-            data: data.to_vec(),
+            data: self.pooled_copy(data),
             from,
             tag,
             rlen: buf.len(),
         })?;
-        let got = reply.data.ok_or(CommError::Disconnected)?;
-        buf.copy_from_slice(&got);
-        Ok(())
+        self.unpack(reply, buf)
     }
 
     fn compute(&self, bytes: usize) {

@@ -17,6 +17,7 @@
 use crate::fluid::FluidScratch;
 use crate::net::NetSpec;
 use crate::trace::TransferRecord;
+use intercom::rng::splitmix64;
 use intercom::{CommError, Tag};
 use intercom_cost::MachineParams;
 use std::collections::{HashMap, VecDeque};
@@ -24,10 +25,26 @@ use std::collections::{HashMap, VecDeque};
 /// What a rank asked the simulator to do.
 #[derive(Debug)]
 pub(crate) enum Request {
-    Send { to: usize, tag: Tag, data: Vec<u8> },
-    Recv { from: usize, tag: Tag, len: usize },
-    SendRecv { to: usize, data: Vec<u8>, from: usize, tag: Tag, rlen: usize },
-    Compute { bytes: usize },
+    Send {
+        to: usize,
+        tag: Tag,
+        data: Vec<u8>,
+    },
+    Recv {
+        from: usize,
+        tag: Tag,
+        len: usize,
+    },
+    SendRecv {
+        to: usize,
+        data: Vec<u8>,
+        from: usize,
+        tag: Tag,
+        rlen: usize,
+    },
+    Compute {
+        bytes: usize,
+    },
     CallOverhead,
     Finished,
 }
@@ -42,7 +59,11 @@ pub(crate) struct Reply {
 #[derive(Debug)]
 enum RankState {
     Running,
-    Blocked { outstanding: u8, recv_data: Option<Vec<u8>>, err: Option<CommError> },
+    Blocked {
+        outstanding: u8,
+        recv_data: Option<Vec<u8>>,
+        err: Option<CommError>,
+    },
     Finished,
 }
 
@@ -98,6 +119,10 @@ pub(crate) struct Engine {
     /// (dense per-topology slot numbering).
     fluid: FluidScratch,
     rates_buf: Vec<f64>,
+    /// Set when the active-transfer set changes (activation or
+    /// completion); the max-min solve is skipped while clear, since the
+    /// rates of an unchanged set are already correct.
+    rates_dirty: bool,
     /// "Timing irregularities resulting from the more complex operating
     /// systems of current generation machines" (§8): each transfer's
     /// startup and duration are inflated by up to `jitter` (fraction),
@@ -105,14 +130,6 @@ pub(crate) struct Engine {
     jitter: f64,
     jitter_seed: u64,
     jitter_counter: u64,
-}
-
-/// SplitMix64 finalizer: deterministic, well-mixed 64-bit hash.
-fn splitmix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 impl Engine {
@@ -150,6 +167,7 @@ impl Engine {
             trace: record_trace.then(Vec::new),
             fluid: FluidScratch::new(universe),
             rates_buf: Vec::new(),
+            rates_dirty: false,
             jitter,
             jitter_seed,
             jitter_counter: 0,
@@ -163,7 +181,7 @@ impl Engine {
             return 1.0;
         }
         self.jitter_counter += 1;
-        let h = splitmix(self.jitter_seed ^ self.jitter_counter);
+        let h = splitmix64(self.jitter_seed ^ self.jitter_counter);
         let u = (h >> 11) as f64 / (1u64 << 53) as f64;
         1.0 + self.jitter * u
     }
@@ -222,7 +240,13 @@ impl Engine {
                 self.block(rank, 1);
                 self.post_recv(from, rank, tag, len);
             }
-            Request::SendRecv { to, data, from, tag, rlen } => {
+            Request::SendRecv {
+                to,
+                data,
+                from,
+                tag,
+                rlen,
+            } => {
                 self.block(rank, 2);
                 self.post_send(rank, to, tag, data);
                 self.post_recv(from, rank, tag, rlen);
@@ -231,28 +255,55 @@ impl Engine {
     }
 
     fn block(&mut self, rank: usize, outstanding: u8) {
-        self.states[rank] =
-            RankState::Blocked { outstanding, recv_data: None, err: None };
+        self.states[rank] = RankState::Blocked {
+            outstanding,
+            recv_data: None,
+            err: None,
+        };
         self.blocked += 1;
     }
 
     fn post_send(&mut self, src: usize, dst: usize, tag: Tag, data: Vec<u8>) {
         if dst >= self.ranks() {
-            self.half_error(src, CommError::InvalidRank { rank: dst, size: self.ranks() });
+            self.half_error(
+                src,
+                CommError::InvalidRank {
+                    rank: dst,
+                    size: self.ranks(),
+                },
+            );
             return;
         }
-        let half = SendHalf { posted: self.clocks[src], data };
-        self.pending_sends.entry((src, dst, tag)).or_default().push_back(half);
+        let half = SendHalf {
+            posted: self.clocks[src],
+            data,
+        };
+        self.pending_sends
+            .entry((src, dst, tag))
+            .or_default()
+            .push_back(half);
         self.try_match(src, dst, tag);
     }
 
     fn post_recv(&mut self, src: usize, dst: usize, tag: Tag, len: usize) {
         if src >= self.ranks() {
-            self.half_error(dst, CommError::InvalidRank { rank: src, size: self.ranks() });
+            self.half_error(
+                dst,
+                CommError::InvalidRank {
+                    rank: src,
+                    size: self.ranks(),
+                },
+            );
             return;
         }
-        let half = RecvHalf { posted: self.clocks[dst], len };
-        self.pending_recvs.entry((src, dst, tag)).or_default().push_back(half);
+        let half = RecvHalf {
+            posted: self.clocks[dst],
+            len,
+        };
+        self.pending_recvs
+            .entry((src, dst, tag))
+            .or_default()
+            .push_back(half);
         self.try_match(src, dst, tag);
     }
 
@@ -266,10 +317,23 @@ impl Engine {
             if s_empty || r_empty {
                 return;
             }
-            let s = self.pending_sends.get_mut(&key).unwrap().pop_front().unwrap();
-            let r = self.pending_recvs.get_mut(&key).unwrap().pop_front().unwrap();
+            let s = self
+                .pending_sends
+                .get_mut(&key)
+                .unwrap()
+                .pop_front()
+                .unwrap();
+            let r = self
+                .pending_recvs
+                .get_mut(&key)
+                .unwrap()
+                .pop_front()
+                .unwrap();
             if s.data.len() != r.len {
-                let err = CommError::LengthMismatch { expected: r.len, actual: s.data.len() };
+                let err = CommError::LengthMismatch {
+                    expected: r.len,
+                    actual: s.data.len(),
+                };
                 self.half_error(src, err.clone());
                 self.half_error(dst, err);
                 continue;
@@ -304,7 +368,10 @@ impl Engine {
 
     /// Records an erroneous half-completion on `rank`.
     fn half_error(&mut self, rank: usize, e: CommError) {
-        if let RankState::Blocked { outstanding, err, .. } = &mut self.states[rank] {
+        if let RankState::Blocked {
+            outstanding, err, ..
+        } = &mut self.states[rank]
+        {
             *outstanding -= 1;
             err.get_or_insert(e);
             if *outstanding == 0 {
@@ -315,7 +382,12 @@ impl Engine {
 
     /// Records a successful half-completion on `rank`.
     fn half_done(&mut self, rank: usize, data: Option<Vec<u8>>) {
-        if let RankState::Blocked { outstanding, recv_data, .. } = &mut self.states[rank] {
+        if let RankState::Blocked {
+            outstanding,
+            recv_data,
+            ..
+        } = &mut self.states[rank]
+        {
             *outstanding -= 1;
             if data.is_some() {
                 *recv_data = data;
@@ -332,7 +404,13 @@ impl Engine {
         let state = std::mem::replace(&mut self.states[rank], RankState::Running);
         if let RankState::Blocked { recv_data, err, .. } = state {
             self.blocked -= 1;
-            self.ready_replies.push((rank, Reply { data: recv_data, err: err.clone() }));
+            self.ready_replies.push((
+                rank,
+                Reply {
+                    data: recv_data,
+                    err: err.clone(),
+                },
+            ));
         }
     }
 
@@ -359,7 +437,10 @@ impl Engine {
                 t_next = t_next.min(self.now);
             }
         }
-        assert!(t_next.is_finite(), "no progressing transfer (all rates zero?)");
+        assert!(
+            t_next.is_finite(),
+            "no progressing transfer (all rates zero?)"
+        );
         let t_next = t_next.max(self.now);
         // Progress all flowing transfers to t_next.
         let dt = t_next - self.now;
@@ -374,6 +455,7 @@ impl Engine {
             if self.waiting[i].activation <= t_next + eps {
                 let t = self.waiting.swap_remove(i);
                 self.active.push(t);
+                self.rates_dirty = true;
             } else {
                 i += 1;
             }
@@ -391,11 +473,15 @@ impl Engine {
             if done {
                 let t = self.active.swap_remove(i);
                 self.finish_transfer(t);
+                self.rates_dirty = true;
             } else {
                 i += 1;
             }
         }
-        self.recompute_rates();
+        if self.rates_dirty {
+            self.recompute_rates();
+            self.rates_dirty = false;
+        }
     }
 
     fn finish_transfer(&mut self, t: Transfer) {
@@ -438,7 +524,11 @@ impl Engine {
         let port_cap = 1.0 / self.machine.beta;
         let link_cap = self.machine.link_excess / self.machine.beta;
         let port_slots = (2 * self.ranks()) as u32;
-        let users: Vec<&[u32]> = self.active.iter().map(|t| t.constraints.as_slice()).collect();
+        let users: Vec<&[u32]> = self
+            .active
+            .iter()
+            .map(|t| t.constraints.as_slice())
+            .collect();
         let mut rates = std::mem::take(&mut self.rates_buf);
         self.fluid.solve_max_min(
             &users,
@@ -456,12 +546,18 @@ impl Engine {
         let mut detail = String::new();
         for (&(s, d, tag), q) in &self.pending_sends {
             if !q.is_empty() {
-                detail.push_str(&format!("  unmatched send {s}→{d} tag {tag} ×{}\n", q.len()));
+                detail.push_str(&format!(
+                    "  unmatched send {s}→{d} tag {tag} ×{}\n",
+                    q.len()
+                ));
             }
         }
         for (&(s, d, tag), q) in &self.pending_recvs {
             if !q.is_empty() {
-                detail.push_str(&format!("  unmatched recv {d}←{s} tag {tag} ×{}\n", q.len()));
+                detail.push_str(&format!(
+                    "  unmatched recv {d}←{s} tag {tag} ×{}\n",
+                    q.len()
+                ));
             }
         }
         panic!(
@@ -482,7 +578,13 @@ mod tests {
 
     fn unit_machine() -> MachineParams {
         // α=1, β=1 (1 byte/s), γ=0, δ=0, no link excess.
-        MachineParams { alpha: 1.0, beta: 1.0, gamma: 0.0, delta: 0.0, link_excess: 1.0 }
+        MachineParams {
+            alpha: 1.0,
+            beta: 1.0,
+            gamma: 0.0,
+            delta: 0.0,
+            link_excess: 1.0,
+        }
     }
 
     fn drive_to_completion(e: &mut Engine) {
@@ -497,8 +599,22 @@ mod tests {
     fn ping_costs_alpha_plus_n_beta() {
         let mesh = mesh_net(1, 2);
         let mut e = Engine::new(mesh, unit_machine(), false);
-        e.handle(0, Request::Send { to: 1, tag: 0, data: vec![0u8; 10] });
-        e.handle(1, Request::Recv { from: 0, tag: 0, len: 10 });
+        e.handle(
+            0,
+            Request::Send {
+                to: 1,
+                tag: 0,
+                data: vec![0u8; 10],
+            },
+        );
+        e.handle(
+            1,
+            Request::Recv {
+                from: 0,
+                tag: 0,
+                len: 10,
+            },
+        );
         drive_to_completion(&mut e);
         let replies = e.drain_replies();
         assert_eq!(replies.len(), 2);
@@ -514,8 +630,22 @@ mod tests {
     fn zero_byte_message_costs_alpha() {
         let mesh = mesh_net(1, 2);
         let mut e = Engine::new(mesh, unit_machine(), false);
-        e.handle(0, Request::Send { to: 1, tag: 0, data: vec![] });
-        e.handle(1, Request::Recv { from: 0, tag: 0, len: 0 });
+        e.handle(
+            0,
+            Request::Send {
+                to: 1,
+                tag: 0,
+                data: vec![],
+            },
+        );
+        e.handle(
+            1,
+            Request::Recv {
+                from: 0,
+                tag: 0,
+                len: 0,
+            },
+        );
         drive_to_completion(&mut e);
         assert!((e.clocks[0] - 1.0).abs() < 1e-9);
     }
@@ -527,11 +657,28 @@ mod tests {
         // Rank 1 computes 5 bytes' worth (γ=0 here, use alpha via
         // overhead): give rank 1 a head-start clock via Compute with a
         // gamma machine instead.
-        let machine = MachineParams { gamma: 1.0, ..unit_machine() };
+        let machine = MachineParams {
+            gamma: 1.0,
+            ..unit_machine()
+        };
         let mut e2 = Engine::new(mesh, machine, false);
         e2.handle(1, Request::Compute { bytes: 5 });
-        e2.handle(1, Request::Recv { from: 0, tag: 0, len: 4 });
-        e2.handle(0, Request::Send { to: 1, tag: 0, data: vec![9u8; 4] });
+        e2.handle(
+            1,
+            Request::Recv {
+                from: 0,
+                tag: 0,
+                len: 4,
+            },
+        );
+        e2.handle(
+            0,
+            Request::Send {
+                to: 1,
+                tag: 0,
+                data: vec![9u8; 4],
+            },
+        );
         drive_to_completion(&mut e2);
         // Start at max(0, 5) = 5; complete at 5 + 1 + 4 = 10.
         assert!((e2.clocks[1] - 10.0).abs() < 1e-9, "{}", e2.clocks[1]);
@@ -546,10 +693,38 @@ mod tests {
         // Fluid: both constrained by link 1E → 0.5 each until B done.
         let mesh = mesh_net(1, 4);
         let mut e = Engine::new(mesh, unit_machine(), false);
-        e.handle(0, Request::Send { to: 3, tag: 0, data: vec![0; 100] });
-        e.handle(3, Request::Recv { from: 0, tag: 0, len: 100 });
-        e.handle(1, Request::Send { to: 2, tag: 1, data: vec![0; 100] });
-        e.handle(2, Request::Recv { from: 1, tag: 1, len: 100 });
+        e.handle(
+            0,
+            Request::Send {
+                to: 3,
+                tag: 0,
+                data: vec![0; 100],
+            },
+        );
+        e.handle(
+            3,
+            Request::Recv {
+                from: 0,
+                tag: 0,
+                len: 100,
+            },
+        );
+        e.handle(
+            1,
+            Request::Send {
+                to: 2,
+                tag: 1,
+                data: vec![0; 100],
+            },
+        );
+        e.handle(
+            2,
+            Request::Recv {
+                from: 1,
+                tag: 1,
+                len: 100,
+            },
+        );
         drive_to_completion(&mut e);
         // Both activate at t=1. Shared until B finishes at 1+200=201;
         // A then has 0 left? A also got 0.5 → A remaining 0 at 201 too.
@@ -560,12 +735,43 @@ mod tests {
     #[test]
     fn link_excess_removes_sharing_penalty() {
         let mesh = mesh_net(1, 4);
-        let machine = MachineParams { link_excess: 2.0, ..unit_machine() };
+        let machine = MachineParams {
+            link_excess: 2.0,
+            ..unit_machine()
+        };
         let mut e = Engine::new(mesh, machine, false);
-        e.handle(0, Request::Send { to: 3, tag: 0, data: vec![0; 100] });
-        e.handle(3, Request::Recv { from: 0, tag: 0, len: 100 });
-        e.handle(1, Request::Send { to: 2, tag: 1, data: vec![0; 100] });
-        e.handle(2, Request::Recv { from: 1, tag: 1, len: 100 });
+        e.handle(
+            0,
+            Request::Send {
+                to: 3,
+                tag: 0,
+                data: vec![0; 100],
+            },
+        );
+        e.handle(
+            3,
+            Request::Recv {
+                from: 0,
+                tag: 0,
+                len: 100,
+            },
+        );
+        e.handle(
+            1,
+            Request::Send {
+                to: 2,
+                tag: 1,
+                data: vec![0; 100],
+            },
+        );
+        e.handle(
+            2,
+            Request::Recv {
+                from: 1,
+                tag: 1,
+                len: 100,
+            },
+        );
         drive_to_completion(&mut e);
         // Link capacity 2 B/s but ports 1 B/s: both flow at port rate:
         // done at 1 + 100 = 101.
@@ -576,13 +782,45 @@ mod tests {
     fn disjoint_routes_do_not_interact() {
         let mesh = mesh_net(1, 4);
         let mut e = Engine::new(mesh, unit_machine(), false);
-        e.handle(0, Request::Send { to: 1, tag: 0, data: vec![0; 50] });
-        e.handle(1, Request::Recv { from: 0, tag: 0, len: 50 });
-        e.handle(2, Request::Send { to: 3, tag: 0, data: vec![0; 50] });
-        e.handle(3, Request::Recv { from: 2, tag: 0, len: 50 });
+        e.handle(
+            0,
+            Request::Send {
+                to: 1,
+                tag: 0,
+                data: vec![0; 50],
+            },
+        );
+        e.handle(
+            1,
+            Request::Recv {
+                from: 0,
+                tag: 0,
+                len: 50,
+            },
+        );
+        e.handle(
+            2,
+            Request::Send {
+                to: 3,
+                tag: 0,
+                data: vec![0; 50],
+            },
+        );
+        e.handle(
+            3,
+            Request::Recv {
+                from: 2,
+                tag: 0,
+                len: 50,
+            },
+        );
         drive_to_completion(&mut e);
         for r in 0..4 {
-            assert!((e.clocks[r] - 51.0).abs() < 1e-9, "rank {r}: {}", e.clocks[r]);
+            assert!(
+                (e.clocks[r] - 51.0).abs() < 1e-9,
+                "rank {r}: {}",
+                e.clocks[r]
+            );
         }
     }
 
@@ -598,12 +836,22 @@ mod tests {
             let left = (me + 2) % 3;
             e.handle(
                 me,
-                Request::SendRecv { to: right, data: vec![0; 20], from: left, tag: 0, rlen: 20 },
+                Request::SendRecv {
+                    to: right,
+                    data: vec![0; 20],
+                    from: left,
+                    tag: 0,
+                    rlen: 20,
+                },
             );
         }
         drive_to_completion(&mut e);
         for r in 0..3 {
-            assert!((e.clocks[r] - 21.0).abs() < 1e-9, "rank {r}: {}", e.clocks[r]);
+            assert!(
+                (e.clocks[r] - 21.0).abs() < 1e-9,
+                "rank {r}: {}",
+                e.clocks[r]
+            );
         }
         assert_eq!(e.drain_replies().len(), 3);
     }
@@ -612,12 +860,32 @@ mod tests {
     fn length_mismatch_errors_both_sides() {
         let mesh = mesh_net(1, 2);
         let mut e = Engine::new(mesh, unit_machine(), false);
-        e.handle(0, Request::Send { to: 1, tag: 0, data: vec![0; 5] });
-        e.handle(1, Request::Recv { from: 0, tag: 0, len: 3 });
+        e.handle(
+            0,
+            Request::Send {
+                to: 1,
+                tag: 0,
+                data: vec![0; 5],
+            },
+        );
+        e.handle(
+            1,
+            Request::Recv {
+                from: 0,
+                tag: 0,
+                len: 3,
+            },
+        );
         let replies = e.drain_replies();
         assert_eq!(replies.len(), 2);
         for (_, r) in replies {
-            assert!(matches!(r.err, Some(CommError::LengthMismatch { expected: 3, actual: 5 })));
+            assert!(matches!(
+                r.err,
+                Some(CommError::LengthMismatch {
+                    expected: 3,
+                    actual: 5
+                })
+            ));
         }
     }
 
@@ -626,7 +894,14 @@ mod tests {
     fn unmatched_recv_deadlocks_with_diagnostic() {
         let mesh = mesh_net(1, 2);
         let mut e = Engine::new(mesh, unit_machine(), false);
-        e.handle(0, Request::Recv { from: 1, tag: 0, len: 1 });
+        e.handle(
+            0,
+            Request::Recv {
+                from: 1,
+                tag: 0,
+                len: 1,
+            },
+        );
         e.handle(1, Request::Finished);
         e.advance();
     }
@@ -634,8 +909,13 @@ mod tests {
     #[test]
     fn gamma_and_delta_advance_clocks() {
         let mesh = mesh_net(1, 1);
-        let machine =
-            MachineParams { alpha: 1.0, beta: 1.0, gamma: 2.0, delta: 0.25, link_excess: 1.0 };
+        let machine = MachineParams {
+            alpha: 1.0,
+            beta: 1.0,
+            gamma: 2.0,
+            delta: 0.25,
+            link_excess: 1.0,
+        };
         let mut e = Engine::new(mesh, machine, false);
         e.handle(0, Request::Compute { bytes: 3 });
         e.handle(0, Request::CallOverhead);
@@ -648,13 +928,30 @@ mod tests {
     fn trace_records_transfers() {
         let mesh = mesh_net(1, 2);
         let mut e = Engine::new(mesh, unit_machine(), true);
-        e.handle(0, Request::Send { to: 1, tag: 7, data: vec![0; 4] });
-        e.handle(1, Request::Recv { from: 0, tag: 7, len: 4 });
+        e.handle(
+            0,
+            Request::Send {
+                to: 1,
+                tag: 7,
+                data: vec![0; 4],
+            },
+        );
+        e.handle(
+            1,
+            Request::Recv {
+                from: 0,
+                tag: 7,
+                len: 4,
+            },
+        );
         drive_to_completion(&mut e);
         let trace = e.take_trace().unwrap();
         assert_eq!(trace.len(), 1);
         let rec = &trace[0];
-        assert_eq!((rec.src, rec.dst, rec.tag, rec.bytes, rec.hops), (0, 1, 7, 4, 1));
+        assert_eq!(
+            (rec.src, rec.dst, rec.tag, rec.bytes, rec.hops),
+            (0, 1, 7, 4, 1)
+        );
         assert!((rec.end - rec.start - 5.0).abs() < 1e-9);
     }
 
@@ -664,10 +961,38 @@ mod tests {
         // full rate concurrently.
         let mesh = mesh_net(2, 2);
         let mut e = Engine::new(mesh, unit_machine(), false);
-        e.handle(0, Request::Send { to: 2, tag: 0, data: vec![0; 30] });
-        e.handle(2, Request::Recv { from: 0, tag: 0, len: 30 });
-        e.handle(1, Request::Send { to: 3, tag: 0, data: vec![0; 30] });
-        e.handle(3, Request::Recv { from: 1, tag: 0, len: 30 });
+        e.handle(
+            0,
+            Request::Send {
+                to: 2,
+                tag: 0,
+                data: vec![0; 30],
+            },
+        );
+        e.handle(
+            2,
+            Request::Recv {
+                from: 0,
+                tag: 0,
+                len: 30,
+            },
+        );
+        e.handle(
+            1,
+            Request::Send {
+                to: 3,
+                tag: 0,
+                data: vec![0; 30],
+            },
+        );
+        e.handle(
+            3,
+            Request::Recv {
+                from: 1,
+                tag: 0,
+                len: 30,
+            },
+        );
         drive_to_completion(&mut e);
         for r in 0..4 {
             assert!((e.clocks[r] - 31.0).abs() < 1e-9, "rank {r}");

@@ -15,6 +15,10 @@
 #[derive(Debug, Default)]
 pub struct FluidScratch {
     cap_left: Vec<f64>,
+    /// Initial capacity of each touched constraint, cached at
+    /// registration so the saturation test in the filling loop never
+    /// re-queries `cap_of` (which runs once per user per round).
+    cap_init: Vec<f64>,
     active_users: Vec<u32>,
     touched: Vec<u32>,
     frozen: Vec<bool>,
@@ -25,6 +29,7 @@ impl FluidScratch {
     pub fn new(universe: usize) -> Self {
         FluidScratch {
             cap_left: vec![0.0; universe],
+            cap_init: vec![0.0; universe],
             active_users: vec![0; universe],
             touched: Vec::new(),
             frozen: Vec::new(),
@@ -59,7 +64,9 @@ impl FluidScratch {
             for &c in *u {
                 if self.active_users[c as usize] == 0 {
                     self.touched.push(c);
-                    self.cap_left[c as usize] = cap_of(c);
+                    let cap = cap_of(c);
+                    self.cap_left[c as usize] = cap;
+                    self.cap_init[c as usize] = cap;
                 }
                 self.active_users[c as usize] += 1;
             }
@@ -82,7 +89,10 @@ impl FluidScratch {
                     lambda = lambda.min(self.cap_left[c as usize] / au as f64);
                 }
             }
-            debug_assert!(lambda.is_finite(), "active transfer with no live constraint");
+            debug_assert!(
+                lambda.is_finite(),
+                "active transfer with no live constraint"
+            );
             for &c in &self.touched {
                 let au = self.active_users[c as usize];
                 if au > 0 {
@@ -94,7 +104,7 @@ impl FluidScratch {
                 if !self.frozen[t] {
                     rates[t] += lambda;
                     let saturated = u.iter().any(|&c| {
-                        self.cap_left[c as usize] <= 1e-12 * cap_of(c).max(1.0)
+                        self.cap_left[c as usize] <= 1e-12 * self.cap_init[c as usize].max(1.0)
                     });
                     if saturated {
                         self.frozen[t] = true;
@@ -112,71 +122,22 @@ impl FluidScratch {
 }
 
 /// Computes max-min fair rates (allocation-per-call convenience wrapper
-/// over [`FluidScratch::solve_max_min`]; the engine uses the scratch
-/// form directly).
+/// over [`FluidScratch::solve_max_min`], which the engine uses directly
+/// — one algorithm, two entry points).
 ///
 /// `users[t]` lists the constraint indices transfer `t` consumes;
 /// `caps[c]` is constraint `c`'s capacity (same rate units as the
 /// result). A transfer with an empty constraint list is unconstrained
 /// and gets `f64::INFINITY`.
 pub fn max_min_rates(users: &[Vec<usize>], caps: &[f64]) -> Vec<f64> {
-    let n = users.len();
-    let mut rates = vec![0.0f64; n];
-    if n == 0 {
-        return rates;
-    }
-    let mut frozen = vec![false; n];
-    let mut cap_left = caps.to_vec();
-    let mut active_users = vec![0usize; caps.len()];
-    for u in users {
-        for &c in u {
-            active_users[c] += 1;
-        }
-    }
-    // Unconstrained transfers are satisfied immediately.
-    for (t, u) in users.iter().enumerate() {
-        if u.is_empty() {
-            rates[t] = f64::INFINITY;
-            frozen[t] = true;
-        }
-    }
-    let mut remaining = frozen.iter().filter(|&&f| !f).count();
-    while remaining > 0 {
-        // The equal increment every unfrozen transfer can still take.
-        let mut lambda = f64::INFINITY;
-        for (c, &cap) in cap_left.iter().enumerate() {
-            if active_users[c] > 0 {
-                lambda = lambda.min(cap / active_users[c] as f64);
-            }
-        }
-        debug_assert!(lambda.is_finite(), "active transfer with no live constraint");
-        for c in 0..cap_left.len() {
-            if active_users[c] > 0 {
-                cap_left[c] -= lambda * active_users[c] as f64;
-            }
-        }
-        for t in 0..n {
-            if !frozen[t] {
-                rates[t] += lambda;
-            }
-        }
-        // Freeze every transfer touching a saturated constraint.
-        let eps = 1e-12;
-        let mut newly_frozen = Vec::new();
-        for t in 0..n {
-            if !frozen[t] && users[t].iter().any(|&c| cap_left[c] <= eps * caps[c].max(1.0)) {
-                newly_frozen.push(t);
-            }
-        }
-        debug_assert!(!newly_frozen.is_empty(), "progressive filling stalled");
-        for t in newly_frozen {
-            frozen[t] = true;
-            remaining -= 1;
-            for &c in &users[t] {
-                active_users[c] -= 1;
-            }
-        }
-    }
+    let users_u32: Vec<Vec<u32>> = users
+        .iter()
+        .map(|u| u.iter().map(|&c| c as u32).collect())
+        .collect();
+    let user_refs: Vec<&[u32]> = users_u32.iter().map(Vec::as_slice).collect();
+    let mut scratch = FluidScratch::new(caps.len());
+    let mut rates = Vec::new();
+    scratch.solve_max_min(&user_refs, |c| caps[c as usize], &mut rates);
     rates
 }
 
@@ -248,8 +209,7 @@ mod tests {
         // Max-min: every transfer is blocked by at least one saturated
         // constraint.
         for (t, u) in users.iter().enumerate() {
-            let blocked =
-                u.iter().any(|&c| load[c] >= caps[c] - 1e-9);
+            let blocked = u.iter().any(|&c| load[c] >= caps[c] - 1e-9);
             assert!(blocked, "transfer {t} could still grow: {rates:?}");
         }
     }

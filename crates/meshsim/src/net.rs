@@ -99,7 +99,10 @@ mod tests {
 
     #[test]
     fn self_route_is_empty() {
-        for net in [NetSpec::Mesh(Mesh2D::new(2, 2)), NetSpec::Hypercube(Hypercube::new(2))] {
+        for net in [
+            NetSpec::Mesh(Mesh2D::new(2, 2)),
+            NetSpec::Hypercube(Hypercube::new(2)),
+        ] {
             let mut out = Vec::new();
             assert_eq!(net.route_slots(1, 1, 8, &mut out), 0);
             assert!(out.is_empty());

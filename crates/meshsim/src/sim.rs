@@ -4,9 +4,11 @@ use crate::comm::SimComm;
 use crate::engine::Engine;
 use crate::net::NetSpec;
 use crate::trace::Trace;
-use crossbeam_channel::unbounded;
+use intercom::BufferPool;
 use intercom_cost::MachineParams;
 use intercom_topology::{Hypercube, Mesh2D, Torus2D};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
 
 /// Configuration of one simulated machine.
 #[derive(Debug, Clone, Copy)]
@@ -112,13 +114,14 @@ where
         cfg.jitter,
         cfg.jitter_seed,
     );
-    let (req_tx, req_rx) = unbounded();
+    let (req_tx, req_rx) = channel();
+    let pool = Arc::new(BufferPool::new());
     let mut reply_txs = Vec::with_capacity(p);
     let mut endpoints = Vec::with_capacity(p);
     for rank in 0..p {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         reply_txs.push(tx);
-        endpoints.push(SimComm::new(rank, p, req_tx.clone(), rx));
+        endpoints.push(SimComm::new(rank, p, req_tx.clone(), rx, pool.clone()));
     }
     drop(req_tx);
     let f = &f;
@@ -188,7 +191,13 @@ mod tests {
     use intercom::Comm;
 
     fn unit() -> MachineParams {
-        MachineParams { alpha: 1.0, beta: 1.0, gamma: 0.0, delta: 0.0, link_excess: 1.0 }
+        MachineParams {
+            alpha: 1.0,
+            beta: 1.0,
+            gamma: 0.0,
+            delta: 0.0,
+            link_excess: 1.0,
+        }
     }
 
     #[test]

@@ -34,7 +34,11 @@ impl LinkLoad {
                 *loads.entry(s as usize).or_default() += r.bytes;
             }
         }
-        LinkLoad { loads, total_bytes, byte_hops }
+        LinkLoad {
+            loads,
+            total_bytes,
+            byte_hops,
+        }
     }
 
     /// Number of distinct directed links used.
@@ -82,7 +86,15 @@ mod tests {
     use intercom_topology::Mesh2D;
 
     fn rec(src: usize, dst: usize, bytes: usize) -> TransferRecord {
-        TransferRecord { src, dst, tag: 0, bytes, start: 0.0, end: 1.0, hops: 0 }
+        TransferRecord {
+            src,
+            dst,
+            tag: 0,
+            bytes,
+            start: 0.0,
+            end: 1.0,
+            hops: 0,
+        }
     }
 
     #[test]

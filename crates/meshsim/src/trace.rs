@@ -35,7 +35,10 @@ pub struct Trace {
 impl Trace {
     pub(crate) fn new(mut records: Vec<TransferRecord>) -> Self {
         records.sort_by(|a, b| {
-            a.start.total_cmp(&b.start).then(a.src.cmp(&b.src)).then(a.dst.cmp(&b.dst))
+            a.start
+                .total_cmp(&b.start)
+                .then(a.src.cmp(&b.src))
+                .then(a.dst.cmp(&b.dst))
         });
         Trace { records }
     }
@@ -113,12 +116,14 @@ impl Trace {
         for r in &self.records {
             let b0 = ((r.start / bucket) as usize).min(width - 1);
             let b1 = ((r.end / bucket).ceil() as usize).clamp(b0 + 1, width);
-            for b in b0..b1 {
-                if r.src < nodes {
-                    grid[r.src][b] |= 1;
+            if r.src < nodes {
+                for cell in &mut grid[r.src][b0..b1] {
+                    *cell |= 1;
                 }
-                if r.dst < nodes {
-                    grid[r.dst][b] |= 2;
+            }
+            if r.dst < nodes {
+                for cell in &mut grid[r.dst][b0..b1] {
+                    *cell |= 2;
                 }
             }
         }
@@ -159,7 +164,15 @@ mod tests {
     use super::*;
 
     fn rec(src: usize, dst: usize, start: f64, bytes: usize) -> TransferRecord {
-        TransferRecord { src, dst, tag: 0, bytes, start, end: start + 1.0, hops: 1 }
+        TransferRecord {
+            src,
+            dst,
+            tag: 0,
+            bytes,
+            start,
+            end: start + 1.0,
+            hops: 1,
+        }
     }
 
     #[test]
@@ -215,7 +228,11 @@ mod tests {
         // Node 1 sends and receives in the same window: █.
         let t = Trace::new(vec![rec(0, 1, 0.0, 8), rec(1, 2, 0.0, 8)]);
         let g = t.render_gantt(4, 8);
-        assert!(g.lines().any(|l| l.starts_with("node    1") && l.contains('█')), "{g}");
+        assert!(
+            g.lines()
+                .any(|l| l.starts_with("node    1") && l.contains('█')),
+            "{g}"
+        );
     }
 
     #[test]

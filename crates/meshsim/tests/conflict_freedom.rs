@@ -8,7 +8,13 @@ use intercom_meshsim::{simulate, NetSpec, SimConfig, Trace};
 use intercom_topology::{Hypercube, Mesh2D};
 
 fn machine() -> MachineParams {
-    MachineParams { alpha: 5.0, beta: 1.0, gamma: 0.0, delta: 0.0, link_excess: 1.0 }
+    MachineParams {
+        alpha: 5.0,
+        beta: 1.0,
+        gamma: 0.0,
+        delta: 0.0,
+        link_excess: 1.0,
+    }
 }
 
 /// Asserts that no pair of time-overlapping transfers shares a directed
@@ -89,7 +95,8 @@ fn ring_reduce_scatter_on_gray_cube_is_conflict_free() {
         let cc = Communicator::world_on_hypercube(c, m, cube).unwrap();
         let contrib = vec![1i64; 64];
         let mut mine = vec![0i64; 4];
-        cc.reduce_scatter_with(&contrib, &mut mine, ReduceOp::Sum, &Algo::Long).unwrap();
+        cc.reduce_scatter_with(&contrib, &mut mine, ReduceOp::Sum, &Algo::Long)
+            .unwrap();
     });
     assert_conflict_free(&trace, &net);
 }
@@ -109,7 +116,8 @@ fn mesh_staged_collect_rows_then_columns_is_conflict_free() {
         let cc = Communicator::world_on_mesh(c, m, mesh).unwrap();
         let mine = vec![c.rank() as u8; 12];
         let mut all = vec![0u8; 12 * 12];
-        cc.allgather_with(&mine, &mut all, &Algo::Hybrid(strategy.clone())).unwrap();
+        cc.allgather_with(&mine, &mut all, &Algo::Hybrid(strategy.clone()))
+            .unwrap();
     });
     assert_conflict_free(&trace, &net);
 }
@@ -128,7 +136,8 @@ fn interleaved_linear_hybrid_does_conflict() {
     let rep = simulate(&cfg, move |c| {
         let cc = Communicator::world(c, m);
         let mut buf = vec![0u8; 1200];
-        cc.bcast_with(0, &mut buf, &Algo::Hybrid(strategy.clone())).unwrap();
+        cc.bcast_with(0, &mut buf, &Algo::Hybrid(strategy.clone()))
+            .unwrap();
     });
     let trace = rep.trace.unwrap();
     let recs = trace.records();
@@ -148,5 +157,8 @@ fn interleaved_linear_hybrid_does_conflict() {
             }
         }
     }
-    assert!(found_conflict, "expected interleaved stage-2 collects to share links");
+    assert!(
+        found_conflict,
+        "expected interleaved stage-2 collects to share links"
+    );
 }

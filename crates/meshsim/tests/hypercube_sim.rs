@@ -8,7 +8,13 @@ use intercom_meshsim::{simulate, SimConfig};
 use intercom_topology::Hypercube;
 
 fn machine() -> MachineParams {
-    MachineParams { alpha: 10.0, beta: 1.0, gamma: 0.5, delta: 0.0, link_excess: 1.0 }
+    MachineParams {
+        alpha: 10.0,
+        beta: 1.0,
+        gamma: 0.5,
+        delta: 0.0,
+        link_excess: 1.0,
+    }
 }
 
 fn close(a: f64, b: f64) -> bool {
@@ -59,12 +65,9 @@ fn gray_ring_bucket_collect_matches_formula() {
             let mut all = vec![0u8; n];
             cc.allgather_with(&mine, &mut all, &Algo::Long).unwrap();
         });
-        let predicted = intercom_cost::collective::long_cost(
-            CollectiveOp::Collect,
-            p,
-            CostContext::LINEAR,
-        )
-        .eval(n, &machine());
+        let predicted =
+            intercom_cost::collective::long_cost(CollectiveOp::Collect, p, CostContext::LINEAR)
+                .eval(n, &machine());
         assert!(
             close(rep.elapsed, predicted),
             "d={d}: sim {} vs model {predicted}",
@@ -87,12 +90,9 @@ fn mst_broadcast_on_cube_matches_formula() {
             let mut buf = vec![0u8; n];
             cc.bcast_with(0, &mut buf, &Algo::Short).unwrap();
         });
-        let predicted = intercom_cost::collective::short_cost(
-            CollectiveOp::Broadcast,
-            p,
-            CostContext::LINEAR,
-        )
-        .eval(n, &machine());
+        let predicted =
+            intercom_cost::collective::short_cost(CollectiveOp::Broadcast, p, CostContext::LINEAR)
+                .eval(n, &machine());
         assert!(
             close(rep.elapsed, predicted),
             "d={d}: sim {} vs model {predicted}",

@@ -6,7 +6,13 @@ use intercom_meshsim::{simulate, SimConfig};
 use intercom_topology::Mesh2D;
 
 fn unit() -> MachineParams {
-    MachineParams { alpha: 1.0, beta: 1.0, gamma: 0.0, delta: 0.0, link_excess: 1.0 }
+    MachineParams {
+        alpha: 1.0,
+        beta: 1.0,
+        gamma: 0.0,
+        delta: 0.0,
+        link_excess: 1.0,
+    }
 }
 
 fn ping(cfg: &SimConfig) -> f64 {

@@ -10,7 +10,13 @@ use intercom_topology::Mesh2D;
 
 fn machine() -> MachineParams {
     // Round numbers make mismatches easy to read.
-    MachineParams { alpha: 10.0, beta: 1.0, gamma: 0.5, delta: 0.0, link_excess: 1.0 }
+    MachineParams {
+        alpha: 10.0,
+        beta: 1.0,
+        gamma: 0.5,
+        delta: 0.0,
+        link_excess: 1.0,
+    }
 }
 
 fn close(a: f64, b: f64) -> bool {
@@ -77,7 +83,8 @@ fn bucket_reduce_scatter_matches_formula_on_row() {
             let cc = Communicator::world(c, machine());
             let contrib = vec![c.rank() as u8; n];
             let mut mine = vec![0u8; b];
-            cc.reduce_scatter_with(&contrib, &mut mine, ReduceOp::Sum, &Algo::Long).unwrap();
+            cc.reduce_scatter_with(&contrib, &mut mine, ReduceOp::Sum, &Algo::Long)
+                .unwrap();
         });
         let predicted = intercom_cost::collective::long_cost(
             CollectiveOp::DistributedCombine,
@@ -104,12 +111,9 @@ fn long_broadcast_matches_formula_on_row() {
             let mut buf = vec![1u8; n];
             cc.bcast_with(0, &mut buf, &Algo::Long).unwrap();
         });
-        let predicted = intercom_cost::collective::long_cost(
-            CollectiveOp::Broadcast,
-            p,
-            CostContext::LINEAR,
-        )
-        .eval(n, &machine());
+        let predicted =
+            intercom_cost::collective::long_cost(CollectiveOp::Broadcast, p, CostContext::LINEAR)
+                .eval(n, &machine());
         assert!(
             close(rep.elapsed, predicted),
             "long bcast p={p}: sim {} vs model {predicted}",
@@ -127,7 +131,8 @@ fn long_allreduce_matches_formula_on_row() {
         let rep = simulate(&cfg, |c| {
             let cc = Communicator::world(c, machine());
             let mut buf = vec![1u8; n];
-            cc.allreduce_with(&mut buf, ReduceOp::Sum, &Algo::Long).unwrap();
+            cc.allreduce_with(&mut buf, ReduceOp::Sum, &Algo::Long)
+                .unwrap();
         });
         let predicted = intercom_cost::collective::long_cost(
             CollectiveOp::CombineToAll,
@@ -145,7 +150,10 @@ fn long_allreduce_matches_formula_on_row() {
 
 #[test]
 fn delta_overhead_shows_up_in_short_primitives() {
-    let with_delta = MachineParams { delta: 2.0, ..machine() };
+    let with_delta = MachineParams {
+        delta: 2.0,
+        ..machine()
+    };
     let p = 8;
     let cfg = SimConfig::new(Mesh2D::new(1, p), with_delta);
     let rep = simulate(&cfg, |c| {
@@ -153,12 +161,9 @@ fn delta_overhead_shows_up_in_short_primitives() {
         let mut buf = vec![0u8; 8];
         cc.bcast_with(0, &mut buf, &Algo::Short).unwrap();
     });
-    let base = intercom_cost::collective::short_cost(
-        CollectiveOp::Broadcast,
-        p,
-        CostContext::LINEAR,
-    )
-    .eval(8, &with_delta);
+    let base =
+        intercom_cost::collective::short_cost(CollectiveOp::Broadcast, p, CostContext::LINEAR)
+            .eval(8, &with_delta);
     // Each rank walks ⌈log p⌉ = 3 levels; total ≥ base (which includes
     // 3δ via the delta coefficient).
     assert!(
@@ -181,20 +186,14 @@ fn hybrid_on_linear_array_lands_between_bounds() {
     let rep = simulate(&cfg, |c| {
         let cc = Communicator::world(c, machine());
         let mut buf = vec![1u8; n];
-        cc.bcast_with(0, &mut buf, &Algo::Hybrid(s.clone())).unwrap();
+        cc.bcast_with(0, &mut buf, &Algo::Hybrid(s.clone()))
+            .unwrap();
     });
-    let lo = intercom_cost::collective::hybrid_cost(
-        CollectiveOp::Broadcast,
-        &s,
-        CostContext::MESH,
-    )
-    .eval(n, &machine());
-    let hi = intercom_cost::collective::hybrid_cost(
-        CollectiveOp::Broadcast,
-        &s,
-        CostContext::LINEAR,
-    )
-    .eval(n, &machine());
+    let lo = intercom_cost::collective::hybrid_cost(CollectiveOp::Broadcast, &s, CostContext::MESH)
+        .eval(n, &machine());
+    let hi =
+        intercom_cost::collective::hybrid_cost(CollectiveOp::Broadcast, &s, CostContext::LINEAR)
+            .eval(n, &machine());
     assert!(
         rep.elapsed >= lo - 1e-6 && rep.elapsed <= hi + 1e-6,
         "hybrid bcast: sim {} outside [{lo}, {hi}]",
@@ -221,14 +220,12 @@ fn mesh_rows_and_columns_are_conflict_free() {
         let cc = Communicator::world_on_mesh(comm, m, mesh).unwrap();
         let mine = vec![comm.rank() as u8; b];
         let mut all = vec![0u8; n];
-        cc.allgather_with(&mine, &mut all, &Algo::Hybrid(s2.clone())).unwrap();
+        cc.allgather_with(&mine, &mut all, &Algo::Hybrid(s2.clone()))
+            .unwrap();
     });
-    let predicted = intercom_cost::collective::hybrid_cost(
-        CollectiveOp::Collect,
-        &strategy,
-        CostContext::MESH,
-    )
-    .eval(n, &m);
+    let predicted =
+        intercom_cost::collective::hybrid_cost(CollectiveOp::Collect, &strategy, CostContext::MESH)
+            .eval(n, &m);
     assert!(
         close(rep.elapsed, predicted),
         "mesh collect {strategy}: sim {} vs model {predicted}",

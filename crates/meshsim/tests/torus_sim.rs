@@ -7,7 +7,13 @@ use intercom_meshsim::{simulate, LinkLoad, SimConfig};
 use intercom_topology::{Mesh2D, Torus2D};
 
 fn machine() -> MachineParams {
-    MachineParams { alpha: 10.0, beta: 1.0, gamma: 0.0, delta: 0.0, link_excess: 1.0 }
+    MachineParams {
+        alpha: 10.0,
+        beta: 1.0,
+        gamma: 0.0,
+        delta: 0.0,
+        link_excess: 1.0,
+    }
 }
 
 #[test]

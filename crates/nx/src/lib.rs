@@ -47,7 +47,10 @@ fn bcast_in<T: Scalar, C: Comm + ?Sized>(
     tag: Tag,
 ) -> Result<()> {
     if root >= gc.len() {
-        return Err(CommError::InvalidRoot { root, size: gc.len() });
+        return Err(CommError::InvalidRoot {
+            root,
+            size: gc.len(),
+        });
     }
     for lvl in spanning_levels(gc.me(), gc.len(), root) {
         if gc.me() == lvl.root {
@@ -98,16 +101,15 @@ pub fn nx_gdlow<C: Comm + ?Sized>(comm: &C, buf: &mut [f64]) -> Result<()> {
 /// lengths) by broadcasting each contributor's block in turn — the
 /// sequential-spanning-tree structure whose startup cost is
 /// `p·⌈log p⌉·α`.
-pub fn nx_gcolx<T: Scalar, C: Comm + ?Sized>(
-    comm: &C,
-    mine: &[T],
-    all: &mut [T],
-) -> Result<()> {
+pub fn nx_gcolx<T: Scalar, C: Comm + ?Sized>(comm: &C, mine: &[T], all: &mut [T]) -> Result<()> {
     let gc = GroupComm::world(comm);
     let p = gc.len();
     let b = mine.len();
     if all.len() != p * b {
-        return Err(CommError::BadBufferSize { expected: p * b, actual: all.len() });
+        return Err(CommError::BadBufferSize {
+            expected: p * b,
+            actual: all.len(),
+        });
     }
     all[gc.me() * b..(gc.me() + 1) * b].copy_from_slice(mine);
     for contributor in 0..p {

@@ -56,10 +56,10 @@ mod tests {
             for root in 0..p {
                 let mut reached = vec![false; p];
                 reached[root] = true;
-                for me in 0..p {
+                for (me, flag) in reached.iter_mut().enumerate() {
                     for lvl in spanning_levels(me, p, root) {
                         if me == lvl.other {
-                            reached[me] = true;
+                            *flag = true;
                         }
                     }
                 }

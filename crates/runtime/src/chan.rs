@@ -1,0 +1,224 @@
+//! A std-only unbounded MPSC channel (`Mutex<VecDeque>` + `Condvar`).
+//!
+//! The threaded backend needs exactly three properties from its
+//! mailboxes: FIFO order per producer, blocking receive, and disconnect
+//! detection (receive fails once every sender is gone; send fails once
+//! the receiver is gone). `std::sync::mpsc` provides these too, but its
+//! receiver-side buffer management is opaque; this implementation keeps
+//! the queue in a plain `VecDeque` whose capacity amortizes to
+//! steady-state zero-allocation operation, which the transport's
+//! allocation-free guarantee relies on and the counting-allocator test
+//! asserts.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    /// Live [`Sender`] handles; 0 means no message can ever arrive again.
+    producers: usize,
+    /// Cleared when the [`Receiver`] drops; sends then fail fast.
+    receiver_alive: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+/// The sending half; cloning registers another producer.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half (single consumer).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Error returned by [`Sender::send`] when the receiver is gone; carries
+/// the rejected value back to the caller.
+#[derive(Debug)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when the queue is empty and every
+/// sender is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Creates a connected unbounded channel.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            producers: 1,
+            receiver_alive: true,
+        }),
+        ready: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`; fails (returning the value) if the receiver has
+    /// been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.shared.state.lock().unwrap();
+        if !st.receiver_alive {
+            return Err(SendError(value));
+        }
+        let was_empty = st.queue.is_empty();
+        st.queue.push_back(value);
+        drop(st);
+        // The single consumer only blocks after observing an empty queue
+        // under this same mutex, so a push onto a non-empty queue cannot
+        // race with a sleeping receiver — skip the wakeup syscall.
+        if was_empty {
+            self.shared.ready.notify_one();
+        }
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().unwrap().producers += 1;
+        Sender {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut st = self.shared.state.lock().unwrap();
+            st.producers -= 1;
+            st.producers
+        };
+        if remaining == 0 {
+            // Wake a receiver blocked on an empty queue so it observes
+            // the disconnect.
+            self.shared.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives; fails once the queue is drained
+    /// and no sender remains.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                return Ok(v);
+            }
+            if st.producers == 0 {
+                return Err(RecvError);
+            }
+            st = self.shared.ready.wait(st).unwrap();
+        }
+    }
+
+    /// Non-blocking receive: `None` when the queue is currently empty
+    /// (regardless of sender liveness).
+    pub fn try_recv(&self) -> Option<T> {
+        self.shared.state.lock().unwrap().queue.pop_front()
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.state.lock().unwrap().receiver_alive = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_fifo() {
+        let (tx, rx) = channel();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn recv_fails_after_all_senders_drop() {
+        let (tx, rx) = channel::<u8>();
+        tx.send(1).unwrap();
+        let tx2 = tx.clone();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drops() {
+        let (tx, rx) = channel();
+        drop(rx);
+        let err = tx.send(42).unwrap_err();
+        assert_eq!(err.0, 42);
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_send() {
+        let (tx, rx) = channel();
+        let h = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        tx.send(7u32).unwrap();
+        assert_eq!(h.join().unwrap(), Ok(7));
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_disconnect() {
+        let (tx, rx) = channel::<u8>();
+        let h = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(tx);
+        assert_eq!(h.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking() {
+        let (tx, rx) = channel();
+        assert_eq!(rx.try_recv(), None);
+        tx.send(3i64).unwrap();
+        assert_eq!(rx.try_recv(), Some(3));
+    }
+
+    #[test]
+    fn many_producers_all_delivered() {
+        let (tx, rx) = channel();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        tx.send(t * 100 + i).unwrap();
+                    }
+                });
+            }
+        });
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        assert_eq!(got.len(), 800);
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 800);
+    }
+}

@@ -23,12 +23,13 @@
 //! ```
 
 pub mod calibrate;
+pub mod chan;
 pub mod endpoint;
 pub mod world;
 
 pub use calibrate::{calibrate, Calibration};
-pub use endpoint::ThreadComm;
-pub use world::run_world;
+pub use endpoint::{ThreadComm, DEFAULT_RENDEZVOUS_THRESHOLD};
+pub use world::{run_world, run_world_pooled, run_world_tuned};
 
 // Re-exported so downstream tests can name the trait without an extra
 // dependency edge.

@@ -1,7 +1,9 @@
 //! World construction: one thread per rank, fully-connected channels.
 
-use crate::endpoint::{Msg, ThreadComm};
-use crossbeam_channel::unbounded;
+use crate::chan::channel;
+use crate::endpoint::{Msg, ThreadComm, DEFAULT_RENDEZVOUS_THRESHOLD};
+use intercom::BufferPool;
+use std::sync::Arc;
 
 /// Runs `f` on `p` ranks, each on its own OS thread with a connected
 /// [`ThreadComm`] endpoint, and returns the per-rank results in rank
@@ -14,16 +16,45 @@ where
     T: Send,
     F: Fn(&ThreadComm) -> T + Send + Sync,
 {
+    run_world_pooled(p, BufferPool::new, f)
+}
+
+/// [`run_world`] with explicit payload-pool construction per rank.
+pub fn run_world_pooled<T, F>(p: usize, make_pool: impl Fn() -> BufferPool, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&ThreadComm) -> T + Send + Sync,
+{
+    run_world_tuned(p, make_pool, DEFAULT_RENDEZVOUS_THRESHOLD, f)
+}
+
+/// [`run_world`] with every transport knob exposed: per-rank pool
+/// construction and the `sendrecv` rendezvous (zero-copy) threshold.
+/// The `hotpath` bench's pre-PR baseline uses
+/// [`BufferPool::disabled`] plus `usize::MAX` (never rendezvous) to
+/// measure the allocate-per-hop, copy-twice transport this PR replaced.
+pub fn run_world_tuned<T, F>(
+    p: usize,
+    make_pool: impl Fn() -> BufferPool,
+    rendezvous_threshold: usize,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&ThreadComm) -> T + Send + Sync,
+{
     assert!(p > 0, "world must have at least one rank");
     let mut senders = Vec::with_capacity(p);
     let mut inboxes = Vec::with_capacity(p);
     for _ in 0..p {
-        let (s, r) = unbounded::<Msg>();
+        let (s, r) = channel::<Msg>();
         senders.push(s);
         inboxes.push(r);
     }
+    let pools: Arc<Vec<BufferPool>> = Arc::new((0..p).map(|_| make_pool()).collect());
     let f = &f;
     let senders = &senders;
+    let pools = &pools;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
         for (rank, inbox) in inboxes.into_iter().enumerate() {
@@ -32,7 +63,13 @@ where
                 .stack_size(2 * 1024 * 1024);
             let handle = builder
                 .spawn_scoped(scope, move || {
-                    let comm = ThreadComm::new(rank, senders.clone(), inbox);
+                    let comm = ThreadComm::new(
+                        rank,
+                        senders.clone(),
+                        inbox,
+                        pools.clone(),
+                        rendezvous_threshold,
+                    );
                     f(&comm)
                 })
                 .expect("failed to spawn rank thread");

@@ -67,7 +67,9 @@ fn collective_with_dead_member_errors_not_hangs() {
     // on tree shape; ranks below 2 in the tree must error. At minimum:
     // nobody panicked (we got here), and at least one rank observed the
     // failure.
-    assert!(out.iter().any(|r| matches!(r, Err(CommError::Disconnected))));
+    assert!(out
+        .iter()
+        .any(|r| matches!(r, Err(CommError::Disconnected))));
     let _ = AssertUnwindSafe(());
 }
 

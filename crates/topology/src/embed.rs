@@ -44,7 +44,10 @@ pub enum EmbedError {
 impl fmt::Display for EmbedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EmbedError::SizeMismatch { dims_product, group_len } => write!(
+            EmbedError::SizeMismatch {
+                dims_product,
+                group_len,
+            } => write!(
                 f,
                 "logical dims multiply to {dims_product} but group has {group_len} members"
             ),
@@ -67,7 +70,10 @@ impl LogicalMesh {
         }
         let prod: usize = dims.iter().product();
         if prod != group.len() {
-            return Err(EmbedError::SizeMismatch { dims_product: prod, group_len: group.len() });
+            return Err(EmbedError::SizeMismatch {
+                dims_product: prod,
+                group_len: group.len(),
+            });
         }
         Ok(LogicalMesh { group, dims })
     }
@@ -136,6 +142,7 @@ impl LogicalMesh {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "heavy-tests")]
     use proptest::prelude::*;
 
     fn mesh(dims: &[usize]) -> LogicalMesh {
@@ -148,15 +155,24 @@ mod tests {
         let g = ProcGroup::new((0..6).collect()).unwrap();
         assert!(matches!(
             LogicalMesh::new(g, vec![2, 2]),
-            Err(EmbedError::SizeMismatch { dims_product: 4, group_len: 6 })
+            Err(EmbedError::SizeMismatch {
+                dims_product: 4,
+                group_len: 6
+            })
         ));
     }
 
     #[test]
     fn zero_dim_rejected() {
         let g = ProcGroup::new(vec![0]).unwrap();
-        assert!(matches!(LogicalMesh::new(g.clone(), vec![0]), Err(EmbedError::ZeroDim)));
-        assert!(matches!(LogicalMesh::new(g, vec![]), Err(EmbedError::NoDims)));
+        assert!(matches!(
+            LogicalMesh::new(g.clone(), vec![0]),
+            Err(EmbedError::ZeroDim)
+        ));
+        assert!(matches!(
+            LogicalMesh::new(g, vec![]),
+            Err(EmbedError::NoDims)
+        ));
     }
 
     #[test]
@@ -209,6 +225,7 @@ mod tests {
         assert_eq!(pairs[5].members(), &[10, 11]);
     }
 
+    #[cfg(feature = "heavy-tests")]
     proptest! {
         #[test]
         fn prop_rank_index_roundtrip(d1 in 1usize..5, d2 in 1usize..5, d3 in 1usize..5) {

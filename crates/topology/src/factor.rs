@@ -86,6 +86,7 @@ fn rec(rem: usize, max_dims: usize, prefix: &mut Vec<usize>, out: &mut Vec<Vec<u
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "heavy-tests")]
     use proptest::prelude::*;
 
     #[test]
@@ -177,6 +178,7 @@ mod tests {
         assert_eq!(factorizations(2, 0), vec![vec![2]]);
     }
 
+    #[cfg(feature = "heavy-tests")]
     proptest! {
         #[test]
         fn prop_prime_factors_multiply_back(n in 2usize..10_000) {

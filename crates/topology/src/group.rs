@@ -41,7 +41,12 @@ pub enum GroupStructure {
 impl fmt::Display for GroupStructure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GroupStructure::Submesh { row0, col0, rows, cols } => {
+            GroupStructure::Submesh {
+                row0,
+                col0,
+                rows,
+                cols,
+            } => {
                 write!(f, "{rows}x{cols} submesh @({row0},{col0})")
             }
             GroupStructure::PhysicalLine => write!(f, "physical line"),
@@ -93,17 +98,23 @@ impl ProcGroup {
 
     /// The whole machine as one group, in row-major (node-id) order.
     pub fn whole_mesh(mesh: &Mesh2D) -> Self {
-        ProcGroup { ranks: mesh.all_nodes() }
+        ProcGroup {
+            ranks: mesh.all_nodes(),
+        }
     }
 
     /// Physical row `r` of the mesh as a group (west→east order).
     pub fn mesh_row(mesh: &Mesh2D, r: usize) -> Self {
-        ProcGroup { ranks: mesh.row_nodes(r) }
+        ProcGroup {
+            ranks: mesh.row_nodes(r),
+        }
     }
 
     /// Physical column `c` of the mesh as a group (north→south order).
     pub fn mesh_col(mesh: &Mesh2D, c: usize) -> Self {
-        ProcGroup { ranks: mesh.col_nodes(c) }
+        ProcGroup {
+            ranks: mesh.col_nodes(c),
+        }
     }
 
     /// Number of members.
@@ -136,7 +147,9 @@ impl ProcGroup {
     /// per-dimension groups.
     pub fn strided(&self, offset: usize, stride: usize, count: usize) -> Self {
         assert!(stride > 0, "stride must be positive");
-        let ranks: Vec<NodeId> = (0..count).map(|i| self.ranks[offset + i * stride]).collect();
+        let ranks: Vec<NodeId> = (0..count)
+            .map(|i| self.ranks[offset + i * stride])
+            .collect();
         ProcGroup { ranks }
     }
 
@@ -162,7 +175,12 @@ impl ProcGroup {
                 .enumerate()
                 .all(|(i, c)| c.row == rmin + i / cols && c.col == cmin + i % cols);
             if row_major && (rows > 1 && cols > 1) {
-                return GroupStructure::Submesh { row0: rmin, col0: cmin, rows, cols };
+                return GroupStructure::Submesh {
+                    row0: rmin,
+                    col0: cmin,
+                    rows,
+                    cols,
+                };
             }
             if row_major && (rows == 1 || cols == 1) {
                 // Degenerate rectangle: one physical row or column walked
@@ -193,6 +211,7 @@ impl ProcGroup {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "heavy-tests")]
     use proptest::prelude::*;
 
     #[test]
@@ -216,15 +235,26 @@ mod tests {
         let g = ProcGroup::whole_mesh(&m);
         assert_eq!(
             g.structure(&m),
-            GroupStructure::Submesh { row0: 0, col0: 0, rows: 4, cols: 6 }
+            GroupStructure::Submesh {
+                row0: 0,
+                col0: 0,
+                rows: 4,
+                cols: 6
+            }
         );
     }
 
     #[test]
     fn row_group_is_line() {
         let m = Mesh2D::new(4, 6);
-        assert_eq!(ProcGroup::mesh_row(&m, 2).structure(&m), GroupStructure::PhysicalLine);
-        assert_eq!(ProcGroup::mesh_col(&m, 5).structure(&m), GroupStructure::PhysicalLine);
+        assert_eq!(
+            ProcGroup::mesh_row(&m, 2).structure(&m),
+            GroupStructure::PhysicalLine
+        );
+        assert_eq!(
+            ProcGroup::mesh_col(&m, 5).structure(&m),
+            GroupStructure::PhysicalLine
+        );
     }
 
     #[test]
@@ -251,7 +281,12 @@ mod tests {
         let g = ProcGroup::new(ids).unwrap();
         assert_eq!(
             g.structure(&m),
-            GroupStructure::Submesh { row0: 1, col0: 2, rows: 2, cols: 3 }
+            GroupStructure::Submesh {
+                row0: 1,
+                col0: 2,
+                rows: 2,
+                cols: 3
+            }
         );
     }
 
@@ -284,6 +319,7 @@ mod tests {
         assert_eq!(s.members(), &[1, 4, 7, 10]);
     }
 
+    #[cfg(feature = "heavy-tests")]
     proptest! {
         #[test]
         fn prop_rank_of_is_inverse(perm in proptest::sample::subsequence((0usize..64).collect::<Vec<_>>(), 1..32)) {

@@ -100,6 +100,7 @@ impl fmt::Display for Hypercube {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "heavy-tests")]
     use proptest::prelude::*;
 
     #[test]
@@ -201,6 +202,7 @@ mod tests {
         assert_eq!(seen.len(), c.links());
     }
 
+    #[cfg(feature = "heavy-tests")]
     proptest! {
         #[test]
         fn prop_routes_within_links(d in 1u32..7, seed in any::<u64>()) {

@@ -35,6 +35,6 @@ pub use embed::LogicalMesh;
 pub use factor::{divisors, factorizations, prime_factors};
 pub use group::{GroupStructure, ProcGroup};
 pub use hypercube::{CubeLink, Hypercube};
-pub use torus::Torus2D;
 pub use mesh::{Direction, LinkId, Mesh2D, NodeId};
 pub use routing::{route_xy, RouteStep};
+pub use torus::Torus2D;

@@ -198,8 +198,14 @@ mod tests {
         let c = m.id(Coord::new(2, 2));
         assert_eq!(m.neighbor(c, Direction::East), Some(m.id(Coord::new(2, 3))));
         assert_eq!(m.neighbor(c, Direction::West), Some(m.id(Coord::new(2, 1))));
-        assert_eq!(m.neighbor(c, Direction::South), Some(m.id(Coord::new(3, 2))));
-        assert_eq!(m.neighbor(c, Direction::North), Some(m.id(Coord::new(1, 2))));
+        assert_eq!(
+            m.neighbor(c, Direction::South),
+            Some(m.id(Coord::new(3, 2)))
+        );
+        assert_eq!(
+            m.neighbor(c, Direction::North),
+            Some(m.id(Coord::new(1, 2)))
+        );
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub fn follow(mesh: &Mesh2D, src: NodeId, route: &[RouteStep]) -> Option<NodeId>
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "heavy-tests")]
     use proptest::prelude::*;
 
     #[test]
@@ -114,7 +115,13 @@ mod tests {
     fn neighbor_routes_single_hop() {
         let m = Mesh2D::new(3, 3);
         let r = route_xy(&m, 4, 5);
-        assert_eq!(r, vec![LinkId { from: 4, dir: Direction::East }]);
+        assert_eq!(
+            r,
+            vec![LinkId {
+                from: 4,
+                dir: Direction::East
+            }]
+        );
     }
 
     #[test]
@@ -135,6 +142,7 @@ mod tests {
         }
     }
 
+    #[cfg(feature = "heavy-tests")]
     proptest! {
         #[test]
         fn prop_route_reaches_destination(

@@ -50,7 +50,10 @@ impl Torus2D {
 
     /// Node id at a coordinate.
     pub fn id(&self, c: Coord) -> NodeId {
-        assert!(c.row < self.rows && c.col < self.cols, "coordinate out of range");
+        assert!(
+            c.row < self.rows && c.col < self.cols,
+            "coordinate out of range"
+        );
         c.row * self.cols + c.col
     }
 

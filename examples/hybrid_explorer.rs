@@ -6,9 +6,7 @@
 //! (defaults: p = 30, bytes = 4096 — the paper's Table 2 setting)
 
 use intercom_cost::collective::hybrid_cost;
-use intercom_cost::{
-    crossover_length, rank_strategies, CollectiveOp, CostContext, MachineParams,
-};
+use intercom_cost::{crossover_length, rank_strategies, CollectiveOp, CostContext, MachineParams};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -24,9 +22,18 @@ fn main() {
         1.0 / machine.beta / 1e6
     );
 
-    let ranked =
-        rank_strategies(CollectiveOp::Broadcast, p, n, &machine, CostContext::LINEAR, 0);
-    println!("{:<16} {:<8} {:>14}   cost", "logical mesh", "hybrid", "time (s)");
+    let ranked = rank_strategies(
+        CollectiveOp::Broadcast,
+        p,
+        n,
+        &machine,
+        CostContext::LINEAR,
+        0,
+    );
+    println!(
+        "{:<16} {:<8} {:>14}   cost",
+        "logical mesh", "hybrid", "time (s)"
+    );
     for r in ranked.iter().take(12) {
         println!(
             "{:<16} {:<8} {:>14.6e}   {}",

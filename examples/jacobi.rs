@@ -56,14 +56,20 @@ fn main() {
                     .unwrap();
                 }
                 (None, Some(r)) => {
-                    comm.send(r, 2 * tag, intercom::Scalar::as_bytes(&my_last)).unwrap();
-                    comm.recv(r, 2 * tag + 1, intercom::Scalar::as_bytes_mut(&mut from_right))
+                    comm.send(r, 2 * tag, intercom::Scalar::as_bytes(&my_last))
                         .unwrap();
+                    comm.recv(
+                        r,
+                        2 * tag + 1,
+                        intercom::Scalar::as_bytes_mut(&mut from_right),
+                    )
+                    .unwrap();
                 }
                 (Some(l), None) => {
                     comm.recv(l, 2 * tag, intercom::Scalar::as_bytes_mut(&mut from_left))
                         .unwrap();
-                    comm.send(l, 2 * tag + 1, intercom::Scalar::as_bytes(&my_first)).unwrap();
+                    comm.send(l, 2 * tag + 1, intercom::Scalar::as_bytes(&my_first))
+                        .unwrap();
                 }
                 (None, None) => {}
             }
@@ -103,7 +109,10 @@ fn main() {
     let sweeps = results[0].0;
     assert!(sweeps < MAX_SWEEPS, "did not converge");
     println!("Jacobi converged in {sweeps} sweeps across {P} ranks");
-    assert!(results.iter().all(|&(s, _)| s == sweeps), "ranks disagree on sweeps");
+    assert!(
+        results.iter().all(|&(s, _)| s == sweeps),
+        "ranks disagree on sweeps"
+    );
     // Steady state is the linear ramp from 1 to 0: check monotone
     // midpoint values across ranks.
     let mids: Vec<f64> = results.iter().map(|&(_, m)| m).collect();

@@ -30,8 +30,8 @@ fn main() {
     let x_ref: Vec<f64> = (0..ncols).map(|j| (j as f64 * 0.5).cos()).collect();
     let mut y_ref = vec![0.0f64; nrows];
     for (i, y) in y_ref.iter_mut().enumerate() {
-        for j in 0..ncols {
-            *y += a(i, j) * x_ref[j];
+        for (j, &x) in x_ref.iter().enumerate() {
+            *y += a(i, j) * x;
         }
     }
 
@@ -60,11 +60,11 @@ fn main() {
         // 2. Local block multiply: y_partial(i) = Σ_j A(i,j)·x(j) over my
         //    column range, for my row range.
         let mut y_partial = vec![0.0f64; NB];
-        for bi in 0..NB {
+        for (bi, y) in y_partial.iter_mut().enumerate() {
             let gi = pr * NB + bi;
-            for bj in 0..NB {
+            for (bj, &x) in x_block.iter().enumerate() {
                 let gj = pc * NB + bj;
-                y_partial[bi] += a(gi, gj) * x_block[bj];
+                *y += a(gi, gj) * x;
             }
         }
 
@@ -81,7 +81,11 @@ fn main() {
         for (bi, v) in y.iter().enumerate() {
             let err = (v - y_ref[pr * NB + bi]).abs();
             max_err = max_err.max(err);
-            assert!(err < 1e-9, "rank {me} row {pr} element {bi}: {v} vs {}", y_ref[pr * NB + bi]);
+            assert!(
+                err < 1e-9,
+                "rank {me} row {pr} element {bi}: {v} vs {}",
+                y_ref[pr * NB + bi]
+            );
         }
     }
     println!("distributed result matches dense reference (max |err| = {max_err:.2e})");

@@ -14,7 +14,10 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let rows: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
     let cols: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
-    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(64 * 1024);
+    let n: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(64 * 1024);
 
     let mesh = Mesh2D::new(rows, cols);
     let machine = MachineParams::PARAGON;
@@ -42,13 +45,8 @@ fn main() {
     }
 
     // What did the selector pick, and what did the model predict?
-    let chosen = intercom_cost::select::best_mesh_strategy(
-        CollectiveOp::Broadcast,
-        rows,
-        cols,
-        n,
-        &machine,
-    );
+    let chosen =
+        intercom_cost::select::best_mesh_strategy(CollectiveOp::Broadcast, rows, cols, n, &machine);
     let predicted = intercom_cost::collective::hybrid_cost(
         CollectiveOp::Broadcast,
         &chosen,

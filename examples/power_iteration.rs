@@ -43,9 +43,9 @@ fn main() {
         for _ in 0..ITERS {
             // Local block rows of y = A·x.
             let mut y_mine = vec![0.0f64; NB];
-            for bi in 0..NB {
+            for (bi, y) in y_mine.iter_mut().enumerate() {
                 let gi = me * NB + bi;
-                y_mine[bi] = (0..N).map(|j| a(gi, j) * x[j]).sum();
+                *y = (0..N).map(|j| a(gi, j) * x[j]).sum();
             }
             // Collect the new vector (plan), then normalize via a
             // planned allreduce of the local square-norm contribution.
@@ -64,7 +64,10 @@ fn main() {
     let (lambda, strategy) = &lambdas[0];
     println!("dominant eigenvalue ≈ {lambda:.6} (plan strategy: {strategy})");
     for (r, (l, _)) in lambdas.iter().enumerate() {
-        assert!((l - lambda).abs() < 1e-9, "rank {r} disagrees: {l} vs {lambda}");
+        assert!(
+            (l - lambda).abs() < 1e-9,
+            "rank {r} disagrees: {l} vs {lambda}"
+        );
     }
     // Sanity: dominant eigenvalue of a diagonally-dominant matrix with
     // diagonal N+1 and small off-diagonals is a bit above N+1.

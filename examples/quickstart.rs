@@ -41,7 +41,8 @@ fn main() {
         //    of the global sum.
         let contrib: Vec<i64> = (0..P as i64 * 2).collect();
         let mut block = vec![0i64; 2];
-        cc.reduce_scatter(&contrib, &mut block, ReduceOp::Sum).unwrap();
+        cc.reduce_scatter(&contrib, &mut block, ReduceOp::Sum)
+            .unwrap();
         assert_eq!(block[0], (me as i64 * 2) * P as i64);
 
         (me, ones[0])

@@ -35,10 +35,10 @@ fn b(i: usize, j: usize) -> f64 {
 fn main() {
     // Dense reference.
     let mut c_ref = vec![vec![0.0f64; N]; M];
-    for i in 0..M {
-        for j in 0..N {
+    for (i, row) in c_ref.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
             for k in 0..K {
-                c_ref[i][j] += a(i, k) * b(k, j);
+                *cell += a(i, k) * b(k, j);
             }
         }
     }

@@ -30,7 +30,10 @@ fn main() {
     );
 
     println!("selector decisions, broadcast on a 32-node group:");
-    println!("{:>10}  {:<22} {:<22}", "bytes", "Paragon pick", "this-host pick");
+    println!(
+        "{:>10}  {:<22} {:<22}",
+        "bytes", "Paragon pick", "this-host pick"
+    );
     for exp in [3u32, 8, 12, 16, 20] {
         let n = 1usize << exp;
         let paragon = best_strategy(
@@ -41,7 +44,11 @@ fn main() {
             CostContext::LINEAR,
         );
         let here = best_strategy(CollectiveOp::Broadcast, 32, n, &host, CostContext::LINEAR);
-        println!("{n:>10}  {:<22} {:<22}", paragon.to_string(), here.to_string());
+        println!(
+            "{n:>10}  {:<22} {:<22}",
+            paragon.to_string(),
+            here.to_string()
+        );
     }
     println!(
         "\nhigher α/β ratios push the short→long crossover to larger\n\

@@ -40,9 +40,15 @@ fn paper_pipeline_smoke() {
     };
 
     let ratio_long = nx(1 << 18) / icc(1 << 18);
-    assert!(ratio_long > 3.0, "long-vector collect ratio only {ratio_long}");
+    assert!(
+        ratio_long > 3.0,
+        "long-vector collect ratio only {ratio_long}"
+    );
     let ratio_short = nx(8) / icc(8);
-    assert!(ratio_short > 1.0, "NX's sequential gcolx must lose even at 8B: {ratio_short}");
+    assert!(
+        ratio_short > 1.0,
+        "NX's sequential gcolx must lose even at 8B: {ratio_short}"
+    );
 }
 
 #[test]
@@ -150,14 +156,17 @@ fn every_collective_on_simulated_non_power_of_two_mesh() {
 
         let contrib: Vec<i64> = (0..2 * p as i64).collect();
         let mut block = vec![0i64; 2];
-        cc.reduce_scatter(&contrib, &mut block, ReduceOp::Sum).unwrap();
+        cc.reduce_scatter(&contrib, &mut block, ReduceOp::Sum)
+            .unwrap();
 
         let mut piece = vec![0i64; 2];
         let full: Vec<i64> = (0..2 * p as i64).collect();
-        cc.scatter(1, if me == 1 { Some(&full[..]) } else { None }, &mut piece).unwrap();
+        cc.scatter(1, if me == 1 { Some(&full[..]) } else { None }, &mut piece)
+            .unwrap();
 
         let mut gat = vec![0i64; if me == 1 { 2 * p } else { 0 }];
-        cc.gather(1, &piece, if me == 1 { Some(&mut gat[..]) } else { None }).unwrap();
+        cc.gather(1, &piece, if me == 1 { Some(&mut gat[..]) } else { None })
+            .unwrap();
 
         (b, red, ar, all, block, piece, gat, me)
     });
@@ -183,8 +192,13 @@ fn cost_model_and_simulator_agree_on_mesh_staging_latency() {
     // Verify via a long collect whose selected strategy is [cols, rows].
     let (r, c) = (3usize, 4usize);
     let mesh = Mesh2D::new(r, c);
-    let machine =
-        MachineParams { alpha: 1.0, beta: 1e-9, gamma: 0.0, delta: 0.0, link_excess: 1.0 };
+    let machine = MachineParams {
+        alpha: 1.0,
+        beta: 1e-9,
+        gamma: 0.0,
+        delta: 0.0,
+        link_excess: 1.0,
+    };
     let p = r * c;
     let b = 1 << 14;
     let cfg = SimConfig::new(mesh, machine);
@@ -198,7 +212,8 @@ fn cost_model_and_simulator_agree_on_mesh_staging_latency() {
         let cc = Communicator::world_on_mesh(comm, machine, mesh).unwrap();
         let mine = vec![0u8; b];
         let mut all = vec![0u8; p * b];
-        cc.allgather_with(&mine, &mut all, &Algo::Hybrid(s2.clone())).unwrap();
+        cc.allgather_with(&mine, &mut all, &Algo::Hybrid(s2.clone()))
+            .unwrap();
     });
     // β negligible: elapsed ≈ (c−1)α + (r−1)α = (r+c−2)α.
     let expect = (r + c - 2) as f64 * machine.alpha;

@@ -1,8 +1,33 @@
 #!/usr/bin/env bash
 # Offline CI gate: everything here must pass with no network and no
 # external crates (the workspace's default feature set is std-only).
+#
+# Usage:
+#   ./ci.sh            - the full offline gate
+#   ./ci.sh sanitize   - opt-in: runtime tests under ThreadSanitizer
+#                        (requires a nightly toolchain with -Zsanitizer;
+#                        skipped with a message when unavailable)
 set -euo pipefail
 cd "$(dirname "$0")"
+
+if [[ "${1:-}" == "sanitize" ]]; then
+    echo "==> ThreadSanitizer (runtime tests, nightly, best-effort)"
+    if ! rustup toolchain list 2>/dev/null | grep -q nightly; then
+        echo "sanitize: no nightly toolchain installed - skipping"
+        exit 0
+    fi
+    host="$(rustc -vV | sed -n 's/^host: //p')"
+    if ! rustup component list --toolchain nightly 2>/dev/null \
+            | grep -q "rust-src.*installed"; then
+        echo "sanitize: nightly rust-src not installed (needed for -Zbuild-std) - skipping"
+        exit 0
+    fi
+    RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -p intercom-runtime -q \
+        -Zbuild-std --target "$host"
+    echo "ci.sh sanitize: all green"
+    exit 0
+fi
 
 echo "==> cargo build --release"
 cargo build --release --workspace
@@ -13,8 +38,30 @@ cargo test --workspace -q
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo clippy --no-default-features -- -D warnings"
+cargo clippy --workspace --all-targets --no-default-features -- -D warnings
+
+# The heavy-tests / bench feature combos pull in proptest and criterion,
+# which this offline image does not vendor; lint them only when the
+# lockfile actually carries the dependencies.
+if grep -q '^name = "proptest"' Cargo.lock 2>/dev/null; then
+    echo "==> cargo clippy --features heavy-tests -- -D warnings"
+    cargo clippy --workspace --all-targets --features heavy-tests -- -D warnings
+else
+    echo "==> skipping clippy --features heavy-tests (proptest not vendored)"
+fi
+if grep -q '^name = "criterion"' Cargo.lock 2>/dev/null; then
+    echo "==> cargo clippy --features bench -- -D warnings"
+    cargo clippy --workspace --all-targets --features bench -- -D warnings
+else
+    echo "==> skipping clippy --features bench (criterion not vendored)"
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
+
+echo "==> schedule-audit (static verification sweep)"
+cargo run --release -p intercom-verify --bin schedule-audit
 
 echo "==> hotpath bench (smoke)"
 cargo run --release -p intercom-bench --bin hotpath -- --smoke >/dev/null

@@ -110,14 +110,23 @@ fn collect_rec<T: Scalar, C: Comm + ?Sized>(
     let sub = p / d0;
     let my0 = gc.me() % d0;
     // Stage 1 is void: recurse within my plane over my plane's slot
-    // super-block (contiguous by construction of the slot order).
+    // super-block (contiguous by construction of the slot order). The
+    // recursion owns the next tag level, keeping `tag / LEVEL_TAG_STRIDE`
+    // equal to the recursion depth for every stage of every collective.
     let plane = gc.plane(d0);
     let plane_range = my0 * sub * b..(my0 + 1) * sub * b;
-    collect_rec(&plane, &dims[1..], kind, &mut work[plane_range], b, tag)?;
+    collect_rec(
+        &plane,
+        &dims[1..],
+        kind,
+        &mut work[plane_range],
+        b,
+        tag + LEVEL_TAG_STRIDE,
+    )?;
     // Stage 2: bucket-collect the d0 plane super-blocks within my line.
     let line = gc.line(d0);
     let blocks = equal_blocks(d0, sub * b);
-    ring_collect(&line, work, &blocks, tag + LEVEL_TAG_STRIDE)
+    ring_collect(&line, work, &blocks, tag + 1)
 }
 
 /// Distributed combine: every member contributes `contrib`

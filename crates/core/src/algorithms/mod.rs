@@ -38,8 +38,11 @@ use crate::error::{CommError, Result};
 use intercom_cost::Strategy;
 
 /// Tag stride reserved per recursion level; stages within one level use
-/// offsets `0..LEVEL_TAG_STRIDE`.
-pub(crate) const LEVEL_TAG_STRIDE: u64 = 8;
+/// offsets `0..LEVEL_TAG_STRIDE`. With a base tag of 0, every event's
+/// recursion level is therefore `tag / LEVEL_TAG_STRIDE` — the invariant
+/// the `intercom-verify` schedule checker uses to attribute link traffic
+/// to §6 stages.
+pub const LEVEL_TAG_STRIDE: u64 = 8;
 
 /// Validates that `strategy` covers exactly this group.
 pub(crate) fn check_strategy<C: Comm + ?Sized>(

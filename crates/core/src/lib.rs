@@ -34,6 +34,8 @@
 //! assert_eq!(v, [1.0, 2.0, 3.0]);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod algorithms;
 pub mod block;
 pub mod cast;
@@ -48,6 +50,7 @@ pub mod pool;
 pub mod primitives;
 pub mod rng;
 pub mod selector;
+pub mod trace;
 
 pub use cast::Scalar;
 pub use comm::{Comm, GroupComm, Tag};

@@ -29,6 +29,8 @@
 //! | 3×10  | SSCC  | 17α + (94/30)nβ  | ✓ |
 //! | 2×15  | SSCC  | 20α + (86/30)nβ  | ✓ |
 
+#![forbid(unsafe_code)]
+
 pub mod collective;
 pub mod composed;
 pub mod crossover;
@@ -41,7 +43,7 @@ pub mod table2;
 
 pub use collective::{CollectiveOp, CostContext};
 pub use crossover::crossover_length;
-pub use enumerate::enumerate_strategies;
+pub use enumerate::{enumerate_mesh_strategies, enumerate_strategies};
 pub use expr::CostExpr;
 pub use machine::MachineParams;
 pub use select::{best_strategy, rank_strategies};

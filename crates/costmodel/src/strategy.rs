@@ -130,6 +130,15 @@ impl Strategy {
         (interleave as f64 / link_excess).max(1.0)
     }
 
+    /// The conflict factors of every dimension in order — the per-level
+    /// bounds a mesh verifier or simulator can check observed link
+    /// sharing against.
+    pub fn conflict_profile(&self, model: ConflictModel, link_excess: f64) -> Vec<f64> {
+        (0..self.ndims())
+            .map(|i| self.conflict_factor(i, model, link_excess))
+            .collect()
+    }
+
     /// The paper's stage-letter name: scatters up the dims, `M` or `SC`
     /// innermost, collects back down — e.g. `"SSMCC"` for a 3-D MST
     /// strategy, `"SSCC"` for a 2-D scatter/collect strategy, `"M"` for
@@ -208,6 +217,20 @@ mod tests {
         assert_eq!(s.conflict_factor(2, ConflictModel::LinearArray, 2.0), 3.0);
         assert_eq!(s.conflict_factor(2, ConflictModel::LinearArray, 8.0), 1.0);
         assert_eq!(s.conflict_factor(2, ConflictModel::MeshRowsCols, 1.0), 1.0);
+    }
+
+    #[test]
+    fn conflict_profile_matches_per_dim_factors() {
+        let s = Strategy::new(vec![2, 3, 5], StrategyKind::Mst);
+        assert_eq!(
+            s.conflict_profile(ConflictModel::LinearArray, 1.0),
+            vec![1.0, 2.0, 6.0]
+        );
+        let m = Strategy::on_mesh(vec![4, 3], StrategyKind::ScatterCollect, 1);
+        assert_eq!(
+            m.conflict_profile(ConflictModel::MeshRowsCols, 1.0),
+            vec![1.0, 1.0]
+        );
     }
 
     #[test]

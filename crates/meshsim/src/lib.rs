@@ -33,6 +33,8 @@
 //! assert!(report.elapsed > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod comm;
 mod engine;
 pub mod fluid;

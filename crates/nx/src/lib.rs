@@ -24,6 +24,8 @@
 //! overhead: NX entry points were flat native calls (which is exactly why
 //! NX edges out iCC at 8 bytes in Table 3, ratios 0.92 / 0.88).
 
+#![forbid(unsafe_code)]
+
 use intercom::{Comm, CommError, Elem, GroupComm, ReduceOp, Result, Scalar, Tag};
 
 mod tree;

@@ -22,6 +22,8 @@
 //! assert!(sums.iter().all(|&s| s == 10.0));
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod calibrate;
 pub mod chan;
 pub mod endpoint;

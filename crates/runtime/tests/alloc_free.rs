@@ -20,6 +20,8 @@
 //! The counter is process-global, so measured windows are bracketed by
 //! barriers (warmed planned allreduce) keeping other ranks quiescent.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use intercom::plan::{AllreducePlan, BcastPlan, CollectPlan};
 use intercom::{Comm, Communicator, ReduceOp};
 use intercom_cost::MachineParams;
@@ -31,18 +33,29 @@ struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: a pure pass-through to `System` plus a relaxed counter bump;
+// every `GlobalAlloc` contract obligation is discharged by `System`
+// itself, and the counter has no effect on layout or pointers.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is forwarded unchanged from our caller, who
+        // guarantees it is non-zero-sized as `GlobalAlloc` requires.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was returned by `System.alloc`/`realloc` via our
+        // own `alloc`/`realloc` with this same `layout`, per the caller's
+        // `dealloc` contract.
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr`/`layout` describe a live block from this
+        // allocator and `new_size` is non-zero, forwarded unchanged from
+        // the caller's `realloc` contract.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

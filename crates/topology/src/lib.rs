@@ -21,6 +21,8 @@
 //!   (row/column techniques apply) from unstructured groups (treated as
 //!   linear arrays).
 
+#![forbid(unsafe_code)]
+
 pub mod coord;
 pub mod embed;
 pub mod factor;

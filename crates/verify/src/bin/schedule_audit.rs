@@ -1,0 +1,269 @@
+//! `schedule-audit` — the CI gate that statically verifies every
+//! collective schedule the library can produce.
+//!
+//! Sweeps all seven collectives (plus the total-exchange and pipelined
+//! extensions) × every enumerable strategy × a battery of node counts
+//! (`1..=17`, `24`, `31`, `32`) × every mesh factorization of each
+//! count, at degenerate, tiny and awkward (prime) message sizes. Every
+//! combination must verify with zero violations: deadlock-free,
+//! single-port compliant, buffer-safe, and link-conflict-free within
+//! the §6 cost-model bounds.
+//!
+//! The audit then runs four *mutation probes* — deliberately broken
+//! schedules — and fails unless each probe is caught, guarding the
+//! checker itself against silent rot.
+
+use intercom::algorithms::LEVEL_TAG_STRIDE;
+use intercom::trace::{MemSpan, OpRecord};
+use intercom_cost::{enumerate_mesh_strategies, enumerate_strategies, Strategy};
+use intercom_topology::Mesh2D;
+use intercom_verify::{
+    analyze_links, check_buffer_safety, check_single_port, extract_programs, match_programs,
+    verify_schedule, Event, Schedule, VerifyOp, Violation,
+};
+use std::process::ExitCode;
+
+/// Node counts: every size through 17 (covers all small parities and
+/// primes), a composite with many factorizations, a large prime, and a
+/// power of two.
+const NODE_COUNTS: [usize; 20] = [
+    1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 24, 31, 32,
+];
+
+/// Sizes for total-vector collectives: empty, single byte, and a prime
+/// that divides into nothing evenly.
+const VECTOR_SIZES: [usize; 3] = [0, 1, 947];
+
+/// Sizes for per-block collectives (already multiplied by `p` inside).
+const BLOCK_SIZES: [usize; 3] = [0, 1, 13];
+
+struct Stats {
+    checks: usize,
+    failures: Vec<String>,
+}
+
+fn run(stats: &mut Stats, mesh: &Mesh2D, op: VerifyOp, st: Option<&Strategy>, n: usize) {
+    stats.checks += 1;
+    match verify_schedule(&op, st, mesh, n) {
+        Ok(rep) => {
+            if !rep.ok() {
+                stats.failures.push(rep.to_string());
+            }
+        }
+        Err(e) => {
+            let s = st.map(|s| format!(" strategy {s}")).unwrap_or_default();
+            stats.failures.push(format!(
+                "{op} on {}x{} n={n}{s}: extraction error: {e}",
+                mesh.rows(),
+                mesh.cols()
+            ));
+        }
+    }
+}
+
+fn shapes(p: usize) -> Vec<(usize, usize)> {
+    (1..=p)
+        .filter(|&r| p.is_multiple_of(r))
+        .map(|r| (r, p / r))
+        .collect()
+}
+
+fn roots(p: usize) -> Vec<usize> {
+    if p == 1 {
+        vec![0]
+    } else {
+        vec![0, p - 1]
+    }
+}
+
+fn audit() -> Stats {
+    let mut stats = Stats {
+        checks: 0,
+        failures: Vec::new(),
+    };
+    for p in NODE_COUNTS {
+        let before = stats.checks;
+        for (r, c) in shapes(p) {
+            let mesh = Mesh2D::new(r, c);
+            // A 1×c machine is a linear array: every ordered
+            // factorization is a valid logical mesh. A true 2-D machine
+            // uses the §7.1 mesh-aware strategies (plus the row-major
+            // linear fallbacks they include).
+            let strategies = if r == 1 {
+                enumerate_strategies(p, 0)
+            } else {
+                enumerate_mesh_strategies(r, c, 0)
+            };
+            for st in &strategies {
+                for n in VECTOR_SIZES {
+                    for root in roots(p) {
+                        run(&mut stats, &mesh, VerifyOp::Broadcast { root }, Some(st), n);
+                        run(&mut stats, &mesh, VerifyOp::Reduce { root }, Some(st), n);
+                    }
+                    run(&mut stats, &mesh, VerifyOp::AllReduce, Some(st), n);
+                }
+                for n in BLOCK_SIZES {
+                    run(&mut stats, &mesh, VerifyOp::ReduceScatter, Some(st), n);
+                    run(&mut stats, &mesh, VerifyOp::Collect, Some(st), n);
+                }
+            }
+            for n in BLOCK_SIZES {
+                for root in roots(p) {
+                    run(&mut stats, &mesh, VerifyOp::Scatter { root }, None, n);
+                    run(&mut stats, &mesh, VerifyOp::Gather { root }, None, n);
+                }
+                run(&mut stats, &mesh, VerifyOp::Alltoall, None, n);
+            }
+            for n in VECTOR_SIZES {
+                for root in roots(p) {
+                    for segments in [1, 4] {
+                        run(
+                            &mut stats,
+                            &mesh,
+                            VerifyOp::PipelinedBcast { root, segments },
+                            None,
+                            n,
+                        );
+                    }
+                }
+            }
+        }
+        println!(
+            "p={p}: {} schedules verified{}",
+            stats.checks - before,
+            if stats.failures.is_empty() {
+                ""
+            } else {
+                " (failures pending)"
+            }
+        );
+    }
+    stats
+}
+
+/// Probe 1: moving a send one step earlier must trip the single-port
+/// check (the MST root would talk to two children at once).
+fn probe_step_move() -> bool {
+    let st = Strategy::pure_mst(8);
+    let programs =
+        extract_programs(&VerifyOp::Broadcast { root: 0 }, Some(&st), 8, 64).expect("extract");
+    let mut sched = match_programs(&programs).expect("valid schedule");
+    let idx = sched
+        .events
+        .iter()
+        .position(|e| e.src == 0 && e.step == 1)
+        .expect("root sends at step 1");
+    sched.events[idx].step = 0;
+    sched.events.sort_by_key(|e| e.step);
+    check_single_port(&sched)
+        .iter()
+        .any(|v| matches!(v, Violation::MultiPort { rank: 0, .. }))
+}
+
+/// Probe 2: bumping one rank's first tag must deadlock the matcher
+/// (its partner waits on the original tag forever).
+fn probe_tag_bump() -> bool {
+    let st = Strategy::pure_mst(4);
+    let mut programs =
+        extract_programs(&VerifyOp::Broadcast { root: 0 }, Some(&st), 4, 32).expect("extract");
+    let bumped = programs[1].iter_mut().find_map(|op| match op {
+        OpRecord::Send { tag, .. }
+        | OpRecord::Recv { tag, .. }
+        | OpRecord::SendRecv { tag, .. } => {
+            *tag += 1;
+            Some(())
+        }
+        _ => None,
+    });
+    bumped.expect("rank 1 communicates");
+    matches!(match_programs(&programs), Err(Violation::Deadlock { .. }))
+}
+
+/// Probe 3: a receive landing inside a concurrently-sent span must trip
+/// the buffer-safety check.
+fn probe_buffer_overlap() -> bool {
+    let sched = Schedule {
+        p: 2,
+        steps: 1,
+        events: vec![
+            Event {
+                step: 0,
+                src: 0,
+                dst: 1,
+                tag: 0,
+                bytes: 8,
+                read: MemSpan { addr: 100, len: 8 },
+                write: MemSpan { addr: 500, len: 8 },
+            },
+            Event {
+                step: 0,
+                src: 1,
+                dst: 0,
+                tag: 0,
+                bytes: 8,
+                read: MemSpan { addr: 700, len: 8 },
+                write: MemSpan { addr: 104, len: 8 },
+            },
+        ],
+    };
+    check_buffer_safety(&sched)
+        .iter()
+        .any(|v| matches!(v, Violation::BufferOverlap { rank: 0, .. }))
+}
+
+/// Probe 4: two same-step messages crossing the same east link must be
+/// observed by the link analysis.
+fn probe_link_conflict() -> bool {
+    let mesh = Mesh2D::new(1, 4);
+    let ev = |src: usize, dst: usize| Event {
+        step: 0,
+        src,
+        dst,
+        tag: LEVEL_TAG_STRIDE,
+        bytes: 4,
+        read: MemSpan { addr: 0, len: 4 },
+        write: MemSpan { addr: 64, len: 4 },
+    };
+    let sched = Schedule {
+        p: 4,
+        steps: 1,
+        events: vec![ev(0, 2), ev(1, 3)],
+    };
+    analyze_links(&sched, &mesh).max_sharing == 2
+}
+
+fn main() -> ExitCode {
+    let stats = audit();
+    println!("schedule-audit: {} schedules verified", stats.checks);
+    let mut ok = true;
+    if !stats.failures.is_empty() {
+        ok = false;
+        println!("{} FAILURES:", stats.failures.len());
+        for (i, f) in stats.failures.iter().enumerate().take(50) {
+            println!("[{i}] {f}");
+        }
+        if stats.failures.len() > 50 {
+            println!("... and {} more", stats.failures.len() - 50);
+        }
+    }
+    for (name, caught) in [
+        ("step-move -> single-port", probe_step_move()),
+        ("tag-bump -> deadlock", probe_tag_bump()),
+        ("span-overlap -> buffer-safety", probe_buffer_overlap()),
+        ("link-share -> conflict", probe_link_conflict()),
+    ] {
+        if caught {
+            println!("mutation probe caught: {name}");
+        } else {
+            ok = false;
+            println!("MUTATION PROBE MISSED: {name}");
+        }
+    }
+    if ok {
+        println!("schedule-audit: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("schedule-audit: FAIL");
+        ExitCode::FAILURE
+    }
+}

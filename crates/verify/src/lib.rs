@@ -1,0 +1,53 @@
+//! # intercom-verify — static verification of collective schedules
+//!
+//! The paper's central claim (§2, §4) is that every building block is
+//! *conflict-free* under the single-port, full-duplex machine model with
+//! XY wormhole routing. The simulator checks this dynamically for a
+//! handful of shapes; this crate lifts the properties out of execution
+//! entirely. It extracts each algorithm's **symbolic schedule** — the
+//! step-list of `{src, dst, bytes, tag}` events every rank would issue —
+//! by running the unmodified algorithm code against a recording
+//! [`Comm`](intercom::Comm) backend ([`intercom::trace::RecordingComm`]),
+//! then statically checks four invariants:
+//!
+//! 1. **Deadlock-freedom** — every posted send has a matching receive
+//!    and the blocking rendezvous wait-for graph never stalls. Matching
+//!    is verified under *rendezvous* semantics (a send completes only
+//!    when its receive is posted), which is conservative: a schedule
+//!    that is deadlock-free here is deadlock-free under any amount of
+//!    eager buffering.
+//! 2. **Single-port compliance** — no rank sends to (or receives from)
+//!    two partners in the same synchronous step (§2's machine model).
+//! 3. **Link-conflict-freedom** — every event is routed through the
+//!    physical `R×C` mesh with dimension-ordered XY routing
+//!    ([`intercom_topology::route_xy`]); each *stage* (tag) of a
+//!    strategy collective must keep its same-step per-link sharing
+//!    within the cost model's conflict factor for its level
+//!    ([`intercom_cost::Strategy::conflict_factor`]), and strategy-free
+//!    primitives must be fully conflict-free. Sharing *between* stages
+//!    (a scatter tail overlapping a collect head as blocking ranks
+//!    drift apart) is transient pipeline skew: reported in the
+//!    [`Report`](report::Report), but not a violation.
+//! 4. **Buffer-region safety** — within one step, a rank's read and
+//!    write byte-ranges never overlap (and no two writes collide).
+//!
+//! The library API is [`verify_schedule`]; the `schedule-audit` binary
+//! sweeps all collectives × every enumerable strategy × a battery of
+//! node counts and mesh shapes, and is wired into `ci.sh` as a hard
+//! gate. See `docs/verification.md` for the schedule model and how the
+//! invariants map back to the paper.
+
+#![forbid(unsafe_code)]
+
+pub mod checks;
+pub mod extract;
+pub mod report;
+pub mod schedule;
+
+pub use checks::{
+    analyze_links, check_buffer_safety, check_program_aliasing, check_single_port, LinkAnalysis,
+    Violation,
+};
+pub use extract::{extract_program, extract_programs, VerifyOp};
+pub use report::{verify_schedule, LevelConflict, Report};
+pub use schedule::{match_programs, Event, Schedule};

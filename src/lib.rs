@@ -12,3 +12,4 @@ pub use intercom_meshsim as meshsim;
 pub use intercom_nx as nx;
 pub use intercom_runtime as runtime;
 pub use intercom_topology as topology;
+pub use intercom_verify as verify;

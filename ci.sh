@@ -66,4 +66,13 @@ cargo run --release -p intercom-verify --bin schedule-audit
 echo "==> hotpath bench (smoke)"
 cargo run --release -p intercom-bench --bin hotpath -- --smoke >/dev/null
 
+echo "==> observability smoke (trace export round-trip + residual reports)"
+# --check re-parses every emitted Chrome-trace JSON through the strict
+# std-only parser and asserts the known (p=9, SC, 3x3) cross-stage skew
+# is detected from measured timestamps.
+cargo run --release --bin trace-dump -- --check --out target/ci-traces >/dev/null
+
+echo "==> observability overhead gate (disabled recorder <= 3%)"
+cargo run --release -p intercom-bench --bin obs -- --smoke >/dev/null
+
 echo "ci.sh: all green"

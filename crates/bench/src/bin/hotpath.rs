@@ -45,7 +45,9 @@ impl Collective {
 
 /// Runs `iters` timed repetitions of `what` at `n` payload bytes inside
 /// one world (one warm-up repetition first), returning the elapsed
-/// seconds and rank 0's pool counters. `steady` selects this PR's path:
+/// seconds and the pool counters aggregated over *all* ranks (a single
+/// rank's pool understates misses on asymmetric schedules). `steady`
+/// selects this PR's path:
 /// persistent plans, pooled payloads, zero-copy rendezvous `sendrecv`.
 /// Otherwise every repetition goes through ad-hoc per-call strategy
 /// selection and scratch allocation on an allocate-per-hop, copy-twice
@@ -108,7 +110,11 @@ fn timed_loop(what: Collective, n: usize, iters: usize, steady: bool) -> (f64, P
     let out = run_world_tuned(RANKS, make_pool, rendezvous, body);
     // Slowest rank bounds the collective's wall time.
     let secs = out.iter().map(|(s, _)| *s).fold(0.0f64, f64::max);
-    (secs, out[0].1)
+    let mut stats = PoolStats::default();
+    for (_, st) in &out {
+        stats.merge(st);
+    }
+    (secs, stats)
 }
 
 /// Best-of-`repeats` [`timed_loop`]: scheduling noise only ever slows a
@@ -201,7 +207,9 @@ fn main() {
                 fmt_bytes(n),
                 iters.to_string(),
                 format!("{:.1}", bps / (1 << 20) as f64),
-                format!("{:.3}", stats.hit_rate()),
+                stats
+                    .hit_rate()
+                    .map_or_else(|| "n/a".into(), |r| format!("{r:.3}")),
             ]);
             entries.push(format!(
                 "{{\"backend\":\"threaded\",\"collective\":\"{}\",\"bytes\":{n},\
@@ -210,7 +218,11 @@ fn main() {
                 what.label(),
                 json_num(secs),
                 json_num(bps),
-                json_num(stats.hit_rate()),
+                // null = the pool was never asked (rendezvous bypass),
+                // not a perfect or zero rate.
+                stats
+                    .hit_rate()
+                    .map_or_else(|| "null".into(), |r| format!("{r:.6}")),
             ));
         }
     }

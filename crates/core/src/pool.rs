@@ -39,15 +39,24 @@ pub struct PoolStats {
 }
 
 impl PoolStats {
-    /// Fraction of acquires served without allocating, in `[0, 1]`
-    /// (1.0 for an untouched pool).
-    pub fn hit_rate(&self) -> f64 {
+    /// Fraction of acquires served without allocating, in `[0, 1]` —
+    /// or `None` for a pool that was never asked (disabled, or every
+    /// transfer took the zero-copy rendezvous path). A bypassed pool
+    /// has no hit rate; reporting `1.0` for it would flatter exactly
+    /// the shapes that skip pooling.
+    pub fn hit_rate(&self) -> Option<f64> {
         let total = self.hits + self.misses;
-        if total == 0 {
-            1.0
-        } else {
-            self.hits as f64 / total as f64
-        }
+        (total != 0).then(|| self.hits as f64 / total as f64)
+    }
+
+    /// Accumulates `other` into `self` (for cross-rank aggregates — a
+    /// single rank's pool understates misses on asymmetric schedules
+    /// where peers release into the sender's free lists).
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.recycled += other.recycled;
+        self.discarded += other.discarded;
     }
 }
 
@@ -250,8 +259,49 @@ mod tests {
     }
 
     #[test]
-    fn hit_rate_of_fresh_pool_is_one() {
-        assert_eq!(BufferPool::new().stats().hit_rate(), 1.0);
+    fn hit_rate_of_untouched_pool_is_not_applicable() {
+        // A pool nothing ever acquired from (disabled transport, pure
+        // rendezvous traffic) has no hit rate — `Some(1.0)` here would
+        // report perfect pooling for shapes that bypass the pool.
+        assert_eq!(BufferPool::new().stats().hit_rate(), None);
+        assert_eq!(BufferPool::disabled().stats().hit_rate(), None);
+    }
+
+    #[test]
+    fn hit_rate_counts_misses_honestly() {
+        let pool = BufferPool::new();
+        let b = pool.acquire(64); // miss: fresh pool allocates
+        pool.release(b);
+        let b = pool.acquire(64); // hit: served from the free list
+        pool.release(b);
+        assert_eq!(pool.stats().hit_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn stats_merge_sums_all_counters() {
+        let a = PoolStats {
+            hits: 3,
+            misses: 1,
+            recycled: 4,
+            discarded: 0,
+        };
+        let mut b = PoolStats {
+            hits: 1,
+            misses: 0,
+            recycled: 1,
+            discarded: 2,
+        };
+        b.merge(&a);
+        assert_eq!(
+            b,
+            PoolStats {
+                hits: 4,
+                misses: 1,
+                recycled: 5,
+                discarded: 2,
+            }
+        );
+        assert_eq!(b.hit_rate(), Some(0.8));
     }
 
     #[test]

@@ -136,6 +136,62 @@ pub fn log2_ceil(d: usize) -> usize {
     ceil_log2(d) as usize
 }
 
+/// The algorithmic building block a pipeline stage runs (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// MST (minimum spanning tree) broadcast.
+    MstBcast,
+    /// MST combine (reduce) with per-level arithmetic.
+    MstCombine,
+    /// MST scatter.
+    MstScatter,
+    /// MST gather.
+    MstGather,
+    /// Bucket (ring) collect.
+    BucketCollect,
+    /// Bucket (ring) distributed combine.
+    BucketReduceScatter,
+}
+
+impl StageKind {
+    /// Short display name, e.g. `"mst-scatter"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StageKind::MstBcast => "mst-bcast",
+            StageKind::MstCombine => "mst-combine",
+            StageKind::MstScatter => "mst-scatter",
+            StageKind::MstGather => "mst-gather",
+            StageKind::BucketCollect => "ring-collect",
+            StageKind::BucketReduceScatter => "ring-reduce-scatter",
+        }
+    }
+}
+
+/// One pipeline stage of a hybrid collective with its predicted cost.
+///
+/// `level` is the recursion level (= logical dimension index, fastest
+/// first) and `sub` the stage's slot within the level, chosen to match
+/// the tag layout of `intercom`'s recursive template: a stage recorded
+/// at tag offset `level · LEVEL_TAG_STRIDE + sub` by the algorithms is
+/// predicted by the `StagePrediction` with the same `(level, sub)`.
+/// Evaluating [`StagePrediction::cost`] with the collective's *total*
+/// vector length `n` yields the stage's predicted wall time — the
+/// per-stage message-length reduction is already folded into the
+/// coefficients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StagePrediction {
+    /// Recursion level (logical dimension index, fastest first).
+    pub level: usize,
+    /// Tag slot within the level (0 = first stage, 1 = second).
+    pub sub: u64,
+    /// Which §4 building block runs in this stage.
+    pub kind: StageKind,
+    /// The dimension's extent `dᵢ` (group size the stage runs over).
+    pub dim: usize,
+    /// Predicted cost of the stage in terms of the total vector length.
+    pub cost: CostExpr,
+}
+
 struct StageCosts {
     ctx: CostContext,
 }
@@ -196,102 +252,191 @@ impl StageCosts {
     }
 }
 
-/// Predicted cost of `op` executed with hybrid `strategy` in `ctx`.
+/// Per-stage cost predictions for `op` executed with hybrid `strategy`
+/// in `ctx`, in pipeline order.
 ///
-/// `Strategy::pure_mst(p)` yields the §5.1 short-vector composed
-/// algorithm; `Strategy::pure_long(p)` yields the §5.2 long-vector
-/// composed algorithm; anything else is a §6 hybrid.
-pub fn hybrid_cost(op: CollectiveOp, strategy: &Strategy, ctx: CostContext) -> CostExpr {
+/// This is the stage-resolved form of [`hybrid_cost`] (which is exactly
+/// the sum of the returned costs): each entry carries the `(level, sub)`
+/// coordinates matching the tag layout of the executing algorithms, so a
+/// recorded trace can be folded stage-by-stage against the model — the
+/// residual analyzer in `intercom-obs` consumes this.
+pub fn stage_predictions(
+    op: CollectiveOp,
+    strategy: &Strategy,
+    ctx: CostContext,
+) -> Vec<StagePrediction> {
     let sc = StageCosts { ctx };
     let s = strategy;
-    let k = s.ndims();
-    let last = k - 1;
-    let mut total = CostExpr::ZERO;
+    let last = s.ndims() - 1;
+    let mut stages = Vec::new();
+    let mut push = |level: usize, sub: u64, kind: StageKind, cost: CostExpr| {
+        stages.push(StagePrediction {
+            level,
+            sub,
+            kind,
+            dim: s.dims[level],
+            cost,
+        });
+    };
     match op {
         CollectiveOp::Broadcast => {
             // S(0) … S(k−2), [M | S C](k−1), C(k−2) … C(0)
             for i in 0..last {
-                total += sc.mst_scatter(s, i);
+                push(i, 0, StageKind::MstScatter, sc.mst_scatter(s, i));
             }
             match s.kind {
-                StrategyKind::Mst => total += sc.mst_bcast(s, last),
+                StrategyKind::Mst => push(last, 0, StageKind::MstBcast, sc.mst_bcast(s, last)),
                 StrategyKind::ScatterCollect => {
-                    total += sc.mst_scatter(s, last);
-                    total += sc.bucket_collect(s, last);
+                    push(last, 0, StageKind::MstScatter, sc.mst_scatter(s, last));
+                    push(
+                        last,
+                        1,
+                        StageKind::BucketCollect,
+                        sc.bucket_collect(s, last),
+                    );
                 }
             }
             for i in (0..last).rev() {
-                total += sc.bucket_collect(s, i);
+                push(i, 1, StageKind::BucketCollect, sc.bucket_collect(s, i));
             }
         }
         CollectiveOp::CombineToOne => {
             // Dual of broadcast: RS(0) … RS(k−2), [Mreduce | RS G](k−1),
             // G(k−2) … G(0).
             for i in 0..last {
-                total += sc.bucket_reduce_scatter(s, i);
+                push(
+                    i,
+                    0,
+                    StageKind::BucketReduceScatter,
+                    sc.bucket_reduce_scatter(s, i),
+                );
             }
             match s.kind {
-                StrategyKind::Mst => total += sc.mst_combine(s, last),
+                StrategyKind::Mst => push(last, 0, StageKind::MstCombine, sc.mst_combine(s, last)),
                 StrategyKind::ScatterCollect => {
-                    total += sc.bucket_reduce_scatter(s, last);
-                    total += sc.mst_gather(s, last);
+                    push(
+                        last,
+                        0,
+                        StageKind::BucketReduceScatter,
+                        sc.bucket_reduce_scatter(s, last),
+                    );
+                    push(last, 1, StageKind::MstGather, sc.mst_gather(s, last));
                 }
             }
             for i in (0..last).rev() {
-                total += sc.mst_gather(s, i);
+                push(i, 1, StageKind::MstGather, sc.mst_gather(s, i));
             }
         }
         CollectiveOp::CombineToAll => {
             // RS(0) … RS(k−2), [Mreduce+Mbcast | RS C](k−1), C(k−2) … C(0).
             for i in 0..last {
-                total += sc.bucket_reduce_scatter(s, i);
+                push(
+                    i,
+                    0,
+                    StageKind::BucketReduceScatter,
+                    sc.bucket_reduce_scatter(s, i),
+                );
             }
             match s.kind {
                 StrategyKind::Mst => {
-                    total += sc.mst_combine(s, last);
-                    total += sc.mst_bcast(s, last);
+                    push(last, 0, StageKind::MstCombine, sc.mst_combine(s, last));
+                    push(last, 1, StageKind::MstBcast, sc.mst_bcast(s, last));
                 }
                 StrategyKind::ScatterCollect => {
-                    total += sc.bucket_reduce_scatter(s, last);
-                    total += sc.bucket_collect(s, last);
+                    push(
+                        last,
+                        0,
+                        StageKind::BucketReduceScatter,
+                        sc.bucket_reduce_scatter(s, last),
+                    );
+                    push(
+                        last,
+                        1,
+                        StageKind::BucketCollect,
+                        sc.bucket_collect(s, last),
+                    );
                 }
             }
             for i in (0..last).rev() {
-                total += sc.bucket_collect(s, i);
+                push(i, 1, StageKind::BucketCollect, sc.bucket_collect(s, i));
             }
         }
         CollectiveOp::Collect => {
             // Stage 1 is void (§6): [G+Mbcast | C](k−1), C(k−2) … C(0).
             match s.kind {
                 StrategyKind::Mst => {
-                    total += sc.mst_gather(s, last);
-                    total += sc.mst_bcast(s, last);
+                    push(last, 0, StageKind::MstGather, sc.mst_gather(s, last));
+                    push(last, 1, StageKind::MstBcast, sc.mst_bcast(s, last));
                 }
-                StrategyKind::ScatterCollect => total += sc.bucket_collect(s, last),
+                StrategyKind::ScatterCollect => {
+                    push(
+                        last,
+                        0,
+                        StageKind::BucketCollect,
+                        sc.bucket_collect(s, last),
+                    );
+                }
             }
             for i in (0..last).rev() {
-                total += sc.bucket_collect(s, i);
+                push(i, 1, StageKind::BucketCollect, sc.bucket_collect(s, i));
             }
         }
         CollectiveOp::DistributedCombine => {
             // Dual of collect: RS(0) … RS(k−2), [Mreduce+S | RS](k−1).
             for i in 0..last {
-                total += sc.bucket_reduce_scatter(s, i);
+                push(
+                    i,
+                    0,
+                    StageKind::BucketReduceScatter,
+                    sc.bucket_reduce_scatter(s, i),
+                );
             }
             match s.kind {
                 StrategyKind::Mst => {
-                    total += sc.mst_combine(s, last);
-                    total += sc.mst_scatter(s, last);
+                    push(last, 0, StageKind::MstCombine, sc.mst_combine(s, last));
+                    push(last, 1, StageKind::MstScatter, sc.mst_scatter(s, last));
                 }
-                StrategyKind::ScatterCollect => total += sc.bucket_reduce_scatter(s, last),
+                StrategyKind::ScatterCollect => {
+                    push(
+                        last,
+                        0,
+                        StageKind::BucketReduceScatter,
+                        sc.bucket_reduce_scatter(s, last),
+                    );
+                }
             }
         }
         CollectiveOp::Scatter | CollectiveOp::Gather => {
             // The MST scatter/gather primitives serve both regimes (§4.2);
             // hybrids do not apply. Cost is computed on the flat group.
             let flat = Strategy::pure_mst(s.nodes());
-            total += sc.mst_scatter(&flat, 0);
+            let kind = if op == CollectiveOp::Scatter {
+                StageKind::MstScatter
+            } else {
+                StageKind::MstGather
+            };
+            stages.push(StagePrediction {
+                level: 0,
+                sub: 0,
+                kind,
+                dim: flat.dims[0],
+                cost: sc.mst_scatter(&flat, 0),
+            });
         }
+    }
+    stages
+}
+
+/// Predicted cost of `op` executed with hybrid `strategy` in `ctx`: the
+/// sum over [`stage_predictions`].
+///
+/// `Strategy::pure_mst(p)` yields the §5.1 short-vector composed
+/// algorithm; `Strategy::pure_long(p)` yields the §5.2 long-vector
+/// composed algorithm; anything else is a §6 hybrid.
+pub fn hybrid_cost(op: CollectiveOp, strategy: &Strategy, ctx: CostContext) -> CostExpr {
+    let mut total = CostExpr::ZERO;
+    for st in stage_predictions(op, strategy, ctx) {
+        total += st.cost;
     }
     total
 }
@@ -510,6 +655,74 @@ mod tests {
         let mst = bcast(vec![30], StrategyKind::Mst);
         let ssmcc = bcast(vec![2, 3, 5], StrategyKind::Mst);
         assert!(ssmcc.beta_c > mst.beta_c);
+    }
+
+    #[test]
+    fn stage_predictions_sum_to_hybrid_cost() {
+        for op in CollectiveOp::ALL {
+            for s in [
+                Strategy::pure_mst(12),
+                Strategy::pure_long(12),
+                Strategy::new(vec![2, 2, 3], StrategyKind::Mst),
+                Strategy::new(vec![3, 4], StrategyKind::ScatterCollect),
+            ] {
+                let mut sum = CostExpr::ZERO;
+                for st in stage_predictions(op, &s, CostContext::LINEAR) {
+                    sum += st.cost;
+                }
+                let total = hybrid_cost(op, &s, CostContext::LINEAR);
+                assert_eq!(sum, total, "{op:?} {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn stage_coordinates_match_tag_layout() {
+        // (2×2×3, SSMCC) broadcast: scatters up levels 0 and 1 (sub 0),
+        // MST broadcast at level 2 (sub 0), collects back down levels
+        // 1 and 0 (sub 1) — the tag offsets the recursive template uses.
+        let s = Strategy::new(vec![2, 2, 3], StrategyKind::Mst);
+        let st = stage_predictions(CollectiveOp::Broadcast, &s, CostContext::LINEAR);
+        let coords: Vec<(usize, u64, StageKind)> =
+            st.iter().map(|p| (p.level, p.sub, p.kind)).collect();
+        assert_eq!(
+            coords,
+            vec![
+                (0, 0, StageKind::MstScatter),
+                (1, 0, StageKind::MstScatter),
+                (2, 0, StageKind::MstBcast),
+                (1, 1, StageKind::BucketCollect),
+                (0, 1, StageKind::BucketCollect),
+            ]
+        );
+
+        // (9, SC) broadcast: MST scatter then ring collect in one level —
+        // the two stages whose pipeline skew the verifier reports.
+        let s = Strategy::pure_long(9);
+        let st = stage_predictions(CollectiveOp::Broadcast, &s, CostContext::LINEAR);
+        let coords: Vec<(usize, u64, StageKind)> =
+            st.iter().map(|p| (p.level, p.sub, p.kind)).collect();
+        assert_eq!(
+            coords,
+            vec![
+                (0, 0, StageKind::MstScatter),
+                (0, 1, StageKind::BucketCollect),
+            ]
+        );
+
+        // Collect's innermost SC stage records at sub 0 (it is the whole
+        // level), while the outer unwinding collects record at sub 1.
+        let s = Strategy::new(vec![3, 4], StrategyKind::ScatterCollect);
+        let st = stage_predictions(CollectiveOp::Collect, &s, CostContext::LINEAR);
+        let coords: Vec<(usize, u64, StageKind)> =
+            st.iter().map(|p| (p.level, p.sub, p.kind)).collect();
+        assert_eq!(
+            coords,
+            vec![
+                (1, 0, StageKind::BucketCollect),
+                (0, 1, StageKind::BucketCollect),
+            ]
+        );
     }
 
     #[test]

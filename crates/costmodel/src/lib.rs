@@ -41,7 +41,9 @@ pub mod select;
 pub mod strategy;
 pub mod table2;
 
-pub use collective::{CollectiveOp, CostContext};
+pub use collective::{
+    hybrid_cost, stage_predictions, CollectiveOp, CostContext, StageKind, StagePrediction,
+};
 pub use crossover::crossover_length;
 pub use enumerate::{enumerate_mesh_strategies, enumerate_strategies};
 pub use expr::CostExpr;

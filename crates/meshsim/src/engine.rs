@@ -16,10 +16,10 @@
 
 use crate::fluid::FluidScratch;
 use crate::net::NetSpec;
-use crate::trace::TransferRecord;
 use intercom::rng::splitmix64;
 use intercom::{CommError, Tag};
 use intercom_cost::MachineParams;
+use intercom_obs::TraceEvent;
 use std::collections::{HashMap, VecDeque};
 
 /// What a rank asked the simulator to do.
@@ -113,7 +113,7 @@ pub(crate) struct Engine {
     ready_replies: Vec<(usize, Reply)>,
     finished: usize,
     blocked: usize,
-    trace: Option<Vec<TransferRecord>>,
+    trace: Option<Vec<TraceEvent>>,
     /// Static constraint universe: `node` = injection port of `node`,
     /// `p + node` = ejection port, `2p + slot` = directed link `slot`
     /// (dense per-topology slot numbering).
@@ -208,7 +208,7 @@ impl Engine {
         &self.clocks
     }
 
-    pub(crate) fn take_trace(&mut self) -> Option<Vec<TransferRecord>> {
+    pub(crate) fn take_trace(&mut self) -> Option<Vec<TraceEvent>> {
         self.trace.take()
     }
 
@@ -488,15 +488,15 @@ impl Engine {
         self.clocks[t.src] = self.clocks[t.src].max(self.now);
         self.clocks[t.dst] = self.clocks[t.dst].max(self.now);
         if let Some(trace) = &mut self.trace {
-            trace.push(TransferRecord {
-                src: t.src,
-                dst: t.dst,
-                tag: t.tag,
-                bytes: t.data.len(),
-                start: t.started,
-                end: self.now,
-                hops: t.hops,
-            });
+            trace.push(TraceEvent::transfer(
+                t.src,
+                t.dst,
+                t.tag,
+                t.data.len(),
+                t.started,
+                self.now,
+                t.hops,
+            ));
         }
         if t.src == t.dst {
             // Self-message: one rank, both halves.

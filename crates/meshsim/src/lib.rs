@@ -41,10 +41,13 @@ pub mod fluid;
 pub mod net;
 pub mod sim;
 pub mod stats;
-pub mod trace;
 
 pub use comm::SimComm;
 pub use net::NetSpec;
 pub use sim::{simulate, SimConfig, SimReport};
 pub use stats::LinkLoad;
-pub use trace::{Trace, TransferRecord};
+// The trace schema moved to the unified observability layer; the
+// simulator emits `intercom_obs::TraceEvent`s (one per transfer) and
+// the old names remain available from here.
+pub use intercom_obs::TraceEvent as TransferRecord;
+pub use intercom_obs::{Trace, TraceEvent};

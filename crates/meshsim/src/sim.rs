@@ -3,9 +3,9 @@
 use crate::comm::SimComm;
 use crate::engine::Engine;
 use crate::net::NetSpec;
-use crate::trace::Trace;
 use intercom::BufferPool;
 use intercom_cost::MachineParams;
+use intercom_obs::Trace;
 use intercom_topology::{Hypercube, Mesh2D, Torus2D};
 use std::sync::mpsc::channel;
 use std::sync::Arc;

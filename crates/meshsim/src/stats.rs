@@ -4,7 +4,7 @@
 //! link of the network compared to the bandwidth from a node").
 
 use crate::net::NetSpec;
-use crate::trace::Trace;
+use intercom_obs::Trace;
 use std::collections::HashMap;
 
 /// Per-directed-link byte loads for a trace on a given network.
@@ -82,19 +82,11 @@ impl LinkLoad {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trace::TransferRecord;
+    use intercom_obs::TraceEvent;
     use intercom_topology::Mesh2D;
 
-    fn rec(src: usize, dst: usize, bytes: usize) -> TransferRecord {
-        TransferRecord {
-            src,
-            dst,
-            tag: 0,
-            bytes,
-            start: 0.0,
-            end: 1.0,
-            hops: 0,
-        }
+    fn rec(src: usize, dst: usize, bytes: usize) -> TraceEvent {
+        TraceEvent::transfer(src, dst, 0, bytes, 0.0, 1.0, 0)
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Chrome-trace / Perfetto JSON export.
+//!
+//! Emits the Trace Event Format's JSON-object form: complete (`"X"`)
+//! events with microsecond timestamps, one track (`tid`) per rank, plus
+//! thread-name metadata. The output loads directly in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`, and round-trips
+//! through [`crate::json::parse`] — the CI smoke gate relies on that.
+
+use crate::event::TraceEvent;
+use crate::record::RunRecord;
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_event(out: &mut String, ev: &TraceEvent) {
+    let name = match ev.src == ev.rank {
+        true => format!("{} {}→{}", ev.kind.name(), ev.src, ev.dst),
+        false => format!("{} {}←{}", ev.kind.name(), ev.dst, ev.src),
+    };
+    let stage = ev.stage();
+    let _ = write!(
+        out,
+        "    {{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"src\":{},\"dst\":{},\"tag\":{},\"bytes\":{},\"stage\":\"{}\",\"level\":{},\"sub\":{},\"hops\":{}}}}}",
+        escape_json(&name),
+        ev.kind.name(),
+        ev.rank,
+        ev.start * 1e6,
+        ev.duration().max(0.0) * 1e6,
+        ev.src,
+        ev.dst,
+        ev.tag,
+        ev.bytes,
+        stage,
+        stage.level,
+        stage.sub,
+        ev.hops,
+    );
+}
+
+/// Renders a recorded run as a Chrome-trace JSON document.
+pub fn chrome_trace(run: &RunRecord) -> String {
+    let totals = run.totals();
+    let mut out = String::from("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n");
+    let mut first = true;
+    for rank in 0..run.p() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "    {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{rank},\"args\":{{\"name\":\"rank {rank}\"}}}}"
+        );
+        for ev in &run.events[rank] {
+            out.push_str(",\n");
+            push_event(&mut out, ev);
+        }
+    }
+    out.push_str("\n  ],\n");
+    let _ = write!(
+        out,
+        "  \"otherData\": {{\"ranks\": {}, \"events\": {}, \"msgs_sent\": {}, \"bytes_out\": {}, \"bytes_in\": {}, \"dropped\": {}}}\n}}\n",
+        run.p(),
+        run.all_events().count(),
+        totals.msgs_sent,
+        totals.bytes_out,
+        totals.bytes_in,
+        run.dropped.iter().sum::<u64>(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn export_round_trips_through_parser() {
+        let transfers = vec![
+            TraceEvent::transfer(0, 1, 8, 64, 0.0, 1.5e-3, 1),
+            TraceEvent::transfer(1, 2, 9, 32, 2e-3, 3e-3, 2),
+        ];
+        let run = RunRecord::from_transfers(&transfers, 3);
+        let doc = chrome_trace(&run);
+        let v = json::parse(&doc).expect("export must be valid JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(json::Value::as_array)
+            .expect("traceEvents array");
+        // 3 thread-name metadata records + 2 transfers.
+        assert_eq!(events.len(), 5);
+        let xs: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(json::Value::as_str) == Some("X"))
+            .collect();
+        assert_eq!(xs.len(), 2);
+        let bytes = xs[0]
+            .get("args")
+            .and_then(|a| a.get("bytes"))
+            .and_then(json::Value::as_f64)
+            .unwrap();
+        assert_eq!(bytes, 64.0);
+        assert_eq!(
+            v.get("otherData")
+                .and_then(|o| o.get("msgs_sent"))
+                .and_then(json::Value::as_f64),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,39 +1,23 @@
-//! Transfer traces and derived statistics.
+//! Timeline views over a recorded event log.
 //!
-//! Every completed transfer can be recorded as a [`TransferRecord`];
 //! [`Trace`] offers summaries and a step-diagram renderer used to
 //! reproduce the paper's Fig. 1 (the 12-node hybrid broadcast walk-
-//! through).
+//! through). It consumes the unified [`TraceEvent`] schema, so the same
+//! renderers serve the simulator's transfer log and the threaded
+//! runtime's endpoint log.
 
+use crate::event::TraceEvent;
 use std::fmt::Write as _;
 
-/// One completed point-to-point transfer.
-#[derive(Debug, Clone, PartialEq)]
-pub struct TransferRecord {
-    /// Source world rank.
-    pub src: usize,
-    /// Destination world rank.
-    pub dst: usize,
-    /// Message tag.
-    pub tag: u64,
-    /// Payload size in bytes.
-    pub bytes: usize,
-    /// Rendezvous time (both sides ready).
-    pub start: f64,
-    /// Delivery time.
-    pub end: f64,
-    /// Physical route length in links.
-    pub hops: usize,
-}
-
-/// A completed simulation's transfer log.
+/// A completed run's event log, ordered by start time.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
-    records: Vec<TransferRecord>,
+    records: Vec<TraceEvent>,
 }
 
 impl Trace {
-    pub(crate) fn new(mut records: Vec<TransferRecord>) -> Self {
+    /// Builds a trace, sorting events by `(start, src, dst)`.
+    pub fn new(mut records: Vec<TraceEvent>) -> Self {
         records.sort_by(|a, b| {
             a.start
                 .total_cmp(&b.start)
@@ -44,7 +28,7 @@ impl Trace {
     }
 
     /// All records, ordered by start time.
-    pub fn records(&self) -> &[TransferRecord] {
+    pub fn records(&self) -> &[TraceEvent] {
         &self.records
     }
 
@@ -67,8 +51,8 @@ impl Trace {
     /// times coincide (within `tol`) form one step, ordered by time.
     /// Matches the paper's step-by-step figures for lock-step
     /// algorithms.
-    pub fn steps(&self, tol: f64) -> Vec<Vec<&TransferRecord>> {
-        let mut steps: Vec<(f64, Vec<&TransferRecord>)> = Vec::new();
+    pub fn steps(&self, tol: f64) -> Vec<Vec<&TraceEvent>> {
+        let mut steps: Vec<(f64, Vec<&TraceEvent>)> = Vec::new();
         for r in &self.records {
             match steps.last_mut() {
                 Some((t, v)) if (r.start - *t).abs() <= tol => v.push(r),
@@ -163,16 +147,8 @@ impl Trace {
 mod tests {
     use super::*;
 
-    fn rec(src: usize, dst: usize, start: f64, bytes: usize) -> TransferRecord {
-        TransferRecord {
-            src,
-            dst,
-            tag: 0,
-            bytes,
-            start,
-            end: start + 1.0,
-            hops: 1,
-        }
+    fn rec(src: usize, dst: usize, start: f64, bytes: usize) -> TraceEvent {
+        TraceEvent::transfer(src, dst, 0, bytes, start, start + 1.0, 1)
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 use crate::chan::{Receiver, Sender};
 use intercom::{BufferPool, Comm, CommError, PoolStats, Result, Tag};
+use intercom_obs::{EventKind, Recorder, TraceEvent};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
@@ -226,6 +227,10 @@ pub struct ThreadComm {
     /// Retired rendezvous completion flags, reused so steady-state
     /// zero-copy exchanges allocate nothing either.
     completions: RefCell<Vec<Arc<Completion>>>,
+    /// Optional observability handle (`None` on the untraced hot path;
+    /// a disabled [`Recorder`] reduces every hook to a branch — the CI
+    /// gate holds the difference under 3%).
+    recorder: Option<Recorder>,
 }
 
 impl ThreadComm {
@@ -247,6 +252,30 @@ impl ThreadComm {
             stash: RefCell::new((0..p).map(|_| PeerStash::default()).collect()),
             departed: RefCell::new(vec![false; p]),
             completions: RefCell::new(Vec::new()),
+            recorder: None,
+        }
+    }
+
+    /// Attaches a per-rank observability recorder; every subsequent
+    /// `send`/`recv`/`sendrecv`/`compute` is timestamped into it.
+    pub(crate) fn attach_recorder(&mut self, recorder: Recorder) {
+        debug_assert_eq!(recorder.rank(), self.rank);
+        self.recorder = Some(recorder);
+    }
+
+    /// Detaches the recorder (if any) for draining after the rank's
+    /// closure returns.
+    pub(crate) fn take_recorder(&mut self) -> Option<Recorder> {
+        self.recorder.take()
+    }
+
+    /// The active recorder, or `None` when absent *or* disabled — the
+    /// single test every hook pays on the untraced hot path.
+    #[inline]
+    fn obs(&self) -> Option<&Recorder> {
+        match &self.recorder {
+            Some(r) if r.enabled() => Some(r),
+            _ => None,
         }
     }
 
@@ -348,6 +377,8 @@ impl Comm for ThreadComm {
     fn send(&self, to: usize, tag: Tag, data: &[u8]) -> Result<()> {
         debug_assert_ne!(tag, FAREWELL_TAG, "Tag::MAX is reserved");
         self.check_peer(to)?;
+        let obs = self.obs();
+        let start = obs.map_or(0.0, Recorder::now);
         let mut payload = self.pools[self.rank].acquire(data.len());
         payload.extend_from_slice(data);
         self.senders[to]
@@ -356,13 +387,60 @@ impl Comm for ThreadComm {
                 tag,
                 data: Payload::Pooled(payload),
             })
-            .map_err(|_| CommError::Disconnected)
+            .map_err(|_| CommError::Disconnected)?;
+        if let Some(r) = obs {
+            let end = r.now();
+            r.record(TraceEvent {
+                kind: EventKind::Send,
+                rank: self.rank,
+                src: self.rank,
+                dst: to,
+                tag,
+                bytes: data.len(),
+                start,
+                end,
+                hops: 0,
+            });
+            r.with_counters(|c| {
+                c.msgs_sent += 1;
+                c.bytes_out += data.len() as u64;
+                c.eager_msgs += 1;
+                c.transfer_secs += end - start;
+            });
+        }
+        Ok(())
     }
 
     fn recv(&self, from: usize, tag: Tag, buf: &mut [u8]) -> Result<()> {
         self.check_peer(from)?;
+        let obs = self.obs();
+        let start = obs.map_or(0.0, Recorder::now);
         let data = self.take_matching(from, tag)?;
-        data.consume_into(buf, from, &self.pools)
+        // Matching payload in hand: blocking (wait) ends, the copy-out
+        // (transfer) begins.
+        let matched = obs.map_or(0.0, Recorder::now);
+        data.consume_into(buf, from, &self.pools)?;
+        if let Some(r) = obs {
+            let end = r.now();
+            r.record(TraceEvent {
+                kind: EventKind::Recv,
+                rank: self.rank,
+                src: from,
+                dst: self.rank,
+                tag,
+                bytes: buf.len(),
+                start,
+                end,
+                hops: 0,
+            });
+            r.with_counters(|c| {
+                c.msgs_recvd += 1;
+                c.bytes_in += buf.len() as u64;
+                c.wait_secs += matched - start;
+                c.transfer_secs += end - matched;
+            });
+        }
+        Ok(())
     }
 
     fn sendrecv(
@@ -385,6 +463,8 @@ impl Comm for ThreadComm {
         if data.len() >= self.rendezvous_threshold && to != self.rank {
             debug_assert_ne!(tag, FAREWELL_TAG, "Tag::MAX is reserved");
             self.check_peer(to)?;
+            let obs = self.obs();
+            let start = obs.map_or(0.0, Recorder::now);
             let done = self.take_completion();
             let window = BorrowedBytes {
                 ptr: data.as_ptr(),
@@ -401,13 +481,60 @@ impl Comm for ThreadComm {
             let recv_result = self.recv(from, tag, buf);
             // Wait for the peer to finish with our bytes even if our own
             // receive failed — `data` must not be touched after return.
+            let wait_begun = obs.map_or(0.0, Recorder::now);
             let wait_result = done.wait();
             self.retire_completion(done);
+            if let Some(r) = obs {
+                // The send half of the exchange (the inner `recv` above
+                // recorded the receive half): offered at `start`,
+                // released when the peer signalled its copy-out.
+                let end = r.now();
+                r.record(TraceEvent {
+                    kind: EventKind::SendRecv,
+                    rank: self.rank,
+                    src: self.rank,
+                    dst: to,
+                    tag,
+                    bytes: data.len(),
+                    start,
+                    end,
+                    hops: 0,
+                });
+                r.with_counters(|c| {
+                    c.msgs_sent += 1;
+                    c.bytes_out += data.len() as u64;
+                    c.rendezvous_msgs += 1;
+                    c.wait_secs += end - wait_begun;
+                });
+            }
             recv_result?;
             return wait_result;
         }
         self.send(to, tag, data)?;
         self.recv(from, tag, buf)
+    }
+
+    fn compute(&self, bytes: usize) {
+        // Real arithmetic happens in caller code (γ accounting); the
+        // recorder logs the step so reduce work shows on the timeline.
+        if let Some(r) = self.obs() {
+            let now = r.now();
+            r.record(TraceEvent {
+                kind: EventKind::Reduce,
+                rank: self.rank,
+                src: self.rank,
+                dst: self.rank,
+                tag: 0,
+                bytes,
+                start: now,
+                end: now,
+                hops: 0,
+            });
+            r.with_counters(|c| {
+                c.reduce_steps += 1;
+                c.reduce_bytes += bytes as u64;
+            });
+        }
     }
 }
 

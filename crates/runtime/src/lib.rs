@@ -31,7 +31,9 @@ pub mod world;
 
 pub use calibrate::{calibrate, Calibration};
 pub use endpoint::{ThreadComm, DEFAULT_RENDEZVOUS_THRESHOLD};
-pub use world::{run_world, run_world_pooled, run_world_tuned};
+pub use world::{
+    run_world, run_world_observed, run_world_pooled, run_world_recorded, run_world_tuned,
+};
 
 // Re-exported so downstream tests can name the trait without an extra
 // dependency edge.

@@ -3,6 +3,7 @@
 use crate::chan::channel;
 use crate::endpoint::{Msg, ThreadComm, DEFAULT_RENDEZVOUS_THRESHOLD};
 use intercom::BufferPool;
+use intercom_obs::{RankRecord, Recorder, RunRecord};
 use std::sync::Arc;
 
 /// Runs `f` on `p` ranks, each on its own OS thread with a connected
@@ -43,7 +44,60 @@ where
     T: Send,
     F: Fn(&ThreadComm) -> T + Send + Sync,
 {
+    run_world_inner(p, make_pool, rendezvous_threshold, None, f).0
+}
+
+/// [`run_world`] with per-rank observability: every `send`/`recv`/
+/// `sendrecv`/`compute` is timestamped into the matching [`Recorder`]
+/// and the drained [`RunRecord`] is returned alongside the results.
+/// Ring capacity is per rank; see
+/// [`intercom_obs::DEFAULT_RING_CAPACITY`].
+pub fn run_world_recorded<T, F>(p: usize, capacity: usize, f: F) -> (Vec<T>, RunRecord)
+where
+    T: Send,
+    F: Fn(&ThreadComm) -> T + Send + Sync,
+{
+    run_world_observed(p, intercom_obs::recorders(p, capacity), f)
+}
+
+/// [`run_world_recorded`] with caller-built recorders — the A/B
+/// overhead gate passes [`intercom_obs::disabled_recorders`] here to
+/// price the hooks alone. `recorders[i]` must belong to rank `i`.
+pub fn run_world_observed<T, F>(p: usize, recorders: Vec<Recorder>, f: F) -> (Vec<T>, RunRecord)
+where
+    T: Send,
+    F: Fn(&ThreadComm) -> T + Send + Sync,
+{
+    let (out, run) = run_world_inner(
+        p,
+        BufferPool::new,
+        DEFAULT_RENDEZVOUS_THRESHOLD,
+        Some(recorders),
+        f,
+    );
+    (out, run.expect("recorders were provided"))
+}
+
+fn run_world_inner<T, F>(
+    p: usize,
+    make_pool: impl Fn() -> BufferPool,
+    rendezvous_threshold: usize,
+    recorders: Option<Vec<Recorder>>,
+    f: F,
+) -> (Vec<T>, Option<RunRecord>)
+where
+    T: Send,
+    F: Fn(&ThreadComm) -> T + Send + Sync,
+{
     assert!(p > 0, "world must have at least one rank");
+    let recording = recorders.is_some();
+    let mut recs: Vec<Option<Recorder>> = match recorders {
+        Some(v) => {
+            assert_eq!(v.len(), p, "one recorder per rank");
+            v.into_iter().map(Some).collect()
+        }
+        None => (0..p).map(|_| None).collect(),
+    };
     let mut senders = Vec::with_capacity(p);
     let mut inboxes = Vec::with_capacity(p);
     for _ in 0..p {
@@ -55,22 +109,37 @@ where
     let f = &f;
     let senders = &senders;
     let pools = &pools;
-    std::thread::scope(|scope| {
+    let joined: Vec<(T, Option<RankRecord>)> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
         for (rank, inbox) in inboxes.into_iter().enumerate() {
+            let recorder = recs[rank].take();
             let builder = std::thread::Builder::new()
                 .name(format!("rank-{rank}"))
                 .stack_size(2 * 1024 * 1024);
             let handle = builder
                 .spawn_scoped(scope, move || {
-                    let comm = ThreadComm::new(
+                    let mut comm = ThreadComm::new(
                         rank,
                         senders.clone(),
                         inbox,
                         pools.clone(),
                         rendezvous_threshold,
                     );
-                    f(&comm)
+                    if let Some(r) = recorder {
+                        comm.attach_recorder(r);
+                    }
+                    let out = f(&comm);
+                    let record = comm.take_recorder().map(|r| {
+                        // Pool traffic is counted by the pool itself;
+                        // fold it into the drained counters.
+                        let stats = comm.pool_stats();
+                        r.with_counters(|c| {
+                            c.pool_hits = stats.hits;
+                            c.pool_misses = stats.misses;
+                        });
+                        r.finish()
+                    });
+                    (out, record)
                 })
                 .expect("failed to spawn rank thread");
             handles.push(handle);
@@ -90,7 +159,17 @@ where
                 }
             })
             .collect()
-    })
+    });
+    let mut out = Vec::with_capacity(p);
+    let mut ranks = Vec::with_capacity(if recording { p } else { 0 });
+    for (v, record) in joined {
+        out.push(v);
+        if let Some(r) = record {
+            ranks.push(r);
+        }
+    }
+    let run = recording.then(|| RunRecord::from_ranks(ranks));
+    (out, run)
 }
 
 #[cfg(test)]
@@ -162,5 +241,73 @@ mod tests {
     fn world_of_one() {
         let out = run_world(1, |c| c.size());
         assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn recorded_ring_pass_counts_and_times_every_hop() {
+        let (out, run) = run_world_recorded(4, 64, |c| {
+            let p = c.size();
+            let me = c.rank();
+            let right = (me + 1) % p;
+            let left = (me + p - 1) % p;
+            let mut got = [0u8; 8];
+            c.sendrecv(right, &[me as u8; 8], left, &mut got, 3)
+                .unwrap();
+            got[0] as usize
+        });
+        assert_eq!(out, vec![3, 0, 1, 2]);
+        assert_eq!(run.p(), 4);
+        for rank in 0..4 {
+            let c = &run.counters[rank];
+            assert_eq!(c.msgs_sent, 1);
+            assert_eq!(c.msgs_recvd, 1);
+            assert_eq!(c.bytes_out, 8);
+            assert_eq!(c.bytes_in, 8);
+            assert_eq!(c.eager_msgs, 1, "8 B rides the eager path");
+            assert_eq!(c.rendezvous_msgs, 0);
+            // One Send + one Recv event, consistently stamped.
+            assert_eq!(run.events[rank].len(), 2);
+            for ev in &run.events[rank] {
+                assert_eq!(ev.rank, rank);
+                assert!(ev.end >= ev.start);
+            }
+            assert_eq!(run.dropped[rank], 0);
+        }
+    }
+
+    #[test]
+    fn recorded_rendezvous_exchange_marks_zero_copy() {
+        let n = DEFAULT_RENDEZVOUS_THRESHOLD;
+        let (_, run) = run_world_recorded(2, 64, |c| {
+            let peer = 1 - c.rank();
+            let mine = vec![1u8; n];
+            let mut got = vec![0u8; n];
+            c.sendrecv(peer, &mine, peer, &mut got, 5).unwrap();
+        });
+        for c in &run.counters {
+            assert_eq!(c.rendezvous_msgs, 1);
+            assert_eq!(c.eager_msgs, 0);
+            assert_eq!(c.pool_hits + c.pool_misses, 0, "zero-copy skips the pool");
+        }
+        // Each rank logs the SendRecv offer and the matching Recv.
+        use intercom_obs::EventKind;
+        for evs in &run.events {
+            assert!(evs.iter().any(|e| e.kind == EventKind::SendRecv));
+            assert!(evs.iter().any(|e| e.kind == EventKind::Recv));
+        }
+    }
+
+    #[test]
+    fn observed_with_disabled_recorders_records_nothing() {
+        let (out, run) = run_world_observed(3, intercom_obs::disabled_recorders(3), |c| {
+            c.send(c.rank(), 1, &[1, 2]).unwrap();
+            let mut buf = [0u8; 2];
+            c.recv(c.rank(), 1, &mut buf).unwrap();
+            buf[1]
+        });
+        assert_eq!(out, vec![2, 2, 2]);
+        assert_eq!(run.p(), 3);
+        assert!(run.all_events().count() == 0);
+        assert_eq!(run.totals().msgs_sent, 0);
     }
 }

@@ -18,7 +18,10 @@
 //!    payload size.
 //!
 //! The counter is process-global, so measured windows are bracketed by
-//! barriers (warmed planned allreduce) keeping other ranks quiescent.
+//! barriers (warmed planned allreduce) keeping other ranks quiescent —
+//! and the tests themselves are serialized through [`WINDOW`], since
+//! the harness otherwise runs them on concurrent threads whose
+//! allocations would land in each other's windows.
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
@@ -63,10 +66,19 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
+/// Serializes the measured windows across the three tests; a poisoned
+/// lock (an earlier test failed) must not mask this one's result.
+static WINDOW: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn window_guard() -> std::sync::MutexGuard<'static, ()> {
+    WINDOW.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Counts process-wide allocations during `iters` symmetric `sendrecv`
 /// ping-pong exchanges of `n` bytes between two ranks (after `warmup`
 /// identical exchanges).
 fn allocations_during_exchanges(n: usize, warmup: usize, iters: usize) -> u64 {
+    let _window = window_guard();
     let out = run_world(2, |c| {
         let peer = 1 - c.rank();
         let mine = vec![c.rank() as u8; n];
@@ -74,6 +86,16 @@ fn allocations_during_exchanges(n: usize, warmup: usize, iters: usize) -> u64 {
         for _ in 0..warmup {
             c.sendrecv(peer, &mine, peer, &mut got, 1).unwrap();
         }
+        // Lockstep ping-pong keeps mailbox depth at 1, but a receiver
+        // descheduled under load lets the peer's next send queue behind
+        // an unconsumed one (depth 2) — growing the mailbox and pulling
+        // a second payload buffer from the pool. Both are legitimate
+        // one-time warm-up costs, so provision them here rather than
+        // letting a loaded machine pay them inside the window.
+        c.send(peer, 1, &mine).unwrap();
+        c.send(peer, 1, &mine).unwrap();
+        c.recv(peer, 1, &mut got).unwrap();
+        c.recv(peer, 1, &mut got).unwrap();
         let before = ALLOCATIONS.load(Ordering::SeqCst);
         for _ in 0..iters {
             c.sendrecv(peer, &mine, peer, &mut got, 1).unwrap();
@@ -113,6 +135,7 @@ fn rendezvous_hops_allocate_at_most_stray_flags() {
 /// a world of `p` ranks and returns the number of heap allocations the
 /// whole process performed during those repetitions (warm-up excluded).
 fn allocations_during_steady_rounds(p: usize, elems: usize, rounds: usize) -> u64 {
+    let _window = window_guard();
     let out = run_world(p, |c| {
         let cc = Communicator::world(c, MachineParams::PARAGON);
         let bcast = BcastPlan::<f64>::new(&cc, 0, elems);

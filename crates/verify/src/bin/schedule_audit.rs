@@ -40,6 +40,8 @@ const BLOCK_SIZES: [usize; 3] = [0, 1, 13];
 struct Stats {
     checks: usize,
     failures: Vec<String>,
+    /// `(p, schedules verified at that node count)`, in sweep order.
+    per_p: Vec<(usize, usize)>,
 }
 
 fn run(stats: &mut Stats, mesh: &Mesh2D, op: VerifyOp, st: Option<&Strategy>, n: usize) {
@@ -76,10 +78,11 @@ fn roots(p: usize) -> Vec<usize> {
     }
 }
 
-fn audit() -> Stats {
+fn audit(quiet: bool) -> Stats {
     let mut stats = Stats {
         checks: 0,
         failures: Vec::new(),
+        per_p: Vec::new(),
     };
     for p in NODE_COUNTS {
         let before = stats.checks;
@@ -128,15 +131,18 @@ fn audit() -> Stats {
                 }
             }
         }
-        println!(
-            "p={p}: {} schedules verified{}",
-            stats.checks - before,
-            if stats.failures.is_empty() {
-                ""
-            } else {
-                " (failures pending)"
-            }
-        );
+        stats.per_p.push((p, stats.checks - before));
+        if !quiet {
+            println!(
+                "p={p}: {} schedules verified{}",
+                stats.checks - before,
+                if stats.failures.is_empty() {
+                    ""
+                } else {
+                    " (failures pending)"
+                }
+            );
+        }
     }
     stats
 }
@@ -232,12 +238,75 @@ fn probe_link_conflict() -> bool {
     analyze_links(&sched, &mesh).max_sharing == 2
 }
 
+/// Escapes a string for embedding in a JSON document (std-only — the
+/// workspace ships no serde).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Bumped whenever the shape of the `--json` document changes, so CI
+/// consumers can fail fast on a format drift instead of misreading it.
+const JSON_SCHEMA_VERSION: u32 = 1;
+
 fn main() -> ExitCode {
-    let stats = audit();
+    let json = std::env::args().any(|a| a == "--json");
+    let stats = audit(json);
+    let probes = [
+        ("step-move -> single-port", probe_step_move()),
+        ("tag-bump -> deadlock", probe_tag_bump()),
+        ("span-overlap -> buffer-safety", probe_buffer_overlap()),
+        ("link-share -> conflict", probe_link_conflict()),
+    ];
+    let ok = stats.failures.is_empty() && probes.iter().all(|(_, caught)| *caught);
+
+    if json {
+        let per_p: Vec<String> = stats
+            .per_p
+            .iter()
+            .map(|(p, checks)| format!("{{\"p\":{p},\"checks\":{checks}}}"))
+            .collect();
+        let failures: Vec<String> = stats
+            .failures
+            .iter()
+            .map(|f| format!("\"{}\"", escape_json(f)))
+            .collect();
+        let probes: Vec<String> = probes
+            .iter()
+            .map(|(name, caught)| {
+                format!("{{\"name\":\"{}\",\"caught\":{caught}}}", escape_json(name))
+            })
+            .collect();
+        println!(
+            "{{\n  \"schema_version\": {JSON_SCHEMA_VERSION},\n  \"checks\": {},\n  \
+             \"failure_count\": {},\n  \"failures\": [{}],\n  \"per_p\": [{}],\n  \
+             \"mutation_probes\": [{}],\n  \"pass\": {ok}\n}}",
+            stats.checks,
+            stats.failures.len(),
+            failures.join(","),
+            per_p.join(","),
+            probes.join(","),
+        );
+        return if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
     println!("schedule-audit: {} schedules verified", stats.checks);
-    let mut ok = true;
     if !stats.failures.is_empty() {
-        ok = false;
         println!("{} FAILURES:", stats.failures.len());
         for (i, f) in stats.failures.iter().enumerate().take(50) {
             println!("[{i}] {f}");
@@ -246,16 +315,10 @@ fn main() -> ExitCode {
             println!("... and {} more", stats.failures.len() - 50);
         }
     }
-    for (name, caught) in [
-        ("step-move -> single-port", probe_step_move()),
-        ("tag-bump -> deadlock", probe_tag_bump()),
-        ("span-overlap -> buffer-safety", probe_buffer_overlap()),
-        ("link-share -> conflict", probe_link_conflict()),
-    ] {
+    for (name, caught) in probes {
         if caught {
             println!("mutation probe caught: {name}");
         } else {
-            ok = false;
             println!("MUTATION PROBE MISSED: {name}");
         }
     }

@@ -6,10 +6,13 @@
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 
+pub mod driver;
+
 pub use intercom;
 pub use intercom_cost as cost;
 pub use intercom_meshsim as meshsim;
 pub use intercom_nx as nx;
+pub use intercom_obs as obs;
 pub use intercom_runtime as runtime;
 pub use intercom_topology as topology;
 pub use intercom_verify as verify;

@@ -66,6 +66,9 @@ cargo run --release -p intercom-verify --bin schedule-audit
 echo "==> hotpath bench (smoke)"
 cargo run --release -p intercom-bench --bin hotpath -- --smoke >/dev/null
 
+echo "==> plan-cache bench (smoke)"
+cargo run --release -p intercom-bench --bin plancache -- --smoke >/dev/null
+
 echo "==> observability smoke (trace export round-trip + residual reports)"
 # --check re-parses every emitted Chrome-trace JSON through the strict
 # std-only parser and asserts the known (p=9, SC, 3x3) cross-stage skew

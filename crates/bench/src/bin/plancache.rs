@@ -1,0 +1,204 @@
+//! Plan-cache payoff: compile once and replay vs planning on every call.
+//!
+//! Two measurements:
+//!
+//! 1. **Planning cost** (single-threaded): nanoseconds per
+//!    [`lower`] call — a full per-rank symbolic replay — against
+//!    nanoseconds per [`PlanCache`] hit for the same key, over several
+//!    call shapes.
+//! 2. **End-to-end** (threaded backend, 8 ranks, 1 KiB allreduce):
+//!    steady-state execution through a cached persistent plan against
+//!    re-lowering the program on every call before interpreting it.
+//!
+//! Run: `cargo run --release -p intercom-bench --bin plancache`
+//! (append `-- --smoke` for the 1-iteration CI smoke mode).
+//! Emits `BENCH_plancache.json` in the current directory.
+
+use intercom::comm::GroupComm;
+use intercom::ir::{execute, global_cache, lower, ArgBuf, PlanCache, PlanKey, PlanOp};
+use intercom::plan::AllreducePlan;
+use intercom::{Communicator, ReduceOp};
+use intercom_bench::report::Table;
+use intercom_cost::{MachineParams, Strategy};
+use intercom_runtime::run_world;
+use std::time::Instant;
+
+const RANKS: usize = 8;
+/// End-to-end payload: 128 doubles = 1 KiB.
+const ELEMS: usize = 128;
+
+struct Shape {
+    label: &'static str,
+    key: PlanKey,
+}
+
+fn shapes() -> Vec<Shape> {
+    vec![
+        Shape {
+            label: "allreduce p=8 n=128 f64",
+            key: PlanKey {
+                op: PlanOp::AllReduce,
+                p: 8,
+                n: 128,
+                elem_size: 8,
+                strategy: Some(Strategy::pure_long(8)),
+            },
+        },
+        Shape {
+            label: "broadcast p=16 n=4096 u8",
+            key: PlanKey {
+                op: PlanOp::Broadcast { root: 0 },
+                p: 16,
+                n: 4096,
+                elem_size: 1,
+                strategy: Some(Strategy::pure_mst(16)),
+            },
+        },
+        Shape {
+            label: "collect p=12 n=512 u8",
+            key: PlanKey {
+                op: PlanOp::Collect,
+                p: 12,
+                n: 512,
+                elem_size: 1,
+                strategy: Some(Strategy::pure_long(12)),
+            },
+        },
+    ]
+}
+
+/// Best-of-`repeats` nanoseconds per call of `f` over `iters` calls.
+fn ns_per_call(repeats: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / iters as f64);
+    }
+    best * 1e9
+}
+
+/// One end-to-end timing world: 8 ranks run `iters` 1 KiB allreduces
+/// (one warm-up first), either through one cached persistent plan or by
+/// re-lowering the program before every call. Returns the slowest
+/// rank's elapsed seconds.
+fn end_to_end(iters: usize, cached: bool) -> f64 {
+    let out = run_world(RANKS, move |c| {
+        let mut buf = vec![1.0f64; ELEMS];
+        let timed = |mut run_once: Box<dyn FnMut() + '_>| {
+            run_once(); // warm-up: pools, scratch, cache
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                run_once();
+            }
+            t0.elapsed().as_secs_f64()
+        };
+        if cached {
+            let cc = Communicator::world(c, MachineParams::PARAGON);
+            let plan = AllreducePlan::<f64>::new(&cc, ELEMS, ReduceOp::Sum);
+            timed(Box::new(move || plan.execute(&cc, &mut buf).unwrap()))
+        } else {
+            let gc = GroupComm::world(c);
+            let strategy = Strategy::pure_long(RANKS);
+            let mut scratch = Vec::new();
+            timed(Box::new(move || {
+                let prog = lower(PlanOp::AllReduce, Some(&strategy), RANKS, ELEMS, 8).unwrap();
+                let mut args = [ArgBuf::Out(&mut buf[..])];
+                execute(&prog, &gc, ReduceOp::Sum, &mut args, &mut scratch, 0).unwrap();
+            }))
+        }
+    });
+    out.into_iter().fold(0.0f64, f64::max)
+}
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let repeats = if smoke { 1 } else { 5 };
+    let iters = if smoke { 8 } else { 256 };
+
+    // Planning cost: full lowering vs a cache hit, interleaved A/B.
+    let mut table = Table::new(vec!["shape", "lower ns", "cache-hit ns", "speedup"]);
+    let mut planning = Vec::new();
+    for shape in shapes() {
+        let key = &shape.key;
+        let lower_ns = ns_per_call(repeats, iters, || {
+            let prog = lower(key.op, key.strategy.as_ref(), key.p, key.n, key.elem_size)
+                .expect("shape lowers");
+            std::hint::black_box(&prog);
+        });
+        let cache = PlanCache::new();
+        cache.get_or_compile(key).expect("shape lowers");
+        let hit_ns = ns_per_call(repeats, iters, || {
+            let prog = cache.get_or_compile(key).unwrap();
+            std::hint::black_box(&prog);
+        });
+        let speedup = lower_ns / hit_ns;
+        table.row(vec![
+            shape.label.to_string(),
+            format!("{lower_ns:.0}"),
+            format!("{hit_ns:.0}"),
+            format!("{speedup:.0}x"),
+        ]);
+        planning.push(format!(
+            "{{\"shape\":\"{}\",\"lower_ns\":{},\"cache_hit_ns\":{},\"speedup\":{}}}",
+            shape.label,
+            json_num(lower_ns),
+            json_num(hit_ns),
+            json_num(speedup),
+        ));
+    }
+    println!("plan construction (per call):");
+    print!("{}", table.render());
+
+    // End-to-end A/B, interleaved best-of: cached persistent plan vs
+    // lower-on-every-call, 8 ranks, 1 KiB allreduce.
+    let e2e_iters = if smoke { 2 } else { 64 };
+    let mut cached_secs = f64::INFINITY;
+    let mut percall_secs = f64::INFINITY;
+    for _ in 0..repeats {
+        cached_secs = cached_secs.min(end_to_end(e2e_iters, true));
+        percall_secs = percall_secs.min(end_to_end(e2e_iters, false));
+    }
+    let e2e_speedup = percall_secs / cached_secs;
+    println!(
+        "\nend-to-end allreduce ({RANKS} ranks, {} B, {e2e_iters} iters): \
+         cached {:.3e} s, per-call planning {:.3e} s, speedup {:.2}x",
+        ELEMS * 8,
+        cached_secs,
+        percall_secs,
+        e2e_speedup,
+    );
+
+    let stats = global_cache().stats();
+    println!(
+        "global plan cache: {} hits, {} misses, {} entries",
+        stats.hits, stats.misses, stats.entries
+    );
+
+    let json = format!(
+        "{{\n  \"smoke\": {smoke},\n  \"planning\": [\n    {}\n  ],\n  \
+         \"end_to_end\": {{\"ranks\": {RANKS}, \"bytes\": {}, \"iters\": {e2e_iters}, \
+         \"cached_secs\": {}, \"percall_secs\": {}, \"speedup\": {}}},\n  \
+         \"global_cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}}\n}}\n",
+        planning.join(",\n    "),
+        ELEMS * 8,
+        json_num(cached_secs),
+        json_num(percall_secs),
+        json_num(e2e_speedup),
+        stats.hits,
+        stats.misses,
+        stats.entries,
+    );
+    std::fs::write("BENCH_plancache.json", &json).expect("write BENCH_plancache.json");
+    println!("\nwrote BENCH_plancache.json");
+}

@@ -37,7 +37,7 @@ pub fn alltoall<T: Scalar, C: Comm + ?Sized>(
     let b = send.len() / p;
     let me = gc.me();
     // Own block copies locally.
-    recv[me * b..(me + 1) * b].copy_from_slice(&send[me * b..(me + 1) * b]);
+    gc.copy(&send[me * b..(me + 1) * b], &mut recv[me * b..(me + 1) * b]);
     // Shift exchange: at step t, send to (me+t) and receive from (me−t).
     for t in 1..p {
         let to = (me + t) % p;

@@ -68,16 +68,17 @@ pub fn collect_scratch<T: Scalar, C: Comm + ?Sized>(
     let dims = &strategy.dims;
     // Place my block at my slot and run the template over slot order.
     let my_slot = slot_of(dims, gc.me());
-    all[my_slot * b..(my_slot + 1) * b].copy_from_slice(mine);
+    gc.copy(mine, &mut all[my_slot * b..(my_slot + 1) * b]);
     collect_rec(gc, dims, strategy.kind, all, b, tag)?;
     // Un-permute into rank order (identity for one-dimensional
     // strategies).
     if dims.len() > 1 {
         scratch.clear();
-        scratch.extend_from_slice(all);
+        scratch.resize(all.len(), T::default());
+        gc.copy(all, &mut scratch[..]);
         for q in 0..p {
             let s = slot_of(dims, q);
-            all[q * b..(q + 1) * b].copy_from_slice(&scratch[s * b..(s + 1) * b]);
+            gc.copy(&scratch[s * b..(s + 1) * b], &mut all[q * b..(q + 1) * b]);
         }
     }
     Ok(())
@@ -156,12 +157,12 @@ pub fn reduce_scatter<T: Elem, C: Comm + ?Sized>(
     let mut work = vec![T::default(); p * b];
     for q in 0..p {
         let s = slot_of(dims, q);
-        work[s * b..(s + 1) * b].copy_from_slice(&contrib[q * b..(q + 1) * b]);
+        gc.copy(&contrib[q * b..(q + 1) * b], &mut work[s * b..(s + 1) * b]);
     }
     let mut scratch = Vec::new();
     rs_rec(gc, dims, strategy.kind, &mut work, b, op, tag, &mut scratch)?;
     let my_slot = slot_of(dims, gc.me());
-    mine.copy_from_slice(&work[my_slot * b..(my_slot + 1) * b]);
+    gc.copy(&work[my_slot * b..(my_slot + 1) * b], mine);
     Ok(())
 }
 

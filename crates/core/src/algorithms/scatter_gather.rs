@@ -41,12 +41,13 @@ pub fn scatter<T: Scalar, C: Comm + ?Sized>(
                 actual: f.len(),
             });
         }
-        work = f.to_vec();
+        work = vec![T::default(); p * b];
+        gc.copy(f, &mut work[..]);
     } else {
         work = vec![T::default(); p * b];
     }
     mst_scatter(gc, root, &mut work, &equal_blocks(p, b), tag)?;
-    mine.copy_from_slice(&work[me * b..(me + 1) * b]);
+    gc.copy(&work[me * b..(me + 1) * b], mine);
     Ok(())
 }
 
@@ -70,7 +71,7 @@ pub fn gather<T: Scalar, C: Comm + ?Sized>(
     let b = mine.len();
     let me = gc.me();
     let mut work = vec![T::default(); p * b];
-    work[me * b..(me + 1) * b].copy_from_slice(mine);
+    gc.copy(mine, &mut work[me * b..(me + 1) * b]);
     mst_gather(gc, root, &mut work, &equal_blocks(p, b), tag)?;
     if me == root {
         let f = full.ok_or(CommError::BadBufferSize {
@@ -83,7 +84,7 @@ pub fn gather<T: Scalar, C: Comm + ?Sized>(
                 actual: f.len(),
             });
         }
-        f.copy_from_slice(&work);
+        gc.copy(&work, f);
     }
     Ok(())
 }

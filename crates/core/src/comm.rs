@@ -15,6 +15,7 @@
 
 use crate::cast::Scalar;
 use crate::error::{CommError, Result};
+use crate::op::{Elem, ReduceOp};
 
 /// Message tag disambiguating concurrent traffic between the same pair of
 /// nodes. Matching is FIFO per `(source, tag)`.
@@ -59,6 +60,28 @@ pub trait Comm {
     /// Accounts one level of short-vector-primitive recursion overhead
     /// (δ term, §7.2).
     fn call_overhead(&self) {}
+
+    /// Observes a completed local byte copy (`src` was copied into
+    /// `dst`). The copy itself is performed by caller code; recording
+    /// backends note the regions so schedule lowering sees data movement
+    /// that never crosses the network.
+    fn local_copy(&self, src: &[u8], dst: &[u8]) {
+        let _ = (src, dst);
+    }
+
+    /// Observes a completed local reduction (`other` was folded into
+    /// `acc`). Like [`Comm::local_copy`], a recording hook: the fold
+    /// itself is performed by caller code.
+    fn local_reduce(&self, acc: &[u8], other: &[u8]) {
+        let _ = (acc, other);
+    }
+
+    /// Announces the compiled-plan step about to execute, for trace
+    /// attribution: `(plan, step)` identify a step of a cached
+    /// `CollectiveProgram` (0 = not executing a compiled plan).
+    fn plan_step(&self, plan: u64, step: u64) {
+        let _ = (plan, step);
+    }
 }
 
 /// The trivial single-process backend: rank 0 of a world of 1. Useful in
@@ -240,6 +263,22 @@ impl<'a, C: Comm + ?Sized> GroupComm<'a, C> {
     /// δ-accounting passthrough.
     pub fn call_overhead(&self) {
         self.comm.call_overhead();
+    }
+
+    /// Local copy of `src` into `dst` with the recording hook fired, so
+    /// schedule lowering observes in-rank data movement. Panics on
+    /// length mismatch (an internal invariant, as with `copy_from_slice`).
+    pub fn copy<T: Scalar>(&self, src: &[T], dst: &mut [T]) {
+        dst.copy_from_slice(src);
+        self.comm.local_copy(T::as_bytes(src), T::as_bytes(dst));
+    }
+
+    /// Local fold of `other` into `acc` with the recording hook and the
+    /// γ-accounting the combining collectives charge per fold.
+    pub fn fold<T: Elem>(&self, op: ReduceOp, acc: &mut [T], other: &[T]) {
+        op.fold_into(acc, other);
+        self.comm.local_reduce(T::as_bytes(acc), T::as_bytes(other));
+        self.comm.compute(std::mem::size_of_val(acc));
     }
 }
 

@@ -49,6 +49,13 @@ pub enum CommError {
     },
     /// The calling node is not a member of the group it tried to use.
     NotInGroup,
+    /// A compiled plan was executed with bindings that do not match its
+    /// program (wrong element size or group size, missing buffer, write
+    /// to a read-only argument, malformed step operand).
+    PlanMismatch {
+        /// What did not match.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -81,6 +88,7 @@ impl fmt::Display for CommError {
                 "strategy covers {strategy_nodes} nodes but group has {group_len} members"
             ),
             CommError::NotInGroup => write!(f, "calling node is not a member of the group"),
+            CommError::PlanMismatch { what } => write!(f, "plan execution mismatch: {what}"),
         }
     }
 }

@@ -1,0 +1,146 @@
+//! The process-wide plan cache.
+//!
+//! A compiled schedule depends only on
+//! `(op, group size, size parameter, element size, strategy)` — the same
+//! fact the paper exploits to tabulate algorithm choices per machine.
+//! The cache memoizes [`lower`](super::lower) under exactly that key, so
+//! iterative applications compile each distinct call shape once and
+//! every later plan construction is a hash lookup.
+
+use super::{lower, CollectiveProgram, PlanOp};
+use crate::error::Result;
+use intercom_cost::Strategy;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Everything a compiled schedule depends on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// The collective (with root / segment parameters).
+    pub op: PlanOp,
+    /// Group size.
+    pub p: usize,
+    /// Size parameter in elements (unit per [`PlanOp::args`]).
+    pub n: usize,
+    /// Element width in bytes.
+    pub elem_size: usize,
+    /// Hybrid strategy for strategy-taking ops.
+    pub strategy: Option<Strategy>,
+}
+
+/// Cache occupancy and hit counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that lowered a fresh program.
+    pub misses: u64,
+    /// Distinct programs currently cached.
+    pub entries: usize,
+}
+
+/// A memoizing store of compiled programs, shareable across threads
+/// (every rank of a threaded world hits one cache).
+pub struct PlanCache {
+    plans: Mutex<HashMap<PlanKey, Arc<CollectiveProgram>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache {
+            plans: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached program for `key`, lowering and inserting it
+    /// on first use. Lowering happens under the cache lock, so
+    /// concurrent ranks requesting the same key compile it exactly once
+    /// and the rest observe hits.
+    pub fn get_or_compile(&self, key: &PlanKey) -> Result<Arc<CollectiveProgram>> {
+        let mut plans = self.plans.lock().unwrap();
+        if let Some(prog) = plans.get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(prog.clone());
+        }
+        let prog = Arc::new(lower(
+            key.op,
+            key.strategy.as_ref(),
+            key.p,
+            key.n,
+            key.elem_size,
+        )?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        plans.insert(key.clone(), prog.clone());
+        Ok(prog)
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.plans.lock().unwrap().len(),
+        }
+    }
+
+    /// Drops every cached program and resets the counters.
+    pub fn clear(&self) {
+        self.plans.lock().unwrap().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new()
+    }
+}
+
+/// The process-wide cache used by [`crate::plan`]'s persistent plans.
+pub fn global_cache() -> &'static PlanCache {
+    static CACHE: OnceLock<PlanCache> = OnceLock::new();
+    CACHE.get_or_init(PlanCache::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: usize) -> PlanKey {
+        PlanKey {
+            op: PlanOp::AllReduce,
+            p: 4,
+            n,
+            elem_size: 8,
+            strategy: Some(Strategy::pure_mst(4)),
+        }
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_program() {
+        let cache = PlanCache::new();
+        let a = cache.get_or_compile(&key(16)).unwrap();
+        let b = cache.get_or_compile(&key(16)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_shapes_get_distinct_programs() {
+        let cache = PlanCache::new();
+        let a = cache.get_or_compile(&key(16)).unwrap();
+        let b = cache.get_or_compile(&key(32)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().entries, 2);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Cost-model annotation of compiled programs.
+//!
+//! [`stage_predictions`] and the IR speak the same stage coordinates —
+//! `(level, sub)` per the recursive template's tag discipline — so a
+//! compiled program's steps can be folded stage-by-stage against the
+//! model: each [`StageCost`] pairs one predicted stage with the actual
+//! step counts and byte volumes the schedule executes in that stage.
+//! This is the static (pre-execution) counterpart of `intercom-obs`'s
+//! trace-driven residual attribution.
+
+use super::{CollectiveProgram, PlanOp, StepKind};
+use intercom_cost::{stage_predictions, CollectiveOp, CostContext, CostExpr, StageKind, Strategy};
+
+/// One predicted stage of a compiled program, annotated with the
+/// schedule's actual per-stage work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageCost {
+    /// Recursion level (fastest logical dimension first).
+    pub level: usize,
+    /// Stage slot within the level.
+    pub sub: u64,
+    /// Which §4 building block the stage runs.
+    pub kind: StageKind,
+    /// The dimension extent the stage spans.
+    pub dim: usize,
+    /// Predicted cost in terms of the total vector length.
+    pub cost: CostExpr,
+    /// Communication steps the compiled schedule issues in this stage,
+    /// summed over all ranks.
+    pub comm_steps: usize,
+    /// Bytes entering the network in this stage (send halves only, so
+    /// each transfer counts once), summed over all ranks.
+    pub bytes: usize,
+    /// Bytes of local combine work (γ) in this stage, summed over all
+    /// ranks.
+    pub compute_bytes: usize,
+}
+
+/// The cost-model operation a [`PlanOp`] corresponds to, if the model
+/// covers it (total exchange and the pipelined broadcast are extensions
+/// outside the paper's Table 1 stage formulas).
+pub fn cost_op(op: PlanOp) -> Option<CollectiveOp> {
+    match op {
+        PlanOp::Broadcast { .. } => Some(CollectiveOp::Broadcast),
+        PlanOp::Reduce { .. } => Some(CollectiveOp::CombineToOne),
+        PlanOp::AllReduce => Some(CollectiveOp::CombineToAll),
+        PlanOp::ReduceScatter => Some(CollectiveOp::DistributedCombine),
+        PlanOp::Collect => Some(CollectiveOp::Collect),
+        PlanOp::Scatter { .. } => Some(CollectiveOp::Scatter),
+        PlanOp::Gather { .. } => Some(CollectiveOp::Gather),
+        PlanOp::Alltoall | PlanOp::PipelinedBcast { .. } => None,
+    }
+}
+
+/// Annotates every predicted stage of `prog` with the compiled
+/// schedule's actual step counts and byte volumes. Returns `None` for
+/// ops the stage model does not cover ([`cost_op`]).
+pub fn annotate(prog: &CollectiveProgram, ctx: CostContext) -> Option<Vec<StageCost>> {
+    let cop = cost_op(prog.op)?;
+    // Scatter/gather are strategy-free; the model prices them on the
+    // flat group.
+    let flat;
+    let strategy = match &prog.strategy {
+        Some(s) => s,
+        None => {
+            flat = Strategy::pure_mst(prog.p);
+            &flat
+        }
+    };
+    let mut stages: Vec<StageCost> = stage_predictions(cop, strategy, ctx)
+        .into_iter()
+        .map(|p| StageCost {
+            level: p.level,
+            sub: p.sub,
+            kind: p.kind,
+            dim: p.dim,
+            cost: p.cost,
+            comm_steps: 0,
+            bytes: 0,
+            compute_bytes: 0,
+        })
+        .collect();
+    for rank in &prog.ranks {
+        for step in &rank.steps {
+            let Some(sc) = stages
+                .iter_mut()
+                .find(|s| s.level as u64 == step.stage.level && s.sub == step.stage.sub)
+            else {
+                continue;
+            };
+            match step.kind {
+                StepKind::Send { src, .. } => {
+                    sc.comm_steps += 1;
+                    sc.bytes += src.len;
+                }
+                StepKind::SendRecv { src, .. } => {
+                    sc.comm_steps += 1;
+                    sc.bytes += src.len;
+                }
+                StepKind::Recv { .. } => sc.comm_steps += 1,
+                StepKind::Compute { bytes } => sc.compute_bytes += bytes,
+                StepKind::Copy { .. } | StepKind::Reduce { .. } | StepKind::CallOverhead => {}
+            }
+        }
+    }
+    Some(stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lower;
+    use super::*;
+    use intercom_cost::StrategyKind;
+
+    #[test]
+    fn ring_allreduce_stages_carry_actual_work() {
+        let st = Strategy::pure_long(4);
+        let prog = lower(PlanOp::AllReduce, Some(&st), 4, 8, 8).unwrap();
+        let stages = annotate(&prog, CostContext::LINEAR).unwrap();
+        assert_eq!(stages.len(), 2, "RS then C in one level");
+        // Ring reduce-scatter: p−1 exchanges per rank.
+        assert_eq!(stages[0].comm_steps, 4 * 3);
+        assert_eq!(stages[1].comm_steps, 4 * 3);
+        // Every exchanged block is 2 elements × 8 bytes.
+        assert_eq!(stages[0].bytes, 4 * 3 * 16);
+        // γ work happens only in the combining stage.
+        assert_eq!(stages[0].compute_bytes, 4 * 3 * 16);
+        assert_eq!(stages[1].compute_bytes, 0);
+    }
+
+    #[test]
+    fn every_comm_step_lands_in_a_predicted_stage() {
+        for (op, st) in [
+            (
+                PlanOp::Broadcast { root: 1 },
+                Strategy::new(vec![2, 3], StrategyKind::Mst),
+            ),
+            (
+                PlanOp::ReduceScatter,
+                Strategy::new(vec![3, 2], StrategyKind::ScatterCollect),
+            ),
+            (PlanOp::Collect, Strategy::pure_mst(6)),
+        ] {
+            let prog = lower(op, Some(&st), 6, 12, 4).unwrap();
+            let stages = annotate(&prog, CostContext::LINEAR).unwrap();
+            let staged: usize = stages.iter().map(|s| s.comm_steps).sum();
+            assert_eq!(staged, prog.comm_steps(), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn extensions_are_not_priced() {
+        let prog = lower(PlanOp::Alltoall, None, 4, 4, 1).unwrap();
+        assert!(annotate(&prog, CostContext::LINEAR).is_none());
+        assert!(cost_op(PlanOp::PipelinedBcast {
+            root: 0,
+            segments: 4
+        })
+        .is_none());
+    }
+}

@@ -1,0 +1,402 @@
+//! Lowering: from a symbolic per-rank replay to a [`CollectiveProgram`].
+//!
+//! Each rank's algorithm is replayed once against a
+//! [`RecordingComm`](crate::trace::RecordingComm) with the argument
+//! buffers registered as named regions, exactly as the verifier's
+//! extraction does — the algorithms branch only on
+//! `(rank, size, n, strategy, root)`, so the replayed operation stream
+//! *is* the schedule. The recorded raw address spans are then resolved
+//! into [`Loc`]s: spans inside a registered argument become
+//! [`Buf::Arg`] offsets, and the remaining temporary allocations are
+//! clustered by byte overlap (data can only flow between spans that
+//! share bytes) and packed into a per-rank scratch arena.
+
+use super::{
+    fresh_plan_id, Buf, CollectiveProgram, Loc, PlanOp, RankProgram, StageId, Step, StepKind,
+};
+use crate::algorithms::{self, LEVEL_TAG_STRIDE};
+use crate::comm::{GroupComm, Tag};
+use crate::error::Result;
+use crate::op::{Elem, ReduceOp};
+use crate::primitives::pipelined_ring_bcast;
+use crate::trace::{MemSpan, OpRecord, RecordingComm};
+use intercom_cost::Strategy;
+
+/// Scratch-arena alignment: every temporary cluster starts on a 16-byte
+/// boundary, a multiple of every supported element size.
+const ARENA_ALIGN: usize = 16;
+
+/// Lowers one collective call into a compiled program for all `p` ranks.
+///
+/// `n` is the size parameter in *elements* (unit per [`PlanOp::args`])
+/// and `elem_size` the element width in bytes. The program is valid for
+/// any scalar type of that width: lowering never branches on values,
+/// only on element geometry.
+///
+/// # Panics
+///
+/// Panics if `strategy` is `None` for an op where
+/// [`PlanOp::takes_strategy`] is true, or if `elem_size` is not one of
+/// the supported scalar widths (1, 2, 4, 8).
+pub fn lower(
+    op: PlanOp,
+    strategy: Option<&Strategy>,
+    p: usize,
+    n: usize,
+    elem_size: usize,
+) -> Result<CollectiveProgram> {
+    let ranks = (0..p)
+        .map(|rank| match elem_size {
+            1 => lower_rank::<u8>(op, strategy, p, n, rank),
+            2 => lower_rank::<u16>(op, strategy, p, n, rank),
+            4 => lower_rank::<u32>(op, strategy, p, n, rank),
+            8 => lower_rank::<u64>(op, strategy, p, n, rank),
+            other => panic!("unsupported element size {other} (expected 1, 2, 4 or 8)"),
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(CollectiveProgram {
+        plan_id: fresh_plan_id(),
+        op,
+        p,
+        n,
+        elem_size,
+        strategy: strategy.cloned(),
+        ranks,
+    })
+}
+
+/// Replays rank `rank`'s algorithm at base tag 0 with registered
+/// argument buffers, then resolves the recorded spans.
+fn lower_rank<T: Elem + Default>(
+    op: PlanOp,
+    strategy: Option<&Strategy>,
+    p: usize,
+    n: usize,
+    rank: usize,
+) -> Result<RankProgram> {
+    let rec = RecordingComm::new(rank, p);
+    {
+        let gc = GroupComm::world(&rec);
+        let st = || strategy.unwrap_or_else(|| panic!("{} requires a strategy", op.name()));
+        match op {
+            PlanOp::Broadcast { root } => {
+                let mut buf = vec![T::default(); n];
+                rec.register("buf", &buf);
+                algorithms::broadcast(&gc, st(), root, &mut buf, 0)?;
+            }
+            PlanOp::Reduce { root } => {
+                let mut buf = vec![T::default(); n];
+                rec.register("buf", &buf);
+                algorithms::reduce(&gc, st(), root, &mut buf, ReduceOp::Sum, 0)?;
+            }
+            PlanOp::AllReduce => {
+                let mut buf = vec![T::default(); n];
+                rec.register("buf", &buf);
+                algorithms::allreduce(&gc, st(), &mut buf, ReduceOp::Sum, 0)?;
+            }
+            PlanOp::ReduceScatter => {
+                let contrib = vec![T::default(); p * n];
+                let mut mine = vec![T::default(); n];
+                rec.register("contrib", &contrib);
+                rec.register("mine", &mine);
+                algorithms::reduce_scatter(&gc, st(), &contrib, &mut mine, ReduceOp::Sum, 0)?;
+            }
+            PlanOp::Collect => {
+                let mine = vec![T::default(); n];
+                let mut all = vec![T::default(); p * n];
+                rec.register("mine", &mine);
+                rec.register("all", &all);
+                algorithms::collect(&gc, st(), &mine, &mut all, 0)?;
+            }
+            PlanOp::Scatter { root } => {
+                let full = vec![T::default(); p * n];
+                let mut mine = vec![T::default(); n];
+                if rank == root {
+                    rec.register("full", &full);
+                }
+                rec.register("mine", &mine);
+                let full = (rank == root).then_some(&full[..]);
+                algorithms::scatter(&gc, root, full, &mut mine, 0)?;
+            }
+            PlanOp::Gather { root } => {
+                let mine = vec![T::default(); n];
+                let mut full = vec![T::default(); p * n];
+                rec.register("mine", &mine);
+                if rank == root {
+                    rec.register("full", &full);
+                }
+                let full = (rank == root).then_some(&mut full[..]);
+                algorithms::gather(&gc, root, &mine, full, 0)?;
+            }
+            PlanOp::Alltoall => {
+                let send = vec![T::default(); p * n];
+                let mut recv = vec![T::default(); p * n];
+                rec.register("send", &send);
+                rec.register("recv", &recv);
+                algorithms::alltoall(&gc, &send, &mut recv, 0)?;
+            }
+            PlanOp::PipelinedBcast { root, segments } => {
+                let mut buf = vec![T::default(); n];
+                rec.register("buf", &buf);
+                pipelined_ring_bcast(&gc, root, &mut buf, segments, 0)?;
+            }
+        }
+    }
+    // Map registered regions back to argument slots by name (a non-root
+    // rank registers fewer regions than the op has slots).
+    let specs = op.args(p, n);
+    let args: Vec<(usize, usize, usize)> = rec
+        .regions()
+        .into_iter()
+        .map(|rg| {
+            let slot = specs
+                .iter()
+                .position(|s| s.name == rg.name)
+                .expect("registered region matches an argument slot");
+            (slot, rg.addr, rg.len)
+        })
+        .collect();
+    let ops = rec.into_ops();
+    Ok(resolve_rank(&ops, &args, std::mem::size_of::<T>()))
+}
+
+/// Resolves one rank's recorded spans into a [`RankProgram`].
+fn resolve_rank(ops: &[OpRecord], args: &[(usize, usize, usize)], elem: usize) -> RankProgram {
+    let arena = Arena::build(ops, args);
+    let resolve = |span: MemSpan| arena.resolve(span, args, elem);
+    let mut steps = Vec::with_capacity(ops.len());
+    let mut stage = StageId::default();
+    for op in ops {
+        let kind = match *op {
+            OpRecord::Send { to, tag, src } => {
+                stage = stage_of(tag);
+                StepKind::Send {
+                    to,
+                    tag_off: tag,
+                    src: resolve(src),
+                }
+            }
+            OpRecord::Recv { from, tag, dst } => {
+                stage = stage_of(tag);
+                StepKind::Recv {
+                    from,
+                    tag_off: tag,
+                    dst: resolve(dst),
+                }
+            }
+            OpRecord::SendRecv {
+                to,
+                src,
+                from,
+                dst,
+                tag,
+            } => {
+                stage = stage_of(tag);
+                StepKind::SendRecv {
+                    to,
+                    src: resolve(src),
+                    from,
+                    dst: resolve(dst),
+                    tag_off: tag,
+                }
+            }
+            OpRecord::Copy { src, dst } => StepKind::Copy {
+                src: resolve(src),
+                dst: resolve(dst),
+            },
+            OpRecord::Reduce { acc, other } => StepKind::Reduce {
+                acc: resolve(acc),
+                other: resolve(other),
+            },
+            OpRecord::Compute { bytes } => StepKind::Compute { bytes },
+            OpRecord::CallOverhead => StepKind::CallOverhead,
+        };
+        steps.push(Step { kind, stage });
+    }
+    RankProgram {
+        steps,
+        scratch_bytes: arena.total_bytes,
+    }
+}
+
+fn stage_of(tag: Tag) -> StageId {
+    StageId {
+        level: tag / LEVEL_TAG_STRIDE,
+        sub: tag % LEVEL_TAG_STRIDE,
+    }
+}
+
+/// The scratch arena layout of one rank: recorded temporary spans,
+/// clustered by byte overlap and packed with aligned bases.
+struct Arena {
+    /// `(start_addr, end_addr, arena_offset)` per cluster, sorted.
+    clusters: Vec<(usize, usize, usize)>,
+    total_bytes: usize,
+}
+
+impl Arena {
+    fn build(ops: &[OpRecord], args: &[(usize, usize, usize)]) -> Arena {
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        let mut note = |s: &MemSpan| {
+            if s.len > 0 && in_arg(s, args).is_none() {
+                spans.push((s.addr, s.addr + s.len));
+            }
+        };
+        for op in ops {
+            match op {
+                OpRecord::Send { src, .. } => note(src),
+                OpRecord::Recv { dst, .. } => note(dst),
+                OpRecord::SendRecv { src, dst, .. } => {
+                    note(src);
+                    note(dst);
+                }
+                OpRecord::Copy { src, dst } => {
+                    note(src);
+                    note(dst);
+                }
+                OpRecord::Reduce { acc, other } => {
+                    note(acc);
+                    note(other);
+                }
+                OpRecord::Compute { .. } | OpRecord::CallOverhead => {}
+            }
+        }
+        spans.sort_unstable();
+        // Merge strictly overlapping intervals: data only flows between
+        // spans sharing bytes, so non-overlapping temporaries are
+        // independent and may pack into separate arena regions.
+        let mut clusters: Vec<(usize, usize, usize)> = Vec::new();
+        let mut total = 0usize;
+        for (start, end) in spans {
+            match clusters.last_mut() {
+                Some((_, ce, _)) if start < *ce => *ce = (*ce).max(end),
+                _ => clusters.push((start, end, 0)),
+            }
+        }
+        for c in &mut clusters {
+            total = total.next_multiple_of(ARENA_ALIGN);
+            c.2 = total;
+            total += c.1 - c.0;
+        }
+        Arena {
+            clusters,
+            total_bytes: total,
+        }
+    }
+
+    fn resolve(&self, span: MemSpan, args: &[(usize, usize, usize)], elem: usize) -> Loc {
+        if span.len == 0 {
+            // Canonical empty location: zero-length ring blocks from
+            // uneven partitions carry no data.
+            return Loc {
+                buf: Buf::Scratch,
+                off: 0,
+                len: 0,
+            };
+        }
+        let loc = if let Some((slot, base)) = in_arg(&span, args) {
+            Loc {
+                buf: Buf::Arg(slot),
+                off: span.addr - base,
+                len: span.len,
+            }
+        } else {
+            let (cs, _, off) = *self
+                .clusters
+                .iter()
+                .find(|(cs, ce, _)| span.addr >= *cs && span.addr + span.len <= *ce)
+                .expect("recorded span lies in a scratch cluster");
+            Loc {
+                buf: Buf::Scratch,
+                off: off + (span.addr - cs),
+                len: span.len,
+            }
+        };
+        debug_assert!(
+            loc.off % elem == 0 && loc.len % elem == 0,
+            "span not element-aligned"
+        );
+        loc
+    }
+}
+
+/// `(slot, region base address)` if `span` lies wholly within a
+/// registered argument region.
+fn in_arg(span: &MemSpan, args: &[(usize, usize, usize)]) -> Option<(usize, usize)> {
+    args.iter()
+        .find(|(_, addr, len)| span.addr >= *addr && span.addr + span.len <= addr + len)
+        .map(|(slot, addr, _)| (*slot, *addr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mst_broadcast_lowers_to_arg_only_steps() {
+        let st = Strategy::pure_mst(8);
+        let prog = lower(PlanOp::Broadcast { root: 0 }, Some(&st), 8, 64, 1).unwrap();
+        assert_eq!(prog.p, 8);
+        assert_eq!(prog.ranks.len(), 8);
+        // A pure-MST broadcast needs no temporaries anywhere.
+        for rp in &prog.ranks {
+            assert_eq!(rp.scratch_bytes, 0);
+            for s in &rp.steps {
+                match s.kind {
+                    StepKind::Send { src, .. } => assert_eq!(src.buf, Buf::Arg(0)),
+                    StepKind::Recv { dst, .. } => assert_eq!(dst.buf, Buf::Arg(0)),
+                    StepKind::CallOverhead => {}
+                    ref other => panic!("unexpected step {other:?}"),
+                }
+            }
+        }
+        // Root sends ⌈log₂ 8⌉ = 3 times.
+        let sends = prog.ranks[0]
+            .steps
+            .iter()
+            .filter(|s| matches!(s.kind, StepKind::Send { .. }))
+            .count();
+        assert_eq!(sends, 3);
+    }
+
+    #[test]
+    fn reduce_lowering_allocates_scratch_and_is_op_agnostic() {
+        let st = Strategy::pure_mst(4);
+        let prog = lower(PlanOp::Reduce { root: 0 }, Some(&st), 4, 16, 8).unwrap();
+        // The root folds received contributions out of a scratch buffer.
+        let root = &prog.ranks[0];
+        assert!(root.scratch_bytes >= 16 * 8);
+        assert!(root
+            .steps
+            .iter()
+            .any(|s| matches!(s.kind, StepKind::Reduce { .. })));
+        // No ReduceOp appears anywhere in the IR: the ⊕ binds at
+        // execution time.
+    }
+
+    #[test]
+    fn stage_ids_follow_tag_discipline() {
+        let st = Strategy::new(vec![3, 3], intercom_cost::StrategyKind::ScatterCollect);
+        let prog = lower(PlanOp::AllReduce, Some(&st), 9, 18, 4).unwrap();
+        let mut seen_level_1 = false;
+        for rp in &prog.ranks {
+            for s in &rp.steps {
+                if let StepKind::SendRecv { tag_off, .. } = s.kind {
+                    assert_eq!(s.stage.level, tag_off / LEVEL_TAG_STRIDE);
+                    seen_level_1 |= s.stage.level == 1;
+                }
+            }
+        }
+        assert!(seen_level_1, "2-D hybrid must recurse one level down");
+    }
+
+    #[test]
+    fn empty_vector_programs_still_schedule_messages() {
+        let st = Strategy::pure_mst(3);
+        let prog = lower(PlanOp::AllReduce, Some(&st), 3, 0, 8).unwrap();
+        assert!(prog.comm_steps() > 0, "barrier-style allreduce still syncs");
+        for rp in &prog.ranks {
+            assert_eq!(rp.scratch_bytes, 0);
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! The shared schedule IR: collectives compiled to explicit per-rank
+//! step programs.
+//!
+//! Every collective in this library branches only on
+//! `(rank, size, n, strategy, root)` — never on received *values* — so a
+//! single symbolic replay per rank (against
+//! [`RecordingComm`](crate::trace::RecordingComm)) captures the complete
+//! schedule a call would execute. This module lowers that replay into a
+//! [`CollectiveProgram`]: one artifact consumed by every layer of the
+//! stack instead of four independent re-derivations of the same
+//! schedule —
+//!
+//! * the threaded runtime and the mesh simulator *execute* it through
+//!   the backend-generic interpreter ([`execute`] / [`execute_scalar`]),
+//! * `intercom-verify` checks its static safety properties directly
+//!   (deadlock-freedom, single-port, link conflicts, buffer safety),
+//! * `intercom-cost` annotates its stages with predicted costs
+//!   ([`annotate`]), and
+//! * `intercom-obs` attributes trace events to `(plan, step)` via the
+//!   [`Comm::plan_step`](crate::comm::Comm::plan_step) hook.
+//!
+//! Programs are cached in a process-wide [`PlanCache`] keyed by
+//! `(op, p, n, element size, strategy)` — the same observation behind the
+//! paper's tables: the chosen schedule depends only on the operation,
+//! the group shape and the message length, so iterative applications
+//! (§9's mesh row/column workloads) compile once and replay every
+//! iteration.
+//!
+//! # Buffer model
+//!
+//! A step addresses memory through [`Loc`]: a byte range within either a
+//! caller-visible argument buffer ([`Buf::Arg`], indexed per
+//! [`PlanOp::args`]) or the rank's private scratch arena
+//! ([`Buf::Scratch`]), sized by [`RankProgram::scratch_bytes`]. Lowering
+//! resolves the raw addresses observed during replay: spans inside a
+//! registered argument become `Arg` offsets, and the remaining
+//! temporaries are clustered by overlap and packed into the arena — so
+//! an executing rank needs exactly its arguments plus one reusable
+//! scratch allocation, and repeated executions allocate nothing.
+
+mod cache;
+mod cost;
+mod exec;
+mod lower;
+
+pub use cache::{global_cache, CacheStats, PlanCache, PlanKey};
+pub use cost::{annotate, cost_op, StageCost};
+pub use exec::{execute, execute_scalar, ArgBuf};
+pub use lower::lower;
+
+use crate::comm::Tag;
+use intercom_cost::Strategy;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which collective a program implements, together with the call
+/// parameters that shape the schedule (root, segment count). The size
+/// parameter `n` lives on [`CollectiveProgram`]; its unit follows each
+/// collective's natural convention (see [`PlanOp::args`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanOp {
+    /// Broadcast of `n` elements from `root` (§5 composed algorithm).
+    Broadcast {
+        /// Logical root rank.
+        root: usize,
+    },
+    /// Combine-to-one of `n` elements to `root`.
+    Reduce {
+        /// Logical root rank.
+        root: usize,
+    },
+    /// Combine-to-all of `n` elements.
+    AllReduce,
+    /// Distributed combine: `p·n` contributed, `n` kept per member.
+    ReduceScatter,
+    /// Collect (allgather): `n` contributed, `p·n` gathered per member.
+    Collect,
+    /// Scatter of `n`-element blocks from `root` (strategy-free, §4.2).
+    Scatter {
+        /// Logical root rank.
+        root: usize,
+    },
+    /// Gather of `n`-element blocks to `root` (strategy-free, §4.2).
+    Gather {
+        /// Logical root rank.
+        root: usize,
+    },
+    /// Total exchange of `n`-element blocks (extension).
+    Alltoall,
+    /// Pipelined ring broadcast of `n` elements in `segments` segments
+    /// (§8).
+    PipelinedBcast {
+        /// Logical root rank.
+        root: usize,
+        /// Segment count (`m ≥ 1`).
+        segments: usize,
+    },
+}
+
+/// How a program touches one argument buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArgDir {
+    /// Read only (contributions).
+    In,
+    /// Written; may also be read as workspace (results, inout vectors).
+    Out,
+}
+
+/// Shape of one argument buffer slot of a [`PlanOp`].
+#[derive(Debug, Clone, Copy)]
+pub struct ArgSpec {
+    /// Buffer name as used throughout the docs (`"buf"`, `"all"`, …).
+    pub name: &'static str,
+    /// Element count for a program over `(p, n)`.
+    pub elems: usize,
+    /// `Some(rank)` if only that rank binds this buffer (scatter/gather
+    /// root buffers); everyone else passes [`ArgBuf::Absent`].
+    pub only_rank: Option<usize>,
+    /// Data direction.
+    pub dir: ArgDir,
+}
+
+impl PlanOp {
+    /// Short collective name, e.g. `"broadcast"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlanOp::Broadcast { .. } => "broadcast",
+            PlanOp::Reduce { .. } => "reduce",
+            PlanOp::AllReduce => "allreduce",
+            PlanOp::ReduceScatter => "reduce_scatter",
+            PlanOp::Collect => "collect",
+            PlanOp::Scatter { .. } => "scatter",
+            PlanOp::Gather { .. } => "gather",
+            PlanOp::Alltoall => "alltoall",
+            PlanOp::PipelinedBcast { .. } => "pipelined_bcast",
+        }
+    }
+
+    /// Whether this collective lowers under a hybrid [`Strategy`].
+    pub fn takes_strategy(&self) -> bool {
+        matches!(
+            self,
+            PlanOp::Broadcast { .. }
+                | PlanOp::Reduce { .. }
+                | PlanOp::AllReduce
+                | PlanOp::ReduceScatter
+                | PlanOp::Collect
+        )
+    }
+
+    /// Whether executing this collective needs a [`crate::ReduceOp`]
+    /// (the program itself is operator-agnostic: the ⊕ is supplied at
+    /// execution time).
+    pub fn combines(&self) -> bool {
+        matches!(
+            self,
+            PlanOp::Reduce { .. } | PlanOp::AllReduce | PlanOp::ReduceScatter
+        )
+    }
+
+    /// The argument buffer slots of a program over `p` ranks with size
+    /// parameter `n`, in binding order. `n` is the *total vector length*
+    /// for broadcast, combine-to-one, combine-to-all and the pipelined
+    /// broadcast, and the *per-member block length* for the rest —
+    /// matching `intercom-verify`'s `VerifyOp` convention.
+    pub fn args(&self, p: usize, n: usize) -> Vec<ArgSpec> {
+        let spec = |name, elems, only_rank, dir| ArgSpec {
+            name,
+            elems,
+            only_rank,
+            dir,
+        };
+        match *self {
+            PlanOp::Broadcast { .. } | PlanOp::PipelinedBcast { .. } => {
+                vec![spec("buf", n, None, ArgDir::Out)]
+            }
+            PlanOp::Reduce { .. } | PlanOp::AllReduce => vec![spec("buf", n, None, ArgDir::Out)],
+            PlanOp::ReduceScatter => vec![
+                spec("contrib", p * n, None, ArgDir::In),
+                spec("mine", n, None, ArgDir::Out),
+            ],
+            PlanOp::Collect => vec![
+                spec("mine", n, None, ArgDir::In),
+                spec("all", p * n, None, ArgDir::Out),
+            ],
+            PlanOp::Scatter { root } => vec![
+                spec("full", p * n, Some(root), ArgDir::In),
+                spec("mine", n, None, ArgDir::Out),
+            ],
+            PlanOp::Gather { root } => vec![
+                spec("mine", n, None, ArgDir::In),
+                spec("full", p * n, Some(root), ArgDir::Out),
+            ],
+            PlanOp::Alltoall => vec![
+                spec("send", p * n, None, ArgDir::In),
+                spec("recv", p * n, None, ArgDir::Out),
+            ],
+        }
+    }
+}
+
+/// Which buffer a [`Loc`] addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Buf {
+    /// Caller argument slot `i` of [`PlanOp::args`].
+    Arg(usize),
+    /// The rank's private scratch arena.
+    Scratch,
+}
+
+/// A byte range within one buffer: the IR's explicit buffer-region
+/// operand. Offsets and lengths are in bytes and always multiples of the
+/// program's element size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Loc {
+    /// Addressed buffer.
+    pub buf: Buf,
+    /// Byte offset within the buffer.
+    pub off: usize,
+    /// Byte length.
+    pub len: usize,
+}
+
+/// Stage coordinates of a step: the recursion level and the within-level
+/// stage offset, following the library's tag discipline (`level =
+/// tag / LEVEL_TAG_STRIDE`, `sub = tag % LEVEL_TAG_STRIDE`). Local steps
+/// inherit the stage of the nearest preceding communication step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageId {
+    /// Recursion level (outermost = 0).
+    pub level: u64,
+    /// Stage offset within the level.
+    pub sub: u64,
+}
+
+/// One schedule action of one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepKind {
+    /// Blocking send of `src` to logical rank `to`.
+    Send {
+        /// Destination logical rank.
+        to: usize,
+        /// Tag offset from the execution's base tag.
+        tag_off: Tag,
+        /// Bytes read.
+        src: Loc,
+    },
+    /// Blocking receive into `dst` from logical rank `from`.
+    Recv {
+        /// Source logical rank.
+        from: usize,
+        /// Tag offset from the execution's base tag.
+        tag_off: Tag,
+        /// Bytes written.
+        dst: Loc,
+    },
+    /// Concurrent send-to / receive-from (possibly different peers).
+    SendRecv {
+        /// Destination logical rank of the send half.
+        to: usize,
+        /// Bytes read by the send half.
+        src: Loc,
+        /// Source logical rank of the receive half.
+        from: usize,
+        /// Bytes written by the receive half.
+        dst: Loc,
+        /// Tag offset shared by both halves.
+        tag_off: Tag,
+    },
+    /// Local copy of `src` into `dst` (block permutes, root staging,
+    /// own-block moves).
+    Copy {
+        /// Bytes read.
+        src: Loc,
+        /// Bytes written.
+        dst: Loc,
+    },
+    /// Local fold of `other` into `acc` under the execution's ⊕.
+    Reduce {
+        /// Accumulator bytes (read and written).
+        acc: Loc,
+        /// Contribution bytes (read).
+        other: Loc,
+    },
+    /// γ-accounting: local combine work over `bytes` bytes.
+    Compute {
+        /// Combined byte count.
+        bytes: usize,
+    },
+    /// δ-accounting: one level of short-vector recursion overhead.
+    CallOverhead,
+}
+
+/// One step of a rank's program: an action plus its stage coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Step {
+    /// The action.
+    pub kind: StepKind,
+    /// Stage attribution for cost and observability.
+    pub stage: StageId,
+}
+
+/// One rank's compiled schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankProgram {
+    /// Steps in issue order.
+    pub steps: Vec<Step>,
+    /// Bytes of private scratch the rank needs to execute.
+    pub scratch_bytes: usize,
+}
+
+/// A compiled collective: per-rank step programs plus the call geometry
+/// they were lowered for. The single schedule artifact shared by the
+/// runtime, the simulator, the verifier, the cost model and the tracing
+/// layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectiveProgram {
+    /// Process-unique plan id (1-based; 0 means "no plan" in traces).
+    pub plan_id: u64,
+    /// The collective and its shape parameters.
+    pub op: PlanOp,
+    /// Group size the program was lowered for.
+    pub p: usize,
+    /// Size parameter in elements (unit per [`PlanOp::args`]).
+    pub n: usize,
+    /// Element size in bytes the program was lowered at. Any scalar type
+    /// of this size executes the program: lowering never branches on
+    /// values, only on element geometry.
+    pub elem_size: usize,
+    /// The hybrid strategy, for strategy-taking ops.
+    pub strategy: Option<Strategy>,
+    /// Per-rank programs, indexed by logical rank.
+    pub ranks: Vec<RankProgram>,
+}
+
+impl CollectiveProgram {
+    /// Total communication steps (sends + receives + exchanges) across
+    /// all ranks.
+    pub fn comm_steps(&self) -> usize {
+        self.ranks
+            .iter()
+            .flat_map(|r| r.steps.iter())
+            .filter(|s| {
+                matches!(
+                    s.kind,
+                    StepKind::Send { .. } | StepKind::Recv { .. } | StepKind::SendRecv { .. }
+                )
+            })
+            .count()
+    }
+}
+
+static NEXT_PLAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Draws a fresh process-unique plan id.
+pub(crate) fn fresh_plan_id() -> u64 {
+    NEXT_PLAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_ids_are_unique_and_nonzero() {
+        let a = fresh_plan_id();
+        let b = fresh_plan_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arg_specs_match_conventions() {
+        let args = PlanOp::Scatter { root: 2 }.args(4, 8);
+        assert_eq!(args[0].elems, 32);
+        assert_eq!(args[0].only_rank, Some(2));
+        assert_eq!(args[1].elems, 8);
+        assert_eq!(args[1].only_rank, None);
+
+        let args = PlanOp::AllReduce.args(4, 8);
+        assert_eq!(args.len(), 1);
+        assert_eq!(args[0].elems, 8);
+        assert!(PlanOp::AllReduce.combines());
+        assert!(!PlanOp::Collect.combines());
+        assert!(PlanOp::Collect.takes_strategy());
+        assert!(!PlanOp::Alltoall.takes_strategy());
+    }
+}

@@ -43,6 +43,7 @@ pub mod comm;
 pub mod communicator;
 pub mod error;
 pub mod groups;
+pub mod ir;
 pub mod nx_compat;
 pub mod op;
 pub mod plan;

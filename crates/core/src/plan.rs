@@ -1,13 +1,19 @@
-//! Persistent collective plans.
+//! Persistent collective plans, compiled through the schedule IR.
 //!
 //! Iterative applications (the paper's motivating workloads — §9's
 //! "rows and columns of a logical mesh" computations) issue the *same*
 //! collective with the same geometry every iteration. A plan runs the
-//! cost-model selection once, freezes the chosen strategy and buffer
-//! geometry, and then executes with no per-call selection overhead —
-//! the moral equivalent of MPI's persistent requests, and the natural
-//! home for the paper's observation that the hybrid choice depends only
-//! on `(operation, group shape, message length, machine)`.
+//! cost-model selection once, compiles the chosen strategy to a
+//! [`CollectiveProgram`](crate::ir::CollectiveProgram) via the
+//! process-wide [plan cache](crate::ir::global_cache), and then executes
+//! the compiled step list with no per-call selection or lowering
+//! overhead — the moral equivalent of MPI's persistent requests, and the
+//! natural home for the paper's observation that the hybrid choice
+//! depends only on `(operation, group shape, message length, machine)`.
+//!
+//! Every plan is the same thin object: a handle on the cached program
+//! plus a reusable scratch arena, so two plans for the same call shape
+//! share one compiled schedule and repeated executions allocate nothing.
 //!
 //! ```
 //! use intercom::{Communicator, plan::AllreducePlan, ReduceOp};
@@ -21,41 +27,66 @@
 //! assert_eq!(v, [2.0; 4]);
 //! ```
 
-use crate::algorithms;
 use crate::cast::Scalar;
 use crate::comm::Comm;
 use crate::communicator::Communicator;
-use crate::error::{CommError, Result};
+use crate::error::Result;
+use crate::ir::{self, ArgBuf, CollectiveProgram, PlanKey, PlanOp};
 use crate::op::{Elem, ReduceOp};
 use intercom_cost::{CollectiveOp, Strategy};
-use std::marker::PhantomData;
+use std::cell::RefCell;
+use std::sync::Arc;
 
-fn frozen_strategy<C: Comm + ?Sized>(
-    cc: &Communicator<'_, C>,
-    op: CollectiveOp,
-    n_bytes: usize,
-) -> Strategy {
-    cc.auto_strategy(op, n_bytes)
+/// The shared compiled-program handle every plan wraps: the cached
+/// program (or the lowering error, stashed here and surfaced on the
+/// first execute) plus the private scratch arena the interpreter
+/// re-zeroes — never re-allocates — on each run.
+struct PlanCore<T: Scalar> {
+    program: Result<Arc<CollectiveProgram>>,
+    scratch: RefCell<Vec<T>>,
 }
 
-/// A frozen broadcast: strategy selected once for a fixed element count.
+impl<T: Scalar> PlanCore<T> {
+    fn compile<C: Comm + ?Sized>(
+        cc: &Communicator<'_, C>,
+        op: PlanOp,
+        strategy: Option<Strategy>,
+        n: usize,
+    ) -> Self {
+        let key = PlanKey {
+            op,
+            p: cc.size(),
+            n,
+            elem_size: std::mem::size_of::<T>(),
+            strategy,
+        };
+        PlanCore {
+            program: ir::global_cache().get_or_compile(&key),
+            scratch: RefCell::new(Vec::new()),
+        }
+    }
+
+    fn program(&self) -> Result<&CollectiveProgram> {
+        match &self.program {
+            Ok(p) => Ok(p),
+            Err(e) => Err(e.clone()),
+        }
+    }
+}
+
+/// A frozen broadcast: strategy selected and compiled once for a fixed
+/// element count.
 pub struct BcastPlan<T: Scalar> {
+    core: PlanCore<T>,
     strategy: Strategy,
-    root: usize,
-    len: usize,
-    _marker: PhantomData<T>,
 }
 
 impl<T: Scalar> BcastPlan<T> {
     /// Plans a broadcast of `len` elements from `root`.
     pub fn new<C: Comm + ?Sized>(cc: &Communicator<'_, C>, root: usize, len: usize) -> Self {
-        let strategy = frozen_strategy(cc, CollectiveOp::Broadcast, len * std::mem::size_of::<T>());
-        BcastPlan {
-            strategy,
-            root,
-            len,
-            _marker: PhantomData,
-        }
+        let strategy = cc.auto_strategy(CollectiveOp::Broadcast, len * std::mem::size_of::<T>());
+        let core = PlanCore::compile(cc, PlanOp::Broadcast { root }, Some(strategy.clone()), len);
+        BcastPlan { core, strategy }
     }
 
     /// The frozen strategy (for inspection/reporting).
@@ -63,44 +94,46 @@ impl<T: Scalar> BcastPlan<T> {
         &self.strategy
     }
 
+    /// The compiled schedule this plan executes.
+    pub fn program(&self) -> Result<&CollectiveProgram> {
+        self.core.program()
+    }
+
     /// Executes the planned broadcast; `buf.len()` must equal the
     /// planned length.
     pub fn execute<C: Comm + ?Sized>(&self, cc: &Communicator<'_, C>, buf: &mut [T]) -> Result<()> {
-        if buf.len() != self.len {
-            return Err(CommError::BadBufferSize {
-                expected: self.len,
-                actual: buf.len(),
-            });
-        }
-        algorithms::broadcast(cc.group(), &self.strategy, self.root, buf, plan_tag(cc))
+        let prog = self.core.program()?;
+        let mut scratch = self.core.scratch.borrow_mut();
+        ir::execute_scalar(
+            prog,
+            cc.group(),
+            &mut [ArgBuf::Out(buf)],
+            &mut scratch,
+            plan_tag(cc),
+        )
     }
 }
 
-/// A frozen combine-to-all (allreduce). The plan owns the combine
-/// scratch buffer, so repeated executions allocate nothing: the strategy
-/// is frozen once, the scratch grows to its steady-state size on the
-/// first execution, and every later call reuses both.
-pub struct AllreducePlan<T: Elem> {
+/// A frozen combine-to-one (reduce): the result lands on the root, and
+/// every rank's buffer doubles as workspace exactly as in the direct
+/// recursive path.
+pub struct ReducePlan<T: Elem> {
+    core: PlanCore<T>,
     strategy: Strategy,
-    len: usize,
     op: ReduceOp,
-    scratch: std::cell::RefCell<Vec<T>>,
 }
 
-impl<T: Elem> AllreducePlan<T> {
-    /// Plans an allreduce of `len` elements under `op`.
-    pub fn new<C: Comm + ?Sized>(cc: &Communicator<'_, C>, len: usize, op: ReduceOp) -> Self {
-        let strategy = frozen_strategy(
-            cc,
-            CollectiveOp::CombineToAll,
-            len * std::mem::size_of::<T>(),
-        );
-        AllreducePlan {
-            strategy,
-            len,
-            op,
-            scratch: std::cell::RefCell::new(Vec::new()),
-        }
+impl<T: Elem> ReducePlan<T> {
+    /// Plans a reduce of `len` elements onto `root` under `op`.
+    pub fn new<C: Comm + ?Sized>(
+        cc: &Communicator<'_, C>,
+        root: usize,
+        len: usize,
+        op: ReduceOp,
+    ) -> Self {
+        let strategy = cc.auto_strategy(CollectiveOp::CombineToOne, len * std::mem::size_of::<T>());
+        let core = PlanCore::compile(cc, PlanOp::Reduce { root }, Some(strategy.clone()), len);
+        ReducePlan { core, strategy, op }
     }
 
     /// The frozen strategy.
@@ -108,50 +141,138 @@ impl<T: Elem> AllreducePlan<T> {
         &self.strategy
     }
 
-    /// Executes the planned allreduce.
+    /// The compiled schedule this plan executes.
+    pub fn program(&self) -> Result<&CollectiveProgram> {
+        self.core.program()
+    }
+
+    /// Executes the planned reduce.
     pub fn execute<C: Comm + ?Sized>(&self, cc: &Communicator<'_, C>, buf: &mut [T]) -> Result<()> {
-        if buf.len() != self.len {
-            return Err(CommError::BadBufferSize {
-                expected: self.len,
-                actual: buf.len(),
-            });
-        }
-        let mut scratch = self.scratch.borrow_mut();
-        algorithms::allreduce_scratch(
+        let prog = self.core.program()?;
+        let mut scratch = self.core.scratch.borrow_mut();
+        ir::execute(
+            prog,
             cc.group(),
-            &self.strategy,
-            buf,
             self.op,
-            plan_tag(cc),
+            &mut [ArgBuf::Out(buf)],
             &mut scratch,
+            plan_tag(cc),
         )
     }
 }
 
-/// A frozen collect (allgather) with equal per-rank blocks. The plan
-/// owns the slot-permutation scratch, so repeated executions of a
-/// multi-dimensional strategy reuse one steady-state buffer.
-pub struct CollectPlan<T: Scalar> {
+/// A frozen combine-to-all (allreduce).
+pub struct AllreducePlan<T: Elem> {
+    core: PlanCore<T>,
     strategy: Strategy,
-    block: usize,
-    scratch: std::cell::RefCell<Vec<T>>,
+    op: ReduceOp,
+}
+
+impl<T: Elem> AllreducePlan<T> {
+    /// Plans an allreduce of `len` elements under `op`.
+    pub fn new<C: Comm + ?Sized>(cc: &Communicator<'_, C>, len: usize, op: ReduceOp) -> Self {
+        let strategy = cc.auto_strategy(CollectiveOp::CombineToAll, len * std::mem::size_of::<T>());
+        let core = PlanCore::compile(cc, PlanOp::AllReduce, Some(strategy.clone()), len);
+        AllreducePlan { core, strategy, op }
+    }
+
+    /// The frozen strategy.
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// The compiled schedule this plan executes.
+    pub fn program(&self) -> Result<&CollectiveProgram> {
+        self.core.program()
+    }
+
+    /// Executes the planned allreduce.
+    pub fn execute<C: Comm + ?Sized>(&self, cc: &Communicator<'_, C>, buf: &mut [T]) -> Result<()> {
+        let prog = self.core.program()?;
+        let mut scratch = self.core.scratch.borrow_mut();
+        ir::execute(
+            prog,
+            cc.group(),
+            self.op,
+            &mut [ArgBuf::Out(buf)],
+            &mut scratch,
+            plan_tag(cc),
+        )
+    }
+}
+
+/// A frozen distributed combine (reduce-scatter) with equal per-rank
+/// blocks.
+pub struct ReduceScatterPlan<T: Elem> {
+    core: PlanCore<T>,
+    strategy: Strategy,
+    op: ReduceOp,
+}
+
+impl<T: Elem> ReduceScatterPlan<T> {
+    /// Plans a reduce-scatter leaving `block` elements per member.
+    pub fn new<C: Comm + ?Sized>(cc: &Communicator<'_, C>, block: usize, op: ReduceOp) -> Self {
+        let total = block * cc.size() * std::mem::size_of::<T>();
+        let strategy = cc.auto_strategy(CollectiveOp::DistributedCombine, total);
+        let core = PlanCore::compile(cc, PlanOp::ReduceScatter, Some(strategy.clone()), block);
+        ReduceScatterPlan { core, strategy, op }
+    }
+
+    /// The frozen strategy.
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// The compiled schedule this plan executes.
+    pub fn program(&self) -> Result<&CollectiveProgram> {
+        self.core.program()
+    }
+
+    /// Executes the planned reduce-scatter: `contrib` is this rank's
+    /// `p × block` contribution vector, `mine` receives this rank's
+    /// combined block.
+    pub fn execute<C: Comm + ?Sized>(
+        &self,
+        cc: &Communicator<'_, C>,
+        contrib: &[T],
+        mine: &mut [T],
+    ) -> Result<()> {
+        let prog = self.core.program()?;
+        let mut scratch = self.core.scratch.borrow_mut();
+        ir::execute(
+            prog,
+            cc.group(),
+            self.op,
+            &mut [ArgBuf::In(contrib), ArgBuf::Out(mine)],
+            &mut scratch,
+            plan_tag(cc),
+        )
+    }
+}
+
+/// A frozen collect (allgather) with equal per-rank blocks.
+pub struct CollectPlan<T: Scalar> {
+    core: PlanCore<T>,
+    strategy: Strategy,
 }
 
 impl<T: Scalar> CollectPlan<T> {
     /// Plans a collect of `block` elements per member.
     pub fn new<C: Comm + ?Sized>(cc: &Communicator<'_, C>, block: usize) -> Self {
         let total = block * cc.size() * std::mem::size_of::<T>();
-        let strategy = frozen_strategy(cc, CollectiveOp::Collect, total);
-        CollectPlan {
-            strategy,
-            block,
-            scratch: std::cell::RefCell::new(Vec::new()),
-        }
+        let strategy = cc.auto_strategy(CollectiveOp::Collect, total);
+        let core = PlanCore::compile(cc, PlanOp::Collect, Some(strategy.clone()), block);
+        CollectPlan { core, strategy }
     }
 
     /// The frozen strategy.
     pub fn strategy(&self) -> &Strategy {
         &self.strategy
+    }
+
+    /// The compiled schedule this plan executes.
+    pub fn program(&self) -> Result<&CollectiveProgram> {
+        self.core.program()
     }
 
     /// Executes the planned collect.
@@ -161,31 +282,23 @@ impl<T: Scalar> CollectPlan<T> {
         mine: &[T],
         all: &mut [T],
     ) -> Result<()> {
-        if mine.len() != self.block {
-            return Err(CommError::BadBufferSize {
-                expected: self.block,
-                actual: mine.len(),
-            });
-        }
-        let mut scratch = self.scratch.borrow_mut();
-        algorithms::collect_scratch(
+        let prog = self.core.program()?;
+        let mut scratch = self.core.scratch.borrow_mut();
+        ir::execute_scalar(
+            prog,
             cc.group(),
-            &self.strategy,
-            mine,
-            all,
-            plan_tag(cc),
+            &mut [ArgBuf::In(mine), ArgBuf::Out(all)],
             &mut scratch,
+            plan_tag(cc),
         )
     }
 }
 
 fn plan_tag<C: Comm + ?Sized>(cc: &Communicator<'_, C>) -> u64 {
-    // Planned executions share the communicator's tag sequence; route
-    // through a public collective call instead of private internals.
-    // (The collect plan calls algorithms directly, so it draws a tag the
-    // same way the Communicator does: via an ordinary collective call's
-    // reserved stream. A dedicated high bit keeps plans disjoint from
-    // ad-hoc calls that might interleave.)
+    // Planned executions share the communicator's tag sequence; a
+    // dedicated high bit keeps plans disjoint from ad-hoc calls that
+    // might interleave. Programs are lowered at base tag 0, so the
+    // drawn tag offsets every compiled step uniformly.
     (1 << 62) | cc.take_plan_tag()
 }
 
@@ -193,6 +306,7 @@ fn plan_tag<C: Comm + ?Sized>(cc: &Communicator<'_, C>) -> u64 {
 mod tests {
     use super::*;
     use crate::comm::SelfComm;
+    use crate::error::CommError;
     use intercom_cost::MachineParams;
 
     #[test]
@@ -209,11 +323,22 @@ mod tests {
         ap.execute(&cc, &mut w).unwrap();
         assert_eq!(w, [5.0, 6.0]);
 
+        let rp = ReducePlan::<i32>::new(&cc, 0, 2, ReduceOp::Max);
+        let mut r = vec![-3i32, 9];
+        rp.execute(&cc, &mut r).unwrap();
+        assert_eq!(r, [-3, 9]);
+
         let cp = CollectPlan::<i64>::new(&cc, 2);
         let mine = [7i64, 8];
         let mut all = [0i64; 2];
         cp.execute(&cc, &mine, &mut all).unwrap();
         assert_eq!(all, mine);
+
+        let rsp = ReduceScatterPlan::<u64>::new(&cc, 2, ReduceOp::Sum);
+        let contrib = [3u64, 4];
+        let mut block = [0u64; 2];
+        rsp.execute(&cc, &contrib, &mut block).unwrap();
+        assert_eq!(block, contrib);
     }
 
     #[test]
@@ -232,6 +357,20 @@ mod tests {
     }
 
     #[test]
+    fn lowering_errors_surface_at_execute() {
+        let c = SelfComm;
+        let cc = Communicator::world(&c, MachineParams::PARAGON);
+        // Root outside the group: compilation fails, the plan stashes
+        // the error, and execute reports it.
+        let bp = BcastPlan::<u8>::new(&cc, 3, 4);
+        let mut v = vec![0u8; 4];
+        assert!(matches!(
+            bp.execute(&cc, &mut v),
+            Err(CommError::InvalidRoot { root: 3, size: 1 })
+        ));
+    }
+
+    #[test]
     fn frozen_strategy_matches_auto() {
         let c = SelfComm;
         let cc = Communicator::world(&c, MachineParams::PARAGON);
@@ -239,6 +378,19 @@ mod tests {
         assert_eq!(
             *bp.strategy(),
             cc.auto_strategy(CollectiveOp::Broadcast, 4096)
+        );
+    }
+
+    #[test]
+    fn identical_plans_share_one_compiled_program() {
+        let c = SelfComm;
+        let cc = Communicator::world(&c, MachineParams::PARAGON);
+        let a = CollectPlan::<u16>::new(&cc, 5);
+        let b = CollectPlan::<u16>::new(&cc, 5);
+        assert_eq!(
+            a.program().unwrap().plan_id,
+            b.program().unwrap().plan_id,
+            "same call shape must hit the plan cache"
         );
     }
 }

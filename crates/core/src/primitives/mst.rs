@@ -159,8 +159,7 @@ pub fn mst_reduce_scratch<T: Elem, C: Comm + ?Sized>(
             gc.send(lvl.root, tag, buf)?;
         } else if me == lvl.root {
             gc.recv(lvl.other, tag, &mut scratch[..])?;
-            op.fold_into(buf, scratch);
-            gc.compute(std::mem::size_of_val(&buf[..]));
+            gc.fold(op, buf, scratch);
         }
     }
     Ok(())

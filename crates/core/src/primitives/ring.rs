@@ -95,8 +95,7 @@ pub fn ring_reduce_scatter_scratch<T: Elem, C: Comm + ?Sized>(
         let recv = &mut scratch[..blocks[rb].len()];
         gc.sendrecv(right, &buf[blocks[sb].clone()], left, recv, tag)?;
         let dst = &mut buf[blocks[rb].clone()];
-        op.fold_into(dst, recv);
-        gc.compute(std::mem::size_of_val(&dst[..]));
+        gc.fold(op, dst, recv);
     }
     Ok(())
 }

@@ -106,6 +106,21 @@ pub enum OpRecord {
     },
     /// One level of short-vector recursion overhead (the δ term).
     CallOverhead,
+    /// Local copy: `src` bytes were copied into `dst` without touching
+    /// the network (block permutes, root staging, own-block moves).
+    Copy {
+        /// Bytes read.
+        src: MemSpan,
+        /// Bytes written.
+        dst: MemSpan,
+    },
+    /// Local reduction: `other` was folded element-wise into `acc`.
+    Reduce {
+        /// Accumulator bytes (read and written).
+        acc: MemSpan,
+        /// Contribution bytes (read).
+        other: MemSpan,
+    },
 }
 
 /// A non-communicating [`Comm`] backend that records one rank's symbolic
@@ -236,6 +251,20 @@ impl Comm for RecordingComm {
 
     fn call_overhead(&self) {
         self.ops.borrow_mut().push(OpRecord::CallOverhead);
+    }
+
+    fn local_copy(&self, src: &[u8], dst: &[u8]) {
+        self.ops.borrow_mut().push(OpRecord::Copy {
+            src: MemSpan::of(src),
+            dst: MemSpan::of(dst),
+        });
+    }
+
+    fn local_reduce(&self, acc: &[u8], other: &[u8]) {
+        self.ops.borrow_mut().push(OpRecord::Reduce {
+            acc: MemSpan::of(acc),
+            other: MemSpan::of(other),
+        });
     }
 }
 

@@ -145,4 +145,12 @@ impl Comm for SimComm {
     fn call_overhead(&self) {
         let _ = self.to_engine.send((self.rank, Request::CallOverhead));
     }
+
+    fn plan_step(&self, plan: u64, step: u64) {
+        // Fire-and-forget like `compute`: the per-rank request channel
+        // is FIFO, so the attribution precedes the comm op it covers.
+        let _ = self
+            .to_engine
+            .send((self.rank, Request::PlanStep { plan, step }));
+    }
 }

@@ -46,6 +46,14 @@ pub(crate) enum Request {
         bytes: usize,
     },
     CallOverhead,
+    /// Fire-and-forget: the rank entered step `step` of compiled plan
+    /// `plan` (`(0, 0)` = outside plan execution). The request channel
+    /// preserves per-rank order, so this lands before the comm request
+    /// it attributes.
+    PlanStep {
+        plan: u64,
+        step: u64,
+    },
     Finished,
 }
 
@@ -70,6 +78,9 @@ enum RankState {
 struct SendHalf {
     posted: f64,
     data: Vec<u8>,
+    /// `(plan_id, step)` attribution captured from the sender at post
+    /// time (the transfer event lands on the sender's timeline).
+    plan: (u64, u64),
 }
 
 struct RecvHalf {
@@ -95,6 +106,8 @@ struct Transfer {
     remaining: f64,
     /// Current fluid rate (bytes/s).
     rate: f64,
+    /// `(plan_id, step)` attribution inherited from the send half.
+    plan: (u64, u64),
 }
 
 /// The single-threaded simulation core. The thread harness in
@@ -114,6 +127,9 @@ pub(crate) struct Engine {
     finished: usize,
     blocked: usize,
     trace: Option<Vec<TraceEvent>>,
+    /// Per-rank `(plan_id, step)` currently executing (set by
+    /// [`Request::PlanStep`]; `(0, 0)` outside plan execution).
+    plan_steps: Vec<(u64, u64)>,
     /// Static constraint universe: `node` = injection port of `node`,
     /// `p + node` = ejection port, `2p + slot` = directed link `slot`
     /// (dense per-topology slot numbering).
@@ -165,6 +181,7 @@ impl Engine {
             finished: 0,
             blocked: 0,
             trace: record_trace.then(Vec::new),
+            plan_steps: vec![(0, 0); p],
             fluid: FluidScratch::new(universe),
             rates_buf: Vec::new(),
             rates_dirty: false,
@@ -228,6 +245,9 @@ impl Engine {
             Request::CallOverhead => {
                 self.clocks[rank] += self.machine.delta;
             }
+            Request::PlanStep { plan, step } => {
+                self.plan_steps[rank] = (plan, step);
+            }
             Request::Finished => {
                 self.states[rank] = RankState::Finished;
                 self.finished += 1;
@@ -277,6 +297,7 @@ impl Engine {
         let half = SendHalf {
             posted: self.clocks[src],
             data,
+            plan: self.plan_steps[src],
         };
         self.pending_sends
             .entry((src, dst, tag))
@@ -361,6 +382,7 @@ impl Engine {
                 started,
                 activation: started + self.machine.alpha * slowdown,
                 rate: 0.0,
+                plan: s.plan,
             };
             self.waiting.push(t);
         }
@@ -488,15 +510,18 @@ impl Engine {
         self.clocks[t.src] = self.clocks[t.src].max(self.now);
         self.clocks[t.dst] = self.clocks[t.dst].max(self.now);
         if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent::transfer(
-                t.src,
-                t.dst,
-                t.tag,
-                t.data.len(),
-                t.started,
-                self.now,
-                t.hops,
-            ));
+            trace.push(
+                TraceEvent::transfer(
+                    t.src,
+                    t.dst,
+                    t.tag,
+                    t.data.len(),
+                    t.started,
+                    self.now,
+                    t.hops,
+                )
+                .with_plan(t.plan.0, t.plan.1),
+            );
         }
         if t.src == t.dst {
             // Self-message: one rank, both halves.
@@ -953,6 +978,33 @@ mod tests {
             (0, 1, 7, 4, 1)
         );
         assert!((rec.end - rec.start - 5.0).abs() < 1e-9);
+        assert_eq!((rec.plan, rec.step), (0, 0), "untraced by default");
+    }
+
+    #[test]
+    fn plan_step_attribution_reaches_the_trace() {
+        let mesh = mesh_net(1, 2);
+        let mut e = Engine::new(mesh, unit_machine(), true);
+        e.handle(0, Request::PlanStep { plan: 42, step: 6 });
+        e.handle(
+            0,
+            Request::Send {
+                to: 1,
+                tag: 0,
+                data: vec![0; 4],
+            },
+        );
+        e.handle(
+            1,
+            Request::Recv {
+                from: 0,
+                tag: 0,
+                len: 4,
+            },
+        );
+        drive_to_completion(&mut e);
+        let trace = e.take_trace().unwrap();
+        assert_eq!((trace[0].plan, trace[0].step), (42, 6));
     }
 
     #[test]

@@ -37,7 +37,7 @@ fn push_event(out: &mut String, ev: &TraceEvent) {
     let stage = ev.stage();
     let _ = write!(
         out,
-        "    {{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"src\":{},\"dst\":{},\"tag\":{},\"bytes\":{},\"stage\":\"{}\",\"level\":{},\"sub\":{},\"hops\":{}}}}}",
+        "    {{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"src\":{},\"dst\":{},\"tag\":{},\"bytes\":{},\"stage\":\"{}\",\"level\":{},\"sub\":{},\"hops\":{},\"plan\":{},\"step\":{}}}}}",
         escape_json(&name),
         ev.kind.name(),
         ev.rank,
@@ -51,6 +51,8 @@ fn push_event(out: &mut String, ev: &TraceEvent) {
         stage.level,
         stage.sub,
         ev.hops,
+        ev.plan,
+        ev.step,
     );
 }
 
@@ -95,7 +97,7 @@ mod tests {
     #[test]
     fn export_round_trips_through_parser() {
         let transfers = vec![
-            TraceEvent::transfer(0, 1, 8, 64, 0.0, 1.5e-3, 1),
+            TraceEvent::transfer(0, 1, 8, 64, 0.0, 1.5e-3, 1).with_plan(7, 3),
             TraceEvent::transfer(1, 2, 9, 32, 2e-3, 3e-3, 2),
         ];
         let run = RunRecord::from_transfers(&transfers, 3);
@@ -118,6 +120,15 @@ mod tests {
             .and_then(json::Value::as_f64)
             .unwrap();
         assert_eq!(bytes, 64.0);
+        let plan = |i: usize, key: &str| {
+            xs[i]
+                .get("args")
+                .and_then(|a| a.get(key))
+                .and_then(json::Value::as_f64)
+                .unwrap()
+        };
+        assert_eq!((plan(0, "plan"), plan(0, "step")), (7.0, 3.0));
+        assert_eq!((plan(1, "plan"), plan(1, "step")), (0.0, 0.0));
         assert_eq!(
             v.get("otherData")
                 .and_then(|o| o.get("msgs_sent"))

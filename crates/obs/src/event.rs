@@ -65,6 +65,12 @@ pub struct TraceEvent {
     /// Physical route length in links (simulator only; 0 on the
     /// threaded runtime, which has no physical topology).
     pub hops: usize,
+    /// The compiled plan (`intercom::ir` plan id) whose interpreter
+    /// issued this event, or 0 for ad-hoc (uncompiled) calls.
+    pub plan: u64,
+    /// Zero-based step index within the issuing plan's per-rank step
+    /// list. Meaningful only when `plan != 0`.
+    pub step: u64,
 }
 
 impl TraceEvent {
@@ -88,7 +94,17 @@ impl TraceEvent {
             start,
             end,
             hops,
+            plan: 0,
+            step: 0,
         }
+    }
+
+    /// Attributes the event to a compiled plan's step (builder style, for
+    /// backends that learn the attribution after construction).
+    pub fn with_plan(mut self, plan: u64, step: u64) -> Self {
+        self.plan = plan;
+        self.step = step;
+        self
     }
 
     /// Event duration in seconds.

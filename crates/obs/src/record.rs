@@ -320,6 +320,8 @@ mod tests {
             start,
             end: start + 1.0,
             hops: 0,
+            plan: 0,
+            step: 0,
         }
     }
 

@@ -21,7 +21,7 @@
 use crate::chan::{Receiver, Sender};
 use intercom::{BufferPool, Comm, CommError, PoolStats, Result, Tag};
 use intercom_obs::{EventKind, Recorder, TraceEvent};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -231,6 +231,11 @@ pub struct ThreadComm {
     /// a disabled [`Recorder`] reduces every hook to a branch — the CI
     /// gate holds the difference under 3%).
     recorder: Option<Recorder>,
+    /// `(plan_id, step)` of the compiled-plan step currently executing
+    /// on this rank, set by the IR interpreter via [`Comm::plan_step`];
+    /// `(0, 0)` outside plan execution. Stamped onto every recorded
+    /// [`TraceEvent`] so timelines attribute work to schedule steps.
+    plan_step: Cell<(u64, u64)>,
 }
 
 impl ThreadComm {
@@ -253,6 +258,7 @@ impl ThreadComm {
             departed: RefCell::new(vec![false; p]),
             completions: RefCell::new(Vec::new()),
             recorder: None,
+            plan_step: Cell::new((0, 0)),
         }
     }
 
@@ -390,6 +396,7 @@ impl Comm for ThreadComm {
             .map_err(|_| CommError::Disconnected)?;
         if let Some(r) = obs {
             let end = r.now();
+            let (plan, step) = self.plan_step.get();
             r.record(TraceEvent {
                 kind: EventKind::Send,
                 rank: self.rank,
@@ -400,6 +407,8 @@ impl Comm for ThreadComm {
                 start,
                 end,
                 hops: 0,
+                plan,
+                step,
             });
             r.with_counters(|c| {
                 c.msgs_sent += 1;
@@ -422,6 +431,7 @@ impl Comm for ThreadComm {
         data.consume_into(buf, from, &self.pools)?;
         if let Some(r) = obs {
             let end = r.now();
+            let (plan, step) = self.plan_step.get();
             r.record(TraceEvent {
                 kind: EventKind::Recv,
                 rank: self.rank,
@@ -432,6 +442,8 @@ impl Comm for ThreadComm {
                 start,
                 end,
                 hops: 0,
+                plan,
+                step,
             });
             r.with_counters(|c| {
                 c.msgs_recvd += 1;
@@ -489,6 +501,7 @@ impl Comm for ThreadComm {
                 // recorded the receive half): offered at `start`,
                 // released when the peer signalled its copy-out.
                 let end = r.now();
+                let (plan, step) = self.plan_step.get();
                 r.record(TraceEvent {
                     kind: EventKind::SendRecv,
                     rank: self.rank,
@@ -499,6 +512,8 @@ impl Comm for ThreadComm {
                     start,
                     end,
                     hops: 0,
+                    plan,
+                    step,
                 });
                 r.with_counters(|c| {
                     c.msgs_sent += 1;
@@ -519,6 +534,7 @@ impl Comm for ThreadComm {
         // recorder logs the step so reduce work shows on the timeline.
         if let Some(r) = self.obs() {
             let now = r.now();
+            let (plan, step) = self.plan_step.get();
             r.record(TraceEvent {
                 kind: EventKind::Reduce,
                 rank: self.rank,
@@ -529,12 +545,18 @@ impl Comm for ThreadComm {
                 start: now,
                 end: now,
                 hops: 0,
+                plan,
+                step,
             });
             r.with_counters(|c| {
                 c.reduce_steps += 1;
                 c.reduce_bytes += bytes as u64;
             });
         }
+    }
+
+    fn plan_step(&self, plan: u64, step: u64) {
+        self.plan_step.set((plan, step));
     }
 }
 

@@ -9,6 +9,12 @@
 //! single-port compliant, buffer-safe, and link-conflict-free within
 //! the §6 cost-model bounds.
 //!
+//! By default the sweep checks the **compiled schedule IR** — the very
+//! step lists persistent plans execute (`--source=ir`); pass
+//! `--source=trace` to check recording-backend extractions instead.
+//! When auditing the IR, a trace-sourced sweep over a subset of node
+//! counts runs as an independent cross-check on the lowering.
+//!
 //! The audit then runs four *mutation probes* — deliberately broken
 //! schedules — and fails unless each probe is caught, guarding the
 //! checker itself against silent rot.
@@ -19,7 +25,7 @@ use intercom_cost::{enumerate_mesh_strategies, enumerate_strategies, Strategy};
 use intercom_topology::Mesh2D;
 use intercom_verify::{
     analyze_links, check_buffer_safety, check_single_port, extract_programs, match_programs,
-    verify_schedule, Event, Schedule, VerifyOp, Violation,
+    verify_schedule, verify_schedule_ir, Event, Schedule, Source, VerifyOp, Violation,
 };
 use std::process::ExitCode;
 
@@ -37,7 +43,13 @@ const VECTOR_SIZES: [usize; 3] = [0, 1, 947];
 /// Sizes for per-block collectives (already multiplied by `p` inside).
 const BLOCK_SIZES: [usize; 3] = [0, 1, 13];
 
+/// Node counts of the trace-sourced cross-check sweep when the main
+/// audit runs on the IR: composite sizes with hybrid-rich strategy
+/// menus plus a prime, kept small so CI stays fast.
+const CROSSCHECK_NODE_COUNTS: [usize; 3] = [8, 9, 12];
+
 struct Stats {
+    source: Source,
     checks: usize,
     failures: Vec<String>,
     /// `(p, schedules verified at that node count)`, in sweep order.
@@ -46,7 +58,11 @@ struct Stats {
 
 fn run(stats: &mut Stats, mesh: &Mesh2D, op: VerifyOp, st: Option<&Strategy>, n: usize) {
     stats.checks += 1;
-    match verify_schedule(&op, st, mesh, n) {
+    let result = match stats.source {
+        Source::Ir => verify_schedule_ir(&op, st, mesh, n),
+        Source::Trace => verify_schedule(&op, st, mesh, n),
+    };
+    match result {
         Ok(rep) => {
             if !rep.ok() {
                 stats.failures.push(rep.to_string());
@@ -55,9 +71,10 @@ fn run(stats: &mut Stats, mesh: &Mesh2D, op: VerifyOp, st: Option<&Strategy>, n:
         Err(e) => {
             let s = st.map(|s| format!(" strategy {s}")).unwrap_or_default();
             stats.failures.push(format!(
-                "{op} on {}x{} n={n}{s}: extraction error: {e}",
+                "{op} on {}x{} n={n}{s} [{}]: extraction error: {e}",
                 mesh.rows(),
-                mesh.cols()
+                mesh.cols(),
+                stats.source,
             ));
         }
     }
@@ -78,13 +95,14 @@ fn roots(p: usize) -> Vec<usize> {
     }
 }
 
-fn audit(quiet: bool) -> Stats {
+fn audit(quiet: bool, source: Source, node_counts: &[usize]) -> Stats {
     let mut stats = Stats {
+        source,
         checks: 0,
         failures: Vec::new(),
         per_p: Vec::new(),
     };
-    for p in NODE_COUNTS {
+    for &p in node_counts {
         let before = stats.checks;
         for (r, c) in shapes(p) {
             let mesh = Mesh2D::new(r, c);
@@ -134,7 +152,8 @@ fn audit(quiet: bool) -> Stats {
         stats.per_p.push((p, stats.checks - before));
         if !quiet {
             println!(
-                "p={p}: {} schedules verified{}",
+                "p={p} [{}]: {} schedules verified{}",
+                source,
                 stats.checks - before,
                 if stats.failures.is_empty() {
                     ""
@@ -258,18 +277,37 @@ fn escape_json(s: &str) -> String {
 
 /// Bumped whenever the shape of the `--json` document changes, so CI
 /// consumers can fail fast on a format drift instead of misreading it.
-const JSON_SCHEMA_VERSION: u32 = 1;
+/// v2: added `source` and the `crosscheck` object.
+const JSON_SCHEMA_VERSION: u32 = 2;
 
 fn main() -> ExitCode {
     let json = std::env::args().any(|a| a == "--json");
-    let stats = audit(json);
+    let source = match std::env::args().find(|a| a.starts_with("--source=")) {
+        None => Source::Ir,
+        Some(a) => match a.as_str() {
+            "--source=ir" => Source::Ir,
+            "--source=trace" => Source::Trace,
+            other => {
+                eprintln!("schedule-audit: unknown option {other} (expected ir or trace)");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let stats = audit(json, source, &NODE_COUNTS);
+    // Auditing the compiled IR proves the deployed artifact; the
+    // trace-sourced subset then cross-checks the lowering itself
+    // against the unmodified algorithm code.
+    let crosscheck =
+        (source == Source::Ir).then(|| audit(true, Source::Trace, &CROSSCHECK_NODE_COUNTS));
     let probes = [
         ("step-move -> single-port", probe_step_move()),
         ("tag-bump -> deadlock", probe_tag_bump()),
         ("span-overlap -> buffer-safety", probe_buffer_overlap()),
         ("link-share -> conflict", probe_link_conflict()),
     ];
-    let ok = stats.failures.is_empty() && probes.iter().all(|(_, caught)| *caught);
+    let ok = stats.failures.is_empty()
+        && crosscheck.as_ref().is_none_or(|c| c.failures.is_empty())
+        && probes.iter().all(|(_, caught)| *caught);
 
     if json {
         let per_p: Vec<String> = stats
@@ -277,11 +315,22 @@ fn main() -> ExitCode {
             .iter()
             .map(|(p, checks)| format!("{{\"p\":{p},\"checks\":{checks}}}"))
             .collect();
-        let failures: Vec<String> = stats
+        let mut failures: Vec<String> = stats
             .failures
             .iter()
             .map(|f| format!("\"{}\"", escape_json(f)))
             .collect();
+        if let Some(c) = &crosscheck {
+            failures.extend(c.failures.iter().map(|f| format!("\"{}\"", escape_json(f))));
+        }
+        let crosscheck_json = match &crosscheck {
+            Some(c) => format!(
+                "{{\"source\":\"trace\",\"checks\":{},\"failure_count\":{}}}",
+                c.checks,
+                c.failures.len()
+            ),
+            None => "null".to_string(),
+        };
         let probes: Vec<String> = probes
             .iter()
             .map(|(name, caught)| {
@@ -289,11 +338,13 @@ fn main() -> ExitCode {
             })
             .collect();
         println!(
-            "{{\n  \"schema_version\": {JSON_SCHEMA_VERSION},\n  \"checks\": {},\n  \
+            "{{\n  \"schema_version\": {JSON_SCHEMA_VERSION},\n  \"source\": \"{source}\",\n  \
+             \"checks\": {},\n  \
              \"failure_count\": {},\n  \"failures\": [{}],\n  \"per_p\": [{}],\n  \
+             \"crosscheck\": {crosscheck_json},\n  \
              \"mutation_probes\": [{}],\n  \"pass\": {ok}\n}}",
             stats.checks,
-            stats.failures.len(),
+            failures.len(),
             failures.join(","),
             per_p.join(","),
             probes.join(","),
@@ -305,24 +356,37 @@ fn main() -> ExitCode {
         };
     }
 
-    println!("schedule-audit: {} schedules verified", stats.checks);
-    if !stats.failures.is_empty() {
-        println!("{} FAILURES:", stats.failures.len());
-        for (i, f) in stats.failures.iter().enumerate().take(50) {
+    println!(
+        "schedule-audit: {} schedules verified from source {source}",
+        stats.checks
+    );
+    let mut failures = stats.failures;
+    if let Some(c) = crosscheck {
+        println!(
+            "schedule-audit: {} trace-sourced cross-checks (p in {CROSSCHECK_NODE_COUNTS:?})",
+            c.checks
+        );
+        failures.extend(c.failures);
+    }
+    if !failures.is_empty() {
+        println!("{} FAILURES:", failures.len());
+        for (i, f) in failures.iter().enumerate().take(50) {
             println!("[{i}] {f}");
         }
-        if stats.failures.len() > 50 {
-            println!("... and {} more", stats.failures.len() - 50);
+        if failures.len() > 50 {
+            println!("... and {} more", failures.len() - 50);
         }
     }
+    let mut probes_ok = true;
     for (name, caught) in probes {
         if caught {
             println!("mutation probe caught: {name}");
         } else {
             println!("MUTATION PROBE MISSED: {name}");
+            probes_ok = false;
         }
     }
-    if ok {
+    if failures.is_empty() && probes_ok {
         println!("schedule-audit: PASS");
         ExitCode::SUCCESS
     } else {

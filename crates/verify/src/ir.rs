@@ -1,0 +1,184 @@
+//! Adapter from compiled [`CollectiveProgram`]s to the verifier's
+//! symbolic-program form.
+//!
+//! The schedule IR is position-independent: step operands name
+//! `(buffer, offset, length)` regions instead of raw addresses. The
+//! rendezvous matcher and the invariant checks, however, reason about
+//! byte spans, so this module re-bases every operand into a synthetic
+//! per-rank address space — one disjoint window per argument slot plus
+//! one for the scratch arena. Distinct regions map to distinct spans and
+//! overlapping regions stay overlapping, so the four §2/§4 invariants
+//! hold of the synthetic spans iff they hold of the compiled program.
+//!
+//! This makes the *compiled artifact itself* the verified object: the
+//! audit proves properties of the very step lists the runtime and the
+//! simulator execute, while trace extraction ([`crate::extract`])
+//! remains as an independent cross-check on the lowering.
+
+use crate::extract::VerifyOp;
+use intercom::ir::{lower, Buf, CollectiveProgram, PlanOp, StepKind};
+use intercom::trace::{MemSpan, OpRecord};
+use intercom::Result;
+use intercom_cost::Strategy;
+
+/// Synthetic base address of argument slot `i` (disjoint `2^40`-byte
+/// windows, far larger than any real buffer).
+fn arg_base(i: usize) -> usize {
+    (i + 1) << 40
+}
+
+/// Synthetic base address of the scratch arena.
+const SCRATCH_BASE: usize = 1 << 48;
+
+fn span(buf: Buf, off: usize, len: usize) -> MemSpan {
+    let base = match buf {
+        Buf::Arg(i) => arg_base(i),
+        Buf::Scratch => SCRATCH_BASE,
+    };
+    MemSpan {
+        addr: base + off,
+        len,
+    }
+}
+
+/// The compiled-plan form of a [`VerifyOp`].
+pub fn plan_op(op: &VerifyOp) -> PlanOp {
+    match *op {
+        VerifyOp::Broadcast { root } => PlanOp::Broadcast { root },
+        VerifyOp::Reduce { root } => PlanOp::Reduce { root },
+        VerifyOp::AllReduce => PlanOp::AllReduce,
+        VerifyOp::ReduceScatter => PlanOp::ReduceScatter,
+        VerifyOp::Collect => PlanOp::Collect,
+        VerifyOp::Scatter { root } => PlanOp::Scatter { root },
+        VerifyOp::Gather { root } => PlanOp::Gather { root },
+        VerifyOp::Alltoall => PlanOp::Alltoall,
+        VerifyOp::PipelinedBcast { root, segments } => PlanOp::PipelinedBcast { root, segments },
+    }
+}
+
+/// Converts one compiled program into per-rank symbolic programs in the
+/// verifier's span form (base tag 0, so tags encode recursion levels
+/// exactly as trace extraction produces them).
+pub fn programs_of(prog: &CollectiveProgram) -> Vec<Vec<OpRecord>> {
+    prog.ranks
+        .iter()
+        .map(|rp| {
+            rp.steps
+                .iter()
+                .map(|step| match step.kind {
+                    StepKind::Send { to, tag_off, src } => OpRecord::Send {
+                        to,
+                        tag: tag_off,
+                        src: span(src.buf, src.off, src.len),
+                    },
+                    StepKind::Recv { from, tag_off, dst } => OpRecord::Recv {
+                        from,
+                        tag: tag_off,
+                        dst: span(dst.buf, dst.off, dst.len),
+                    },
+                    StepKind::SendRecv {
+                        to,
+                        src,
+                        from,
+                        dst,
+                        tag_off,
+                    } => OpRecord::SendRecv {
+                        to,
+                        src: span(src.buf, src.off, src.len),
+                        from,
+                        dst: span(dst.buf, dst.off, dst.len),
+                        tag: tag_off,
+                    },
+                    StepKind::Copy { src, dst } => OpRecord::Copy {
+                        src: span(src.buf, src.off, src.len),
+                        dst: span(dst.buf, dst.off, dst.len),
+                    },
+                    StepKind::Reduce { acc, other } => OpRecord::Reduce {
+                        acc: span(acc.buf, acc.off, acc.len),
+                        other: span(other.buf, other.off, other.len),
+                    },
+                    StepKind::Compute { bytes } => OpRecord::Compute { bytes },
+                    StepKind::CallOverhead => OpRecord::CallOverhead,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Lowers one collective call to the schedule IR (byte elements, the
+/// same size convention as [`crate::extract::extract_programs`]) and
+/// returns its per-rank symbolic programs.
+///
+/// # Panics
+///
+/// Panics if `strategy` is `None` for an op where
+/// [`VerifyOp::takes_strategy`] is true.
+pub fn ir_programs(
+    op: &VerifyOp,
+    strategy: Option<&Strategy>,
+    p: usize,
+    n: usize,
+) -> Result<Vec<Vec<OpRecord>>> {
+    let prog = lower(plan_op(op), strategy, p, n, 1)?;
+    Ok(programs_of(&prog))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract_programs;
+
+    /// The communication signature — everything the matcher and the
+    /// checks see except raw addresses.
+    fn signature(progs: &[Vec<OpRecord>]) -> Vec<Vec<String>> {
+        progs
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .filter_map(|r| match *r {
+                        OpRecord::Send { to, tag, src } => Some(format!("s{to}/{tag}/{}", src.len)),
+                        OpRecord::Recv { from, tag, dst } => {
+                            Some(format!("r{from}/{tag}/{}", dst.len))
+                        }
+                        OpRecord::SendRecv {
+                            to,
+                            src,
+                            from,
+                            dst,
+                            tag,
+                        } => Some(format!("x{to}/{from}/{tag}/{}/{}", src.len, dst.len)),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ir_and_trace_programs_share_a_signature() {
+        let st = Strategy::pure_long(6);
+        let op = VerifyOp::AllReduce;
+        let ir = ir_programs(&op, Some(&st), 6, 23).unwrap();
+        let tr = extract_programs(&op, Some(&st), 6, 23).unwrap();
+        assert_eq!(signature(&ir), signature(&tr));
+    }
+
+    #[test]
+    fn synthetic_spans_separate_args_and_scratch() {
+        let st = Strategy::pure_mst(4);
+        let progs = ir_programs(&VerifyOp::Collect, Some(&st), 4, 8).unwrap();
+        let spans: Vec<MemSpan> = progs
+            .iter()
+            .flatten()
+            .filter_map(|r| match *r {
+                OpRecord::Send { src, .. } => Some(src),
+                OpRecord::Recv { dst, .. } => Some(dst),
+                _ => None,
+            })
+            .collect();
+        assert!(!spans.is_empty());
+        for s in &spans {
+            assert!(s.addr >= arg_base(0), "operands live in synthetic windows");
+        }
+    }
+}

@@ -31,16 +31,24 @@
 //! 4. **Buffer-region safety** — within one step, a rank's read and
 //!    write byte-ranges never overlap (and no two writes collide).
 //!
-//! The library API is [`verify_schedule`]; the `schedule-audit` binary
-//! sweeps all collectives × every enumerable strategy × a battery of
-//! node counts and mesh shapes, and is wired into `ci.sh` as a hard
-//! gate. See `docs/verification.md` for the schedule model and how the
-//! invariants map back to the paper.
+//! Programs reach the checker from two sources. The default,
+//! [`verify_schedule_ir`], checks the **compiled schedule IR**
+//! ([`intercom::ir`]) — the very artifact persistent plans execute — so
+//! the proof is about the deployed schedule, not a re-derivation.
+//! [`verify_schedule`] instead replays the unmodified algorithm code
+//! against a recording backend ([`intercom::trace::RecordingComm`]) and
+//! checks the extracted trace; the audit keeps it as an independent
+//! cross-check on the lowering. The `schedule-audit` binary sweeps all
+//! collectives × every enumerable strategy × a battery of node counts
+//! and mesh shapes, and is wired into `ci.sh` as a hard gate. See
+//! `docs/verification.md` for the schedule model and how the invariants
+//! map back to the paper.
 
 #![forbid(unsafe_code)]
 
 pub mod checks;
 pub mod extract;
+pub mod ir;
 pub mod report;
 pub mod schedule;
 
@@ -49,5 +57,8 @@ pub use checks::{
     Violation,
 };
 pub use extract::{extract_program, extract_programs, VerifyOp};
-pub use report::{verify_schedule, LevelConflict, Report};
+pub use ir::ir_programs;
+pub use report::{
+    verify_programs, verify_schedule, verify_schedule_ir, LevelConflict, Report, Source,
+};
 pub use schedule::{match_programs, Event, Schedule};

@@ -5,10 +5,32 @@ use crate::checks::{
 };
 use crate::extract::{extract_programs, VerifyOp};
 use crate::schedule::match_programs;
+use intercom::trace::OpRecord;
 use intercom::Result;
 use intercom_cost::{ConflictModel, Strategy};
 use intercom_topology::Mesh2D;
 use std::fmt;
+
+/// Where the verified per-rank programs came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// The compiled schedule IR ([`crate::ir::ir_programs`]): the audit
+    /// proves properties of the artifact the runtime actually executes.
+    Ir,
+    /// Trace extraction against a recording backend
+    /// ([`crate::extract::extract_programs`]): an independent
+    /// cross-check on the lowering.
+    Trace,
+}
+
+impl fmt::Display for Source {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Source::Ir => "ir",
+            Source::Trace => "trace",
+        })
+    }
+}
 
 /// Observed vs. cost-model-predicted link sharing for one recursion
 /// level of a hybrid strategy.
@@ -35,6 +57,8 @@ pub struct Report {
     /// Size parameter passed to the collective (see
     /// [`VerifyOp`](crate::extract::VerifyOp) for its unit).
     pub n: usize,
+    /// Where the verified programs came from.
+    pub source: Source,
     /// Synchronous steps in the matched schedule (0 when matching failed).
     pub steps: usize,
     /// Matched transfers in the schedule.
@@ -62,8 +86,8 @@ impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} on {}x{} mesh, n={}",
-            self.op, self.mesh.0, self.mesh.1, self.n
+            "{} on {}x{} mesh, n={} [{}]",
+            self.op, self.mesh.0, self.mesh.1, self.n, self.source
         )?;
         if let Some(st) = &self.strategy {
             write!(f, ", strategy {st}")?;
@@ -91,8 +115,35 @@ impl fmt::Display for Report {
     }
 }
 
-/// Verifies one collective call statically: extracts every rank's
-/// symbolic program, matches it into a synchronous schedule, and checks
+/// Verifies one collective call statically from its **compiled
+/// schedule IR**: lowers the call to a
+/// [`CollectiveProgram`](intercom::ir::CollectiveProgram) — the very
+/// artifact persistent plans execute — and checks the four invariants
+/// on it. This is the audit's default path.
+///
+/// `Err` is returned only when the *lowering* itself fails (the
+/// algorithm rejected its arguments); invariant failures land in
+/// [`Report::violations`].
+pub fn verify_schedule_ir(
+    op: &VerifyOp,
+    strategy: Option<&Strategy>,
+    mesh: &Mesh2D,
+    n: usize,
+) -> Result<Report> {
+    let programs = crate::ir::ir_programs(op, strategy, mesh.nodes(), n)?;
+    Ok(verify_programs(
+        op,
+        strategy,
+        mesh,
+        n,
+        &programs,
+        Source::Ir,
+    ))
+}
+
+/// Verifies one collective call statically from a **trace extraction**:
+/// replays every rank's algorithm against a recording backend, matches
+/// the records into a synchronous schedule, and checks
 /// deadlock-freedom, single-port compliance, buffer-region safety and
 /// link-conflict-freedom on the physical `mesh`. World rank `r` is
 /// placed on mesh node `r` (row-major), matching
@@ -107,25 +158,48 @@ pub fn verify_schedule(
     mesh: &Mesh2D,
     n: usize,
 ) -> Result<Report> {
+    let programs = extract_programs(op, strategy, mesh.nodes(), n)?;
+    Ok(verify_programs(
+        op,
+        strategy,
+        mesh,
+        n,
+        &programs,
+        Source::Trace,
+    ))
+}
+
+/// The shared checking pipeline: match per-rank symbolic programs into
+/// a synchronous schedule and run every invariant against the physical
+/// `mesh`, regardless of whether the programs came from the compiled IR
+/// or a trace.
+pub fn verify_programs(
+    op: &VerifyOp,
+    strategy: Option<&Strategy>,
+    mesh: &Mesh2D,
+    n: usize,
+    programs: &[Vec<OpRecord>],
+    source: Source,
+) -> Report {
     let p = mesh.nodes();
-    let programs = extract_programs(op, strategy, p, n)?;
     let mut report = Report {
         op: op.to_string(),
         strategy: strategy.cloned(),
         mesh: (mesh.rows(), mesh.cols()),
         n,
+        source,
         steps: 0,
         event_count: 0,
         max_link_sharing: 0,
         levels: Vec::new(),
         conflict_free: false,
-        violations: check_program_aliasing(&programs),
+        violations: check_program_aliasing(programs),
     };
-    let schedule = match match_programs(&programs) {
+    let schedule = match match_programs(programs) {
         Ok(s) => s,
         Err(v) => {
             report.violations.push(v);
-            return Ok(report);
+            return report;
         }
     };
     report.steps = schedule.steps;
@@ -197,7 +271,7 @@ pub fn verify_schedule(
             });
         }
     }
-    Ok(report)
+    report
 }
 
 #[cfg(test)]
@@ -253,6 +327,43 @@ mod tests {
         assert!(!r.conflict_free, "skew sharing must still be reported");
         assert_eq!(r.max_link_sharing, 2);
         assert!(r.levels.iter().all(|l| l.observed <= l.predicted));
+    }
+
+    #[test]
+    fn ir_source_verifies_and_matches_trace_verdict() {
+        // The same call checked from both sources must agree on every
+        // verdict-relevant quantity — including the subtle 3×3 skew
+        // case where the schedule is valid but not conflict-free.
+        let mesh = Mesh2D::new(3, 3);
+        let st = Strategy::pure_long(9);
+        let op = VerifyOp::Broadcast { root: 8 };
+        let ir = verify_schedule_ir(&op, Some(&st), &mesh, 947).unwrap();
+        let tr = verify_schedule(&op, Some(&st), &mesh, 947).unwrap();
+        assert_eq!(ir.source, Source::Ir);
+        assert_eq!(tr.source, Source::Trace);
+        assert!(ir.ok(), "unexpected violations: {ir}");
+        assert_eq!(ir.steps, tr.steps);
+        assert_eq!(ir.event_count, tr.event_count);
+        assert_eq!(ir.max_link_sharing, tr.max_link_sharing);
+        assert_eq!(ir.conflict_free, tr.conflict_free);
+        assert_eq!(ir.levels, tr.levels);
+    }
+
+    #[test]
+    fn ir_source_verifies_strategy_free_ops() {
+        let mesh = Mesh2D::new(2, 3);
+        for op in [
+            VerifyOp::Scatter { root: 0 },
+            VerifyOp::Gather { root: 5 },
+            VerifyOp::Alltoall,
+            VerifyOp::PipelinedBcast {
+                root: 0,
+                segments: 4,
+            },
+        ] {
+            let r = verify_schedule_ir(&op, None, &mesh, 13).unwrap();
+            assert!(r.ok(), "unexpected violations: {r}");
+        }
     }
 
     #[test]

@@ -79,7 +79,10 @@ fn load(program: &[OpRecord], pc: &mut usize) -> Current {
     while let Some(op) = program.get(*pc) {
         *pc += 1;
         match *op {
-            OpRecord::Compute { .. } | OpRecord::CallOverhead => {}
+            OpRecord::Compute { .. }
+            | OpRecord::CallOverhead
+            | OpRecord::Copy { .. }
+            | OpRecord::Reduce { .. } => {}
             OpRecord::Send { to, tag, src } => {
                 return Current {
                     send: Some(Half {

@@ -1,0 +1,425 @@
+//! Differential oracle for the schedule IR: the compiled program must be
+//! indistinguishable from the direct recursive path it was lowered from.
+//!
+//! Two layers of comparison, over every collective × strategy × a node
+//! battery spanning primes, powers of two and composites:
+//!
+//! * **Schedules**: the IR's per-rank op sequence (kinds, peers, tags,
+//!   region lengths, local copies/folds, γ/δ accounting) equals the
+//!   sequence a [`RecordingComm`](intercom::trace::RecordingComm) replay
+//!   of the unmodified algorithm code produces.
+//! * **Execution**: interpreting the IR produces byte-identical buffers
+//!   to running the recursive code directly — on the threaded runtime
+//!   and on the mesh simulator.
+
+use intercom::comm::GroupComm;
+use intercom::ir::{execute, execute_scalar, lower, ArgBuf, PlanOp};
+use intercom::primitives::pipelined_ring_bcast;
+use intercom::{algorithms, Comm, ReduceOp};
+use intercom_cost::{Strategy, StrategyKind};
+use intercom_meshsim::{simulate, SimConfig};
+use intercom_runtime::run_world;
+use intercom_topology::Mesh2D;
+use intercom_verify::ir::plan_op;
+use intercom_verify::{extract_programs, ir_programs, VerifyOp};
+
+/// Primes, powers of two, perfect squares and composites — the same
+/// spread the schedule audit sweeps.
+const NODE_COUNTS: [usize; 7] = [1, 4, 5, 9, 12, 16, 17];
+
+/// Deterministic, rank- and position-dependent payload.
+fn fill(rank: usize, buf: &mut [u8]) {
+    for (i, b) in buf.iter_mut().enumerate() {
+        *b = ((i.wrapping_mul(7) + rank.wrapping_mul(31) + 3) % 251) as u8;
+    }
+}
+
+fn all_ops(p: usize) -> Vec<VerifyOp> {
+    let last = p - 1;
+    vec![
+        VerifyOp::Broadcast { root: 0 },
+        VerifyOp::Reduce { root: last },
+        VerifyOp::AllReduce,
+        VerifyOp::ReduceScatter,
+        VerifyOp::Collect,
+        VerifyOp::Scatter { root: 0 },
+        VerifyOp::Gather { root: last },
+        VerifyOp::Alltoall,
+        VerifyOp::PipelinedBcast {
+            root: 0,
+            segments: 3,
+        },
+    ]
+}
+
+fn strategies(p: usize) -> Vec<Strategy> {
+    let mut out = vec![Strategy::pure_mst(p), Strategy::pure_long(p)];
+    if p == 12 {
+        out.push(Strategy::new(vec![3, 4], StrategyKind::Mst));
+        out.push(Strategy::new(vec![4, 3], StrategyKind::ScatterCollect));
+    }
+    if p == 16 {
+        out.push(Strategy::new(vec![4, 4], StrategyKind::ScatterCollect));
+    }
+    out
+}
+
+/// `(op, strategy)` cells for world size `p`: strategy ops under every
+/// strategy, strategy-free ops once.
+fn cells(p: usize) -> Vec<(VerifyOp, Option<Strategy>)> {
+    let mut out = Vec::new();
+    for op in all_ops(p) {
+        if op.takes_strategy() {
+            for st in strategies(p) {
+                out.push((op, Some(st)));
+            }
+        } else {
+            out.push((op, None));
+        }
+    }
+    out
+}
+
+/// Runs `op` through the unmodified recursive code at base tag 0 and
+/// returns every buffer the call touched, concatenated (inputs too — a
+/// schedule that scribbles on a read-only buffer must not match one
+/// that doesn't).
+fn direct_run<C: Comm + ?Sized>(
+    comm: &C,
+    op: &VerifyOp,
+    strategy: Option<&Strategy>,
+    n: usize,
+) -> Vec<u8> {
+    let gc = GroupComm::world(comm);
+    let p = comm.size();
+    let rank = comm.rank();
+    let st = || strategy.expect("strategy op");
+    match *op {
+        VerifyOp::Broadcast { root } => {
+            let mut buf = vec![0u8; n];
+            if rank == root {
+                fill(rank, &mut buf);
+            }
+            algorithms::broadcast(&gc, st(), root, &mut buf, 0).unwrap();
+            buf
+        }
+        VerifyOp::Reduce { root } => {
+            let mut buf = vec![0u8; n];
+            fill(rank, &mut buf);
+            algorithms::reduce(&gc, st(), root, &mut buf, ReduceOp::Max, 0).unwrap();
+            buf
+        }
+        VerifyOp::AllReduce => {
+            let mut buf = vec![0u8; n];
+            fill(rank, &mut buf);
+            algorithms::allreduce(&gc, st(), &mut buf, ReduceOp::Max, 0).unwrap();
+            buf
+        }
+        VerifyOp::ReduceScatter => {
+            let mut contrib = vec![0u8; p * n];
+            fill(rank, &mut contrib);
+            let mut mine = vec![0u8; n];
+            algorithms::reduce_scatter(&gc, st(), &contrib, &mut mine, ReduceOp::Max, 0).unwrap();
+            [contrib, mine].concat()
+        }
+        VerifyOp::Collect => {
+            let mut mine = vec![0u8; n];
+            fill(rank, &mut mine);
+            let mut all = vec![0u8; p * n];
+            algorithms::collect(&gc, st(), &mine, &mut all, 0).unwrap();
+            [mine, all].concat()
+        }
+        VerifyOp::Scatter { root } => {
+            let mut full = vec![0u8; p * n];
+            fill(rank, &mut full);
+            let mut mine = vec![0u8; n];
+            let src = (rank == root).then_some(&full[..]);
+            algorithms::scatter(&gc, root, src, &mut mine, 0).unwrap();
+            if rank == root {
+                [full, mine].concat()
+            } else {
+                mine
+            }
+        }
+        VerifyOp::Gather { root } => {
+            let mut mine = vec![0u8; n];
+            fill(rank, &mut mine);
+            let mut full = vec![0u8; p * n];
+            let dst = (rank == root).then_some(&mut full[..]);
+            algorithms::gather(&gc, root, &mine, dst, 0).unwrap();
+            if rank == root {
+                [mine, full].concat()
+            } else {
+                mine
+            }
+        }
+        VerifyOp::Alltoall => {
+            let mut send = vec![0u8; p * n];
+            fill(rank, &mut send);
+            let mut recv = vec![0u8; p * n];
+            algorithms::alltoall(&gc, &send, &mut recv, 0).unwrap();
+            [send, recv].concat()
+        }
+        VerifyOp::PipelinedBcast { root, segments } => {
+            let mut buf = vec![0u8; n];
+            if rank == root {
+                fill(rank, &mut buf);
+            }
+            pipelined_ring_bcast(&gc, root, &mut buf, segments, 0).unwrap();
+            buf
+        }
+    }
+}
+
+/// Runs `op` by lowering to the IR and interpreting it at base tag 0,
+/// with the same initial buffer contents as [`direct_run`]. Returns the
+/// same concatenation.
+fn ir_run<C: Comm + ?Sized>(
+    comm: &C,
+    op: &VerifyOp,
+    strategy: Option<&Strategy>,
+    n: usize,
+) -> Vec<u8> {
+    let gc = GroupComm::world(comm);
+    let p = comm.size();
+    let rank = comm.rank();
+    let pop = plan_op(op);
+    let prog = lower(pop, strategy, p, n, 1).unwrap();
+    let mut scratch = Vec::new();
+    let mut run = |args: &mut [ArgBuf<'_, u8>]| {
+        if pop.combines() {
+            execute(&prog, &gc, ReduceOp::Max, args, &mut scratch, 0).unwrap();
+        } else {
+            execute_scalar(&prog, &gc, args, &mut scratch, 0).unwrap();
+        }
+    };
+    match *op {
+        VerifyOp::Broadcast { root } | VerifyOp::PipelinedBcast { root, .. } => {
+            let mut buf = vec![0u8; n];
+            if rank == root {
+                fill(rank, &mut buf);
+            }
+            run(&mut [ArgBuf::Out(&mut buf)]);
+            buf
+        }
+        VerifyOp::Reduce { .. } | VerifyOp::AllReduce => {
+            let mut buf = vec![0u8; n];
+            fill(rank, &mut buf);
+            run(&mut [ArgBuf::Out(&mut buf)]);
+            buf
+        }
+        VerifyOp::ReduceScatter => {
+            let mut contrib = vec![0u8; p * n];
+            fill(rank, &mut contrib);
+            let mut mine = vec![0u8; n];
+            run(&mut [ArgBuf::In(&contrib), ArgBuf::Out(&mut mine)]);
+            [contrib, mine].concat()
+        }
+        VerifyOp::Collect => {
+            let mut mine = vec![0u8; n];
+            fill(rank, &mut mine);
+            let mut all = vec![0u8; p * n];
+            run(&mut [ArgBuf::In(&mine), ArgBuf::Out(&mut all)]);
+            [mine, all].concat()
+        }
+        VerifyOp::Scatter { root } => {
+            let mut full = vec![0u8; p * n];
+            fill(rank, &mut full);
+            let mut mine = vec![0u8; n];
+            if rank == root {
+                run(&mut [ArgBuf::In(&full), ArgBuf::Out(&mut mine)]);
+                [full, mine].concat()
+            } else {
+                run(&mut [ArgBuf::Absent, ArgBuf::Out(&mut mine)]);
+                mine
+            }
+        }
+        VerifyOp::Gather { root } => {
+            let mut mine = vec![0u8; n];
+            fill(rank, &mut mine);
+            let mut full = vec![0u8; p * n];
+            if rank == root {
+                run(&mut [ArgBuf::In(&mine), ArgBuf::Out(&mut full)]);
+                [mine, full].concat()
+            } else {
+                run(&mut [ArgBuf::In(&mine), ArgBuf::Absent]);
+                mine
+            }
+        }
+        VerifyOp::Alltoall => {
+            let mut send = vec![0u8; p * n];
+            fill(rank, &mut send);
+            let mut recv = vec![0u8; p * n];
+            run(&mut [ArgBuf::In(&send), ArgBuf::Out(&mut recv)]);
+            [send, recv].concat()
+        }
+    }
+}
+
+/// Renders one symbolic record address-free: everything but the raw
+/// span bases (the IR re-bases operands into synthetic windows, so raw
+/// addresses legitimately differ; lengths and structure must not).
+fn render(r: &intercom::trace::OpRecord) -> String {
+    use intercom::trace::OpRecord;
+    match *r {
+        OpRecord::Send { to, tag, src } => format!("send to={to} tag={tag} len={}", src.len),
+        OpRecord::Recv { from, tag, dst } => format!("recv from={from} tag={tag} len={}", dst.len),
+        OpRecord::SendRecv {
+            to,
+            src,
+            from,
+            dst,
+            tag,
+        } => format!(
+            "xchg to={to} from={from} tag={tag} slen={} rlen={}",
+            src.len, dst.len
+        ),
+        OpRecord::Copy { src, dst } => format!("copy slen={} dlen={}", src.len, dst.len),
+        OpRecord::Reduce { acc, other } => {
+            format!("reduce alen={} olen={}", acc.len, other.len)
+        }
+        OpRecord::Compute { bytes } => format!("compute {bytes}"),
+        OpRecord::CallOverhead => "calloverhead".into(),
+    }
+}
+
+#[test]
+fn ir_schedules_equal_recorded_replays() {
+    for p in NODE_COUNTS {
+        for (op, st) in cells(p) {
+            for n in [1usize, 13] {
+                let ir = ir_programs(&op, st.as_ref(), p, n).unwrap();
+                let tr = extract_programs(&op, st.as_ref(), p, n).unwrap();
+                assert_eq!(ir.len(), tr.len());
+                for (rank, (a, b)) in ir.iter().zip(tr.iter()).enumerate() {
+                    let a: Vec<String> = a.iter().map(render).collect();
+                    let b: Vec<String> = b.iter().map(render).collect();
+                    assert_eq!(
+                        a,
+                        b,
+                        "{} p={p} n={n} strategy={st:?} rank {rank}",
+                        op.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ir_execution_is_byte_identical_on_threads() {
+    let n = 13;
+    for p in [1usize, 4, 5, 9, 12] {
+        for (op, st) in cells(p) {
+            let (o, s) = (op, st.clone());
+            let direct = run_world(p, move |c| direct_run(c, &o, s.as_ref(), n));
+            let (o, s) = (op, st.clone());
+            let via_ir = run_world(p, move |c| ir_run(c, &o, s.as_ref(), n));
+            assert_eq!(direct, via_ir, "{} p={p} strategy={st:?}", op.name());
+        }
+    }
+}
+
+#[test]
+fn ir_execution_is_byte_identical_on_the_simulator() {
+    let n = 13;
+    let machine = intercom_cost::MachineParams::PARAGON;
+    for p in [1usize, 5, 9, 16, 17] {
+        let mesh = Mesh2D::new(1, p);
+        for (op, st) in cells(p) {
+            let (o, s) = (op, st.clone());
+            let direct = simulate(&SimConfig::new(mesh, machine), move |c| {
+                direct_run(c, &o, s.as_ref(), n)
+            })
+            .results;
+            let (o, s) = (op, st.clone());
+            let via_ir = simulate(&SimConfig::new(mesh, machine), move |c| {
+                ir_run(c, &o, s.as_ref(), n)
+            })
+            .results;
+            assert_eq!(direct, via_ir, "{} p={p} strategy={st:?}", op.name());
+        }
+    }
+}
+
+#[test]
+fn one_program_replays_many_times() {
+    // Plan reuse: one lowered program executed repeatedly in one world
+    // keeps producing the direct path's bytes (scratch is re-zeroed, not
+    // re-allocated, between executions).
+    let p = 6;
+    let n = 17;
+    let st = Strategy::pure_long(p);
+    let out = run_world(p, move |c| {
+        let gc = GroupComm::world(c);
+        let prog = lower(PlanOp::AllReduce, Some(&st), p, n, 1).unwrap();
+        let mut scratch = Vec::new();
+        let mut rounds = Vec::new();
+        for round in 0..3u8 {
+            let mut buf = vec![0u8; n];
+            fill(c.rank() + round as usize, &mut buf);
+            let mut args = [ArgBuf::Out(&mut buf)];
+            execute(&prog, &gc, ReduceOp::Max, &mut args, &mut scratch, 0).unwrap();
+            rounds.push(buf);
+        }
+        rounds
+    });
+    let st = Strategy::pure_long(p);
+    let direct = run_world(p, move |c| {
+        let gc = GroupComm::world(c);
+        let mut rounds = Vec::new();
+        for round in 0..3u8 {
+            let mut buf = vec![0u8; n];
+            fill(c.rank() + round as usize, &mut buf);
+            algorithms::allreduce(&gc, &st, &mut buf, ReduceOp::Max, 0).unwrap();
+            rounds.push(buf);
+        }
+        rounds
+    });
+    assert_eq!(out, direct);
+}
+
+#[test]
+fn trace_events_attribute_to_plan_steps_on_both_backends() {
+    use intercom::plan::AllreducePlan;
+    use intercom::{Communicator, ReduceOp};
+    use intercom_cost::MachineParams;
+    use intercom_runtime::run_world_recorded;
+
+    // Threaded backend: a persistent plan's events carry its plan id.
+    let p = 4;
+    let (_, run) = run_world_recorded(p, 1024, move |c| {
+        let cc = Communicator::world(c, MachineParams::PARAGON);
+        let plan = AllreducePlan::<f64>::new(&cc, 32, ReduceOp::Sum);
+        let mut buf = vec![1.0f64; 32];
+        plan.execute(&cc, &mut buf).unwrap();
+    });
+    let attributed = run.all_events().filter(|e| e.plan != 0).count();
+    assert!(attributed > 0, "threaded events must carry plan ids");
+    let plan_ids: std::collections::HashSet<u64> = run
+        .all_events()
+        .filter(|e| e.plan != 0)
+        .map(|e| e.plan)
+        .collect();
+    assert_eq!(plan_ids.len(), 1, "one plan executed: one plan id");
+
+    // Simulator: IR-interpreted transfers carry (plan, step).
+    let st = Strategy::pure_long(p);
+    let machine = MachineParams::PARAGON;
+    let rep = simulate(
+        &SimConfig::new(Mesh2D::new(1, p), machine).with_trace(),
+        move |c| {
+            let gc = GroupComm::world(c);
+            let prog = lower(PlanOp::AllReduce, Some(&st), p, 32, 1).unwrap();
+            let mut buf = vec![1u8; 32];
+            let mut args = [ArgBuf::Out(&mut buf)];
+            execute(&prog, &gc, ReduceOp::Max, &mut args, &mut Vec::new(), 0).unwrap();
+        },
+    );
+    let trace = rep.trace.expect("trace enabled");
+    assert!(!trace.records().is_empty());
+    assert!(
+        trace.records().iter().all(|e| e.plan != 0),
+        "every simulated transfer of an IR execution is attributed"
+    );
+}

@@ -69,6 +69,9 @@ cargo run --release -p intercom-bench --bin hotpath -- --smoke >/dev/null
 echo "==> plan-cache bench (smoke)"
 cargo run --release -p intercom-bench --bin plancache -- --smoke >/dev/null
 
+echo "==> schedule-optimizer A/B bench (smoke)"
+cargo run --release -p intercom-bench --bin iropt -- --smoke >/dev/null
+
 echo "==> observability smoke (trace export round-trip + residual reports)"
 # --check re-parses every emitted Chrome-trace JSON through the strict
 # std-only parser and asserts the known (p=9, SC, 3x3) cross-stage skew

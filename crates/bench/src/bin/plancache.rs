@@ -15,7 +15,7 @@
 //! Emits `BENCH_plancache.json` in the current directory.
 
 use intercom::comm::GroupComm;
-use intercom::ir::{execute, global_cache, lower, ArgBuf, PlanCache, PlanKey, PlanOp};
+use intercom::ir::{execute, global_cache, lower, ArgBuf, OptLevel, PlanCache, PlanKey, PlanOp};
 use intercom::plan::AllreducePlan;
 use intercom::{Communicator, ReduceOp};
 use intercom_bench::report::Table;
@@ -42,6 +42,7 @@ fn shapes() -> Vec<Shape> {
                 n: 128,
                 elem_size: 8,
                 strategy: Some(Strategy::pure_long(8)),
+                opt: OptLevel::Full,
             },
         },
         Shape {
@@ -52,6 +53,7 @@ fn shapes() -> Vec<Shape> {
                 n: 4096,
                 elem_size: 1,
                 strategy: Some(Strategy::pure_mst(16)),
+                opt: OptLevel::Full,
             },
         },
         Shape {
@@ -62,6 +64,7 @@ fn shapes() -> Vec<Shape> {
                 n: 512,
                 elem_size: 1,
                 strategy: Some(Strategy::pure_long(12)),
+                opt: OptLevel::Full,
             },
         },
     ]

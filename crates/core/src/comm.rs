@@ -50,6 +50,33 @@ pub trait Comm {
     fn sendrecv(&self, to: usize, data: &[u8], from: usize, buf: &mut [u8], tag: Tag)
         -> Result<()>;
 
+    /// Concurrent exchange with independent per-half tags: send `data`
+    /// to `to` under `stag` while receiving into `buf` from `from`
+    /// under `rtag`. Optimized schedules fuse adjacent cross-stage
+    /// send/recv pairs into one exchange, and tags encode stages, so
+    /// the two halves of a fused exchange may carry different tags.
+    ///
+    /// The default delegates equal tags to [`Comm::sendrecv`] and
+    /// serializes mixed tags as send-then-recv — correct for every
+    /// schedule the optimizer emits (it only fuses pairs that were
+    /// already safe in that order), but backends that can post both
+    /// halves concurrently should override for full-duplex progress.
+    fn sendrecv_tagged(
+        &self,
+        to: usize,
+        data: &[u8],
+        stag: Tag,
+        from: usize,
+        buf: &mut [u8],
+        rtag: Tag,
+    ) -> Result<()> {
+        if stag == rtag {
+            return self.sendrecv(to, data, from, buf, stag);
+        }
+        self.send(to, stag, data)?;
+        self.recv(from, rtag, buf)
+    }
+
     /// Accounts local combine work over `bytes` bytes (γ term). Real
     /// backends do the arithmetic in caller code; timing backends advance
     /// the local clock.
@@ -252,6 +279,29 @@ impl<'a, C: Comm + ?Sized> GroupComm<'a, C> {
             self.members[from],
             T::as_bytes_mut(buf),
             tag,
+        )
+    }
+
+    /// Typed concurrent exchange with independent per-half tags (see
+    /// [`Comm::sendrecv_tagged`]).
+    pub fn sendrecv_tagged<T: Scalar>(
+        &self,
+        to: usize,
+        data: &[T],
+        stag: Tag,
+        from: usize,
+        buf: &mut [T],
+        rtag: Tag,
+    ) -> Result<()> {
+        self.check(to)?;
+        self.check(from)?;
+        self.comm.sendrecv_tagged(
+            self.members[to],
+            T::as_bytes(data),
+            stag,
+            self.members[from],
+            T::as_bytes_mut(buf),
+            rtag,
         )
     }
 

@@ -1,13 +1,24 @@
 //! The process-wide plan cache.
 //!
 //! A compiled schedule depends only on
-//! `(op, group size, size parameter, element size, strategy)` — the same
-//! fact the paper exploits to tabulate algorithm choices per machine.
-//! The cache memoizes [`lower`](super::lower) under exactly that key, so
-//! iterative applications compile each distinct call shape once and
-//! every later plan construction is a hash lookup.
+//! `(op, group size, size parameter, element size, strategy, opt level)`
+//! — the same fact the paper exploits to tabulate algorithm choices per
+//! machine. The cache memoizes [`lower`](super::lower) (plus the
+//! [`optimize`](super::optimize) pass pipeline when the key asks for
+//! it) under exactly that key, so iterative applications compile each
+//! distinct call shape once and every later plan construction is a
+//! hash lookup.
+//!
+//! The cache is **bounded**: when occupancy would exceed the capacity,
+//! the least-recently-used program is evicted (and counted). Evicting
+//! never invalidates running plans — they hold their program by `Arc`,
+//! so an evicted program dies only when its last plan does. Long-lived
+//! applications with a known working set can [`warm_up`] the cache
+//! ahead of the compute loop so the loop itself sees only hits.
+//!
+//! [`warm_up`]: PlanCache::warm_up
 
-use super::{lower, CollectiveProgram, PlanOp};
+use super::{lower, optimize, CollectiveProgram, OptLevel, PlanOp};
 use crate::error::Result;
 use intercom_cost::Strategy;
 use std::collections::HashMap;
@@ -27,9 +38,13 @@ pub struct PlanKey {
     pub elem_size: usize,
     /// Hybrid strategy for strategy-taking ops.
     pub strategy: Option<Strategy>,
+    /// Optimization level the cached program was compiled at. Programs
+    /// at different levels are distinct cache entries: an unoptimized
+    /// plan and an optimized plan of the same shape coexist.
+    pub opt: OptLevel,
 }
 
-/// Cache occupancy and hit counters.
+/// Cache occupancy and lifecycle counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
@@ -38,46 +53,136 @@ pub struct CacheStats {
     pub misses: u64,
     /// Distinct programs currently cached.
     pub entries: usize,
+    /// Programs evicted to keep occupancy within the capacity.
+    pub evictions: u64,
+    /// Maximum entries the cache retains.
+    pub capacity: usize,
+}
+
+/// One cached program plus its recency stamp for LRU eviction.
+struct Entry {
+    prog: Arc<CollectiveProgram>,
+    last_used: u64,
 }
 
 /// A memoizing store of compiled programs, shareable across threads
 /// (every rank of a threaded world hits one cache).
 pub struct PlanCache {
-    plans: Mutex<HashMap<PlanKey, Arc<CollectiveProgram>>>,
+    plans: Mutex<HashMap<PlanKey, Entry>>,
+    capacity: usize,
+    /// Logical clock stamping each access; strictly monotone under the
+    /// cache lock, so LRU order is exact.
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
+/// Default capacity: generous for real applications (a working set is
+/// a handful of shapes per collective) yet small enough that a shape
+/// sweep — a benchmark scanning thousands of sizes — cannot grow the
+/// cache without bound.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
 impl PlanCache {
-    /// An empty cache.
+    /// An empty cache with the [default capacity](DEFAULT_CACHE_CAPACITY).
     pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// An empty cache retaining at most `capacity` programs (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
         PlanCache {
             plans: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    /// Returns the cached program for `key`, lowering and inserting it
-    /// on first use. Lowering happens under the cache lock, so
+    /// Compiles `key`: lowers, then runs the optimizer pass pipeline if
+    /// the key's [`OptLevel`] asks for it.
+    fn compile(key: &PlanKey) -> Result<Arc<CollectiveProgram>> {
+        let prog = lower(key.op, key.strategy.as_ref(), key.p, key.n, key.elem_size)?;
+        Ok(Arc::new(match key.opt {
+            OptLevel::None => prog,
+            OptLevel::Full => optimize(&prog).0,
+        }))
+    }
+
+    /// Evicts least-recently-used entries until occupancy fits the
+    /// capacity. Called with the lock held, after an insert.
+    fn enforce_capacity(&self, plans: &mut HashMap<PlanKey, Entry>) {
+        while plans.len() > self.capacity {
+            let lru = plans
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty above capacity");
+            plans.remove(&lru);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Returns the cached program for `key`, compiling and inserting it
+    /// on first use. Compilation happens under the cache lock, so
     /// concurrent ranks requesting the same key compile it exactly once
     /// and the rest observe hits.
     pub fn get_or_compile(&self, key: &PlanKey) -> Result<Arc<CollectiveProgram>> {
         let mut plans = self.plans.lock().unwrap();
-        if let Some(prog) = plans.get(key) {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        if let Some(entry) = plans.get_mut(key) {
+            entry.last_used = now;
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(prog.clone());
+            return Ok(entry.prog.clone());
         }
-        let prog = Arc::new(lower(
-            key.op,
-            key.strategy.as_ref(),
-            key.p,
-            key.n,
-            key.elem_size,
-        )?);
+        let prog = Self::compile(key)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
-        plans.insert(key.clone(), prog.clone());
+        plans.insert(
+            key.clone(),
+            Entry {
+                prog: prog.clone(),
+                last_used: now,
+            },
+        );
+        self.enforce_capacity(&mut plans);
         Ok(prog)
+    }
+
+    /// Pre-compiles every key that is not already cached, returning how
+    /// many programs were freshly compiled. Warm-up does **not** count
+    /// toward the hit/miss counters — those measure the compute loop's
+    /// locality, which pre-population would skew — but evictions forced
+    /// by warming past the capacity are counted normally.
+    ///
+    /// Errors abort the warm-up at the first failing key; earlier keys
+    /// stay cached.
+    pub fn warm_up<I>(&self, keys: I) -> Result<usize>
+    where
+        I: IntoIterator<Item = PlanKey>,
+    {
+        let mut compiled = 0;
+        for key in keys {
+            let mut plans = self.plans.lock().unwrap();
+            let now = self.clock.fetch_add(1, Ordering::Relaxed);
+            if let Some(entry) = plans.get_mut(&key) {
+                entry.last_used = now;
+                continue;
+            }
+            let prog = Self::compile(&key)?;
+            compiled += 1;
+            plans.insert(
+                key,
+                Entry {
+                    prog,
+                    last_used: now,
+                },
+            );
+            self.enforce_capacity(&mut plans);
+        }
+        Ok(compiled)
     }
 
     /// Current counters and occupancy.
@@ -86,6 +191,8 @@ impl PlanCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.plans.lock().unwrap().len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            capacity: self.capacity,
         }
     }
 
@@ -94,6 +201,7 @@ impl PlanCache {
         self.plans.lock().unwrap().clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -120,6 +228,7 @@ mod tests {
             n,
             elem_size: 8,
             strategy: Some(Strategy::pure_mst(4)),
+            opt: OptLevel::None,
         }
     }
 
@@ -131,6 +240,7 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.evictions, 0);
     }
 
     #[test]
@@ -142,5 +252,62 @@ mod tests {
         assert_eq!(cache.stats().entries, 2);
         cache.clear();
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn opt_levels_are_distinct_entries() {
+        let cache = PlanCache::new();
+        let plain = cache.get_or_compile(&key(16)).unwrap();
+        let opt = cache
+            .get_or_compile(&PlanKey {
+                opt: OptLevel::Full,
+                ..key(16)
+            })
+            .unwrap();
+        assert!(!Arc::ptr_eq(&plain, &opt));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 2, 2));
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        let cache = PlanCache::with_capacity(2);
+        let a = cache.get_or_compile(&key(1)).unwrap();
+        cache.get_or_compile(&key(2)).unwrap();
+        // Touch key(1) so key(2) is the LRU when key(3) overflows.
+        cache.get_or_compile(&key(1)).unwrap();
+        cache.get_or_compile(&key(3)).unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.evictions), (2, 1));
+        // key(1) survived (still shared), key(2) was evicted (fresh
+        // compile = a new allocation).
+        let a2 = cache.get_or_compile(&key(1)).unwrap();
+        assert!(Arc::ptr_eq(&a, &a2));
+        let before = cache.stats().misses;
+        cache.get_or_compile(&key(2)).unwrap();
+        assert_eq!(cache.stats().misses, before + 1, "key(2) was evicted");
+    }
+
+    #[test]
+    fn warm_up_populates_without_skewing_hit_rate() {
+        let cache = PlanCache::new();
+        let compiled = cache.warm_up([key(16), key(32), key(16)]).unwrap();
+        assert_eq!(compiled, 2, "duplicate keys warm once");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 2));
+        // The compute loop then sees pure hits.
+        cache.get_or_compile(&key(16)).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn warm_up_surfaces_lowering_errors() {
+        let cache = PlanCache::new();
+        let bad = PlanKey {
+            strategy: Some(Strategy::pure_mst(5)), // wrong p
+            ..key(8)
+        };
+        assert!(cache.warm_up([key(16), bad]).is_err());
+        assert_eq!(cache.stats().entries, 1, "earlier keys stay cached");
     }
 }

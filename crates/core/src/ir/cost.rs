@@ -31,6 +31,14 @@ pub struct StageCost {
     /// Bytes entering the network in this stage (send halves only, so
     /// each transfer counts once), summed over all ranks.
     pub bytes: usize,
+    /// Serialized wire-occupancy bytes in this stage, summed over all
+    /// ranks: a send counts its source, a receive its destination, and a
+    /// full-duplex exchange `max(send, recv)` — both halves overlap on
+    /// the wire (§2: "a processor can both send and receive at the same
+    /// time"), so summing them would hide exactly the win sendrecv
+    /// fusion buys. A fused cross-stage exchange attributes its whole
+    /// `max` to the send half's stage.
+    pub wire_bytes: usize,
     /// Bytes of local combine work (γ) in this stage, summed over all
     /// ranks.
     pub compute_bytes: usize,
@@ -77,6 +85,7 @@ pub fn annotate(prog: &CollectiveProgram, ctx: CostContext) -> Option<Vec<StageC
             cost: p.cost,
             comm_steps: 0,
             bytes: 0,
+            wire_bytes: 0,
             compute_bytes: 0,
         })
         .collect();
@@ -92,12 +101,17 @@ pub fn annotate(prog: &CollectiveProgram, ctx: CostContext) -> Option<Vec<StageC
                 StepKind::Send { src, .. } => {
                     sc.comm_steps += 1;
                     sc.bytes += src.len;
+                    sc.wire_bytes += src.len;
                 }
-                StepKind::SendRecv { src, .. } => {
+                StepKind::SendRecv { src, dst, .. } => {
                     sc.comm_steps += 1;
                     sc.bytes += src.len;
+                    sc.wire_bytes += src.len.max(dst.len);
                 }
-                StepKind::Recv { .. } => sc.comm_steps += 1,
+                StepKind::Recv { dst, .. } => {
+                    sc.comm_steps += 1;
+                    sc.wire_bytes += dst.len;
+                }
                 StepKind::Compute { bytes } => sc.compute_bytes += bytes,
                 StepKind::Copy { .. } | StepKind::Reduce { .. } | StepKind::CallOverhead => {}
             }
@@ -126,6 +140,22 @@ mod tests {
         // γ work happens only in the combining stage.
         assert_eq!(stages[0].compute_bytes, 4 * 3 * 16);
         assert_eq!(stages[1].compute_bytes, 0);
+    }
+
+    #[test]
+    fn full_duplex_exchanges_price_as_max_not_sum() {
+        // Uneven partition of 3 over 2 ranks: the ring reduce-scatter
+        // exchange ships 2 bytes one way and 1 byte the other. Each
+        // rank's full-duplex step occupies the wire for max(out, in).
+        let st = Strategy::pure_long(2);
+        let prog = lower(PlanOp::AllReduce, Some(&st), 2, 3, 1).unwrap();
+        let stages = annotate(&prog, CostContext::LINEAR).unwrap();
+        assert_eq!(stages[0].bytes, 2 + 1, "send halves count once");
+        assert_eq!(
+            stages[0].wire_bytes,
+            2 + 2,
+            "max(2,1) + max(1,2), not (2+1) + (1+2)"
+        );
     }
 
     #[test]

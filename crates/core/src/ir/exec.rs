@@ -122,9 +122,10 @@ fn run<T: Scalar, C: Comm + ?Sized>(
                     from,
                     dst,
                     tag_off,
+                    rtag_off,
                 } => {
                     let (s, d) = read_write(args, scratch, elem, &src, &dst)?;
-                    gc.sendrecv(to, s, from, d, base_tag + tag_off)?;
+                    gc.sendrecv_tagged(to, s, base_tag + tag_off, from, d, base_tag + rtag_off)?;
                 }
                 StepKind::Copy { src, dst } => {
                     let (s, d) = read_write(args, scratch, elem, &src, &dst)?;

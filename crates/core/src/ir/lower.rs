@@ -24,7 +24,7 @@ use intercom_cost::Strategy;
 
 /// Scratch-arena alignment: every temporary cluster starts on a 16-byte
 /// boundary, a multiple of every supported element size.
-const ARENA_ALIGN: usize = 16;
+pub(super) const ARENA_ALIGN: usize = 16;
 
 /// Lowers one collective call into a compiled program for all `p` ranks.
 ///
@@ -190,6 +190,7 @@ fn resolve_rank(ops: &[OpRecord], args: &[(usize, usize, usize)], elem: usize) -
                 from,
                 dst,
                 tag,
+                rtag,
             } => {
                 stage = stage_of(tag);
                 StepKind::SendRecv {
@@ -198,6 +199,7 @@ fn resolve_rank(ops: &[OpRecord], args: &[(usize, usize, usize)], elem: usize) -
                     from,
                     dst: resolve(dst),
                     tag_off: tag,
+                    rtag_off: rtag,
                 }
             }
             OpRecord::Copy { src, dst } => StepKind::Copy {
@@ -219,7 +221,7 @@ fn resolve_rank(ops: &[OpRecord], args: &[(usize, usize, usize)], elem: usize) -
     }
 }
 
-fn stage_of(tag: Tag) -> StageId {
+pub(super) fn stage_of(tag: Tag) -> StageId {
     StageId {
         level: tag / LEVEL_TAG_STRIDE,
         sub: tag % LEVEL_TAG_STRIDE,

@@ -42,11 +42,13 @@ mod cache;
 mod cost;
 mod exec;
 mod lower;
+mod opt;
 
-pub use cache::{global_cache, CacheStats, PlanCache, PlanKey};
+pub use cache::{global_cache, CacheStats, PlanCache, PlanKey, DEFAULT_CACHE_CAPACITY};
 pub use cost::{annotate, cost_op, StageCost};
 pub use exec::{execute, execute_scalar, ArgBuf};
 pub use lower::lower;
+pub use opt::{optimize, OptLevel, OptStats};
 
 use crate::comm::Tag;
 use intercom_cost::Strategy;
@@ -263,8 +265,13 @@ pub enum StepKind {
         from: usize,
         /// Bytes written by the receive half.
         dst: Loc,
-        /// Tag offset shared by both halves.
+        /// Tag offset of the send half.
         tag_off: Tag,
+        /// Tag offset of the receive half. Equal to `tag_off` for
+        /// exchanges the algorithms emit directly; the optimizer's
+        /// cross-stage fusion produces mixed-tag exchanges (tags encode
+        /// stages, and the fused halves belong to adjacent stages).
+        rtag_off: Tag,
     },
     /// Local copy of `src` into `dst` (block permutes, root staging,
     /// own-block moves).

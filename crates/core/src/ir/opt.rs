@@ -1,0 +1,1234 @@
+//! The schedule optimizer: verified rewriting passes over compiled
+//! programs.
+//!
+//! PR 4's IR is a verbatim transcript of the paper's recursive
+//! algorithms — it pays for every message the recursion *shape* forces,
+//! not just the messages the schedule *needs*. This module closes that
+//! gap with a pipeline of pure `Program -> Program` rewrites, in the
+//! spirit of the paper's own §6 analysis (combine send and receive into
+//! full-duplex exchanges, keep every port busy):
+//!
+//! 1. **Empty-message elision** — uneven partitions (`n < p` blocks)
+//!    leave zero-length blocks whose sends and receives still cost a
+//!    full α each; matched zero-length halves are dropped from both
+//!    endpoints. Gated on `n > 0` so degenerate programs keep their
+//!    barrier semantics (an `n = 0` collective still synchronizes).
+//! 2. **Sendrecv fusion** — an adjacent send/recv pair in the same
+//!    stage (only local steps between) becomes one full-duplex
+//!    [`StepKind::SendRecv`].
+//! 3. **Cross-stage overlap** — the same fusion across stage
+//!    boundaries, where the §6 exchange lives: an MST combine's
+//!    send-up immediately precedes the broadcast's recv-down on every
+//!    non-root rank. When the two regions overlap, the receive is
+//!    detoured through fresh scratch and copied into place at the
+//!    receive's original program point, so execution stays
+//!    byte-identical. Applied only when the cost model prices the
+//!    rewritten shape cheaper (wire occupancy, see
+//!    [`StageCost::wire_bytes`](super::StageCost)).
+//! 4. **Message/copy coalescing** — adjacent contiguous messages on
+//!    one channel merge into one (both endpoints rewritten in concert),
+//!    and adjacent contiguous local copies merge, eliminating per-block
+//!    α and per-call overheads.
+//! 5. **Dead-copy elimination** — identity round-trips (a block staged
+//!    to scratch and copied back to where it came from, as the
+//!    multi-dimensional collect's slot un-permutation produces for
+//!    fixed points of the permutation) and scratch stores no later step
+//!    reads are dropped.
+//!
+//! # Proof obligations
+//!
+//! Every rewrite preserves two properties:
+//!
+//! * **Byte-identity.** Argument buffers hold exactly the bytes the
+//!   unoptimized program produces, proven mechanically by the
+//!   `ir_opt_differential` oracle on both backends.
+//! * **Deadlock-monotonicity.** A fusion only co-posts halves that were
+//!   already adjacent (separated by local steps alone): every half is
+//!   posted no later than before, no new completion obligations are
+//!   introduced beyond those the rank already met at the same program
+//!   point, and per-channel FIFO order is untouched. Elision removes
+//!   matched pairs symmetrically, which only removes wait-for edges.
+//!   As a backstop, the optimized program is re-proven by an internal
+//!   rendezvous matcher before it replaces the original (falling back
+//!   to the unoptimized program on any failure), and the full
+//!   `schedule-audit --source=ir-opt` sweep re-checks deadlock-freedom,
+//!   single-port, buffer safety and link conflicts over the whole
+//!   strategy space.
+
+use super::lower::{stage_of, ARENA_ALIGN};
+use super::{annotate, CollectiveProgram, Loc, Step, StepKind};
+use crate::comm::Tag;
+use intercom_cost::CostContext;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How much optimization a compiled plan gets — the plan cache's
+/// opt-level key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OptLevel {
+    /// Lowering only: the program is the verbatim transcript of the
+    /// recursion.
+    None,
+    /// The full pass pipeline.
+    #[default]
+    Full,
+}
+
+/// Per-pass rewrite counters of one [`optimize`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptStats {
+    /// Zero-length message halves elided (pass 1).
+    pub elided: usize,
+    /// Same-stage send/recv pairs fused into exchanges (pass 2).
+    pub fused: usize,
+    /// Cross-stage pairs fused by the overlap pass (pass 3).
+    pub overlapped: usize,
+    /// Messages and local copies merged (pass 4).
+    pub coalesced: usize,
+    /// Dead or identity copies removed (pass 5).
+    pub dead_copies: usize,
+    /// The rewritten program failed the internal rendezvous re-proof
+    /// and the unoptimized original was kept (never expected; the
+    /// passes are deadlock-monotone by construction).
+    pub reverted: bool,
+}
+
+impl OptStats {
+    /// Total rewrites applied.
+    pub fn total(&self) -> usize {
+        self.elided + self.fused + self.overlapped + self.coalesced + self.dead_copies
+    }
+}
+
+/// Runs the full pass pipeline over `prog`, returning the optimized
+/// program (with a fresh plan id) and per-pass rewrite counts.
+///
+/// The result executes byte-identically to `prog` and satisfies the
+/// same static safety invariants; if the internal rendezvous re-proof
+/// fails, the original program is returned unchanged (with
+/// [`OptStats::reverted`] set).
+pub fn optimize(prog: &CollectiveProgram) -> (CollectiveProgram, OptStats) {
+    let mut stats = OptStats::default();
+    let mut out = prog.clone();
+    out.plan_id = super::fresh_plan_id();
+    stats.elided = elide_empty(&mut out);
+    stats.fused = fuse_adjacent(&mut out, FuseMode::SameStage);
+    // The overlap pass is priced: apply only if the cost model says the
+    // fused shape occupies the wire for less.
+    let mut candidate = out.clone();
+    let n = fuse_adjacent(&mut candidate, FuseMode::CrossStage);
+    if n > 0 && priced_wire(&candidate) < priced_wire(&out) {
+        out = candidate;
+        stats.overlapped = n;
+    }
+    stats.coalesced = coalesce_messages(&mut out) + coalesce_copies(&mut out);
+    stats.dead_copies = dead_copy_elim(&mut out);
+    if !rendezvous_ok(&out) {
+        let mut orig = prog.clone();
+        orig.plan_id = out.plan_id;
+        return (
+            orig,
+            OptStats {
+                reverted: true,
+                ..OptStats::default()
+            },
+        );
+    }
+    (out, stats)
+}
+
+/// Total serialized wire occupancy of a program: each send counts its
+/// source, each receive its destination, each full-duplex exchange the
+/// max of its halves. Where the cost model covers the op this equals
+/// the [`annotate`] stage sum of `wire_bytes`; the direct fold also
+/// prices the extension collectives the stage model skips.
+fn priced_wire(prog: &CollectiveProgram) -> usize {
+    if let Some(stages) = annotate(prog, CostContext::LINEAR) {
+        return stages.iter().map(|s| s.wire_bytes).sum();
+    }
+    prog.ranks
+        .iter()
+        .flat_map(|r| r.steps.iter())
+        .map(|s| match s.kind {
+            StepKind::Send { src, .. } => src.len,
+            StepKind::Recv { dst, .. } => dst.len,
+            StepKind::SendRecv { src, dst, .. } => src.len.max(dst.len),
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Pass 1: drop matched zero-length message halves from both endpoints.
+/// A valid program's k-th send and k-th receive on one `(src, dst, tag)`
+/// channel have equal lengths, so dropping every zero-length half keeps
+/// the two sides' FIFO indices aligned. Gated on `n > 0`: a zero-size
+/// collective is a barrier and must keep synchronizing.
+fn elide_empty(prog: &mut CollectiveProgram) -> usize {
+    if prog.n == 0 {
+        return 0;
+    }
+    let mut removed = 0;
+    for rp in &mut prog.ranks {
+        rp.steps.retain_mut(|step| match step.kind {
+            StepKind::Send { src, .. } if src.len == 0 => {
+                removed += 1;
+                false
+            }
+            StepKind::Recv { dst, .. } if dst.len == 0 => {
+                removed += 1;
+                false
+            }
+            StepKind::SendRecv {
+                to,
+                src,
+                from,
+                dst,
+                tag_off,
+                rtag_off,
+            } => match (src.len == 0, dst.len == 0) {
+                (true, true) => {
+                    removed += 2;
+                    false
+                }
+                (true, false) => {
+                    removed += 1;
+                    step.kind = StepKind::Recv {
+                        from,
+                        tag_off: rtag_off,
+                        dst,
+                    };
+                    step.stage = stage_of(rtag_off);
+                    true
+                }
+                (false, true) => {
+                    removed += 1;
+                    step.kind = StepKind::Send { to, tag_off, src };
+                    step.stage = stage_of(tag_off);
+                    true
+                }
+                (false, false) => true,
+            },
+            _ => true,
+        });
+    }
+    removed
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FuseMode {
+    /// Pass 2: both halves in the same stage (equal tags); no detour.
+    SameStage,
+    /// Pass 3 (overlap): halves from different stages; an overlapping
+    /// receive destination is detoured through fresh scratch.
+    CrossStage,
+}
+
+fn locs_overlap(a: &Loc, b: &Loc) -> bool {
+    a.len > 0 && b.len > 0 && a.buf == b.buf && a.off < b.off + b.len && b.off < a.off + a.len
+}
+
+/// Read/write footprint of a local step, `None` for communication.
+fn local_footprint(kind: &StepKind) -> Option<(Vec<Loc>, Vec<Loc>)> {
+    match *kind {
+        StepKind::Copy { src, dst } => Some((vec![src], vec![dst])),
+        StepKind::Reduce { acc, other } => Some((vec![acc, other], vec![acc])),
+        StepKind::Compute { .. } | StepKind::CallOverhead => Some((vec![], vec![])),
+        _ => None,
+    }
+}
+
+/// Passes 2 and 3: fuse adjacent send/recv pairs (only local steps
+/// between) into full-duplex exchanges. Both orders are handled; a pair
+/// is refused when the send would ship bytes the receive (or an
+/// intervening local step) produces — fusion never reorders dependent
+/// work, it only co-posts halves the rank was already committed to.
+fn fuse_adjacent(prog: &mut CollectiveProgram, mode: FuseMode) -> usize {
+    let mut count = 0;
+    for rp in &mut prog.ranks {
+        let steps = &rp.steps;
+        let mut out: Vec<Step> = Vec::with_capacity(steps.len());
+        let mut tmp_base = rp.scratch_bytes;
+        let mut i = 0;
+        'scan: while i < steps.len() {
+            let first = steps[i];
+            let want_pair = matches!(first.kind, StepKind::Send { .. } | StepKind::Recv { .. });
+            if want_pair {
+                let mut j = i + 1;
+                let mut mid_reads: Vec<Loc> = Vec::new();
+                let mut mid_writes: Vec<Loc> = Vec::new();
+                while j < steps.len() {
+                    if let Some((r, w)) = local_footprint(&steps[j].kind) {
+                        mid_reads.extend(r);
+                        mid_writes.extend(w);
+                        j += 1;
+                        continue;
+                    }
+                    break;
+                }
+                if j < steps.len() {
+                    if let Some((fused, copy_back, cnt)) = try_fuse(
+                        &first,
+                        &steps[j],
+                        &mid_reads,
+                        &mid_writes,
+                        mode,
+                        &mut tmp_base,
+                    ) {
+                        out.push(fused);
+                        out.extend_from_slice(&steps[i + 1..j]);
+                        if let Some(c) = copy_back {
+                            out.push(c);
+                        }
+                        count += cnt;
+                        i = j + 1;
+                        continue 'scan;
+                    }
+                }
+            }
+            out.push(first);
+            i += 1;
+        }
+        rp.steps = out;
+        rp.scratch_bytes = tmp_base;
+    }
+    count
+}
+
+/// Attempts to fuse the pair `(first, second)` separated by local steps
+/// with the given read/write footprint. Returns the fused step, an
+/// optional copy-back step (the cross-stage detour) and the rewrite
+/// count.
+fn try_fuse(
+    first: &Step,
+    second: &Step,
+    mid_reads: &[Loc],
+    mid_writes: &[Loc],
+    mode: FuseMode,
+    tmp_base: &mut usize,
+) -> Option<(Step, Option<Step>, usize)> {
+    let same_stage = first.stage == second.stage;
+    match mode {
+        FuseMode::SameStage if !same_stage => return None,
+        FuseMode::CrossStage if same_stage => return None,
+        _ => {}
+    }
+    // Zero-length halves are synchronization tokens: they carry no
+    // bytes (nothing to win by full-duplexing) but their blocking
+    // order *is* the schedule's serialization — e.g. an MST rank
+    // forwards to its child only after hearing from its parent. The
+    // data-dependence gates below are vacuous at length zero, so
+    // without this guard fusion would co-post the forward before the
+    // receive and break the per-stage link-conflict bounds the §6
+    // cost model proves. Empty messages are pass 1's (elision's) job.
+    let comm_len = |k: &StepKind| match *k {
+        StepKind::Send { src, .. } => src.len,
+        StepKind::Recv { dst, .. } => dst.len,
+        _ => 0,
+    };
+    if comm_len(&first.kind) == 0 || comm_len(&second.kind) == 0 {
+        return None;
+    }
+    match (first.kind, second.kind) {
+        // send … recv: the receive half moves earlier.
+        (
+            StepKind::Send { to, tag_off, src },
+            StepKind::Recv {
+                from,
+                tag_off: rtag_off,
+                dst,
+            },
+        ) => {
+            let mid_touches_dst = mid_reads
+                .iter()
+                .chain(mid_writes)
+                .any(|l| locs_overlap(l, &dst));
+            if !locs_overlap(&src, &dst) && !mid_touches_dst {
+                let fused = Step {
+                    kind: StepKind::SendRecv {
+                        to,
+                        src,
+                        from,
+                        dst,
+                        tag_off,
+                        rtag_off,
+                    },
+                    stage: first.stage,
+                };
+                return Some((fused, None, 1));
+            }
+            // Overlapping (or mid-read) destination: detour the receive
+            // through fresh scratch and copy into place at the
+            // receive's original program point — the §6 exchange. The
+            // argument buffer is untouched until the copy, so every
+            // intervening read still sees the pre-receive bytes.
+            if mode == FuseMode::CrossStage && dst.len > 0 {
+                let off = tmp_base.next_multiple_of(ARENA_ALIGN);
+                *tmp_base = off + dst.len;
+                let tmp = Loc {
+                    buf: super::Buf::Scratch,
+                    off,
+                    len: dst.len,
+                };
+                let fused = Step {
+                    kind: StepKind::SendRecv {
+                        to,
+                        src,
+                        from,
+                        dst: tmp,
+                        tag_off,
+                        rtag_off,
+                    },
+                    stage: first.stage,
+                };
+                let copy_back = Step {
+                    kind: StepKind::Copy { src: tmp, dst },
+                    stage: second.stage,
+                };
+                return Some((fused, Some(copy_back), 1));
+            }
+            None
+        }
+        // recv … send: the send half moves earlier; refuse if the send
+        // ships bytes the receive or an intervening step produces.
+        (
+            StepKind::Recv {
+                from,
+                tag_off: rtag_off,
+                dst,
+            },
+            StepKind::Send { to, tag_off, src },
+        ) => {
+            if locs_overlap(&src, &dst) || mid_writes.iter().any(|l| locs_overlap(l, &src)) {
+                return None;
+            }
+            let fused = Step {
+                kind: StepKind::SendRecv {
+                    to,
+                    src,
+                    from,
+                    dst,
+                    tag_off,
+                    rtag_off,
+                },
+                // Attribution convention: a fused exchange belongs to
+                // its send half's stage (cf. `StageCost::wire_bytes`).
+                stage: second.stage,
+            };
+            Some((fused, None, 1))
+        }
+        _ => None,
+    }
+}
+
+/// Pass 4a: merge adjacent contiguous messages on one channel, both
+/// endpoints rewritten in concert. Conservative: only plain send/recv
+/// pairs on channels no exchange half touches, and only when the k-th
+/// and (k+1)-th messages are program-adjacent on *both* sides.
+fn coalesce_messages(prog: &mut CollectiveProgram) -> usize {
+    let mut merged = 0;
+    loop {
+        let mut chan_send: BTreeMap<(usize, usize, Tag), Vec<usize>> = BTreeMap::new();
+        let mut chan_recv: BTreeMap<(usize, usize, Tag), Vec<usize>> = BTreeMap::new();
+        let mut tainted: BTreeSet<(usize, usize, Tag)> = BTreeSet::new();
+        for (r, rp) in prog.ranks.iter().enumerate() {
+            for (idx, step) in rp.steps.iter().enumerate() {
+                match step.kind {
+                    StepKind::Send { to, tag_off, .. } => {
+                        chan_send.entry((r, to, tag_off)).or_default().push(idx)
+                    }
+                    StepKind::Recv { from, tag_off, .. } => {
+                        chan_recv.entry((from, r, tag_off)).or_default().push(idx)
+                    }
+                    StepKind::SendRecv {
+                        to,
+                        from,
+                        tag_off,
+                        rtag_off,
+                        ..
+                    } => {
+                        tainted.insert((r, to, tag_off));
+                        tainted.insert((from, r, rtag_off));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut found: Option<((usize, usize), (usize, usize))> = None;
+        'outer: for (key, sends) in &chan_send {
+            let (s, d, _) = *key;
+            if tainted.contains(key) || s == d {
+                continue;
+            }
+            let Some(recvs) = chan_recv.get(key) else {
+                continue;
+            };
+            if sends.len() != recvs.len() {
+                continue;
+            }
+            for k in 0..sends.len().saturating_sub(1) {
+                if sends[k + 1] != sends[k] + 1 || recvs[k + 1] != recvs[k] + 1 {
+                    continue;
+                }
+                let (sa, sb) = (send_src(prog, s, sends[k]), send_src(prog, s, sends[k] + 1));
+                let (ra, rb) = (recv_dst(prog, d, recvs[k]), recv_dst(prog, d, recvs[k] + 1));
+                if contiguous(&sa, &sb) && contiguous(&ra, &rb) {
+                    found = Some(((s, sends[k]), (d, recvs[k])));
+                    break 'outer;
+                }
+            }
+        }
+        let Some(((s, si), (d, di))) = found else {
+            return merged;
+        };
+        let grow = send_src(prog, s, si + 1).len;
+        if let StepKind::Send { src, .. } = &mut prog.ranks[s].steps[si].kind {
+            src.len += grow;
+        }
+        prog.ranks[s].steps.remove(si + 1);
+        if let StepKind::Recv { dst, .. } = &mut prog.ranks[d].steps[di].kind {
+            dst.len += grow;
+        }
+        prog.ranks[d].steps.remove(di + 1);
+        merged += 1;
+    }
+}
+
+fn send_src(prog: &CollectiveProgram, rank: usize, idx: usize) -> Loc {
+    match prog.ranks[rank].steps[idx].kind {
+        StepKind::Send { src, .. } => src,
+        ref other => unreachable!("expected send at ({rank}, {idx}), found {other:?}"),
+    }
+}
+
+fn recv_dst(prog: &CollectiveProgram, rank: usize, idx: usize) -> Loc {
+    match prog.ranks[rank].steps[idx].kind {
+        StepKind::Recv { dst, .. } => dst,
+        ref other => unreachable!("expected recv at ({rank}, {idx}), found {other:?}"),
+    }
+}
+
+/// `b` starts exactly where `a` ends, in the same buffer.
+fn contiguous(a: &Loc, b: &Loc) -> bool {
+    a.buf == b.buf && b.off == a.off + a.len && a.len > 0 && b.len > 0
+}
+
+/// Pass 4b: merge adjacent local copies whose sources and destinations
+/// are both contiguous (the multi-dimensional collect's block-by-block
+/// un-permutation emits runs of these).
+fn coalesce_copies(prog: &mut CollectiveProgram) -> usize {
+    let mut merged = 0;
+    for rp in &mut prog.ranks {
+        let mut out: Vec<Step> = Vec::with_capacity(rp.steps.len());
+        for step in &rp.steps {
+            if let (
+                Some(Step {
+                    kind:
+                        StepKind::Copy {
+                            src: psrc,
+                            dst: pdst,
+                        },
+                    ..
+                }),
+                StepKind::Copy { src, dst },
+            ) = (out.last_mut(), &step.kind)
+            {
+                if contiguous(psrc, src) && contiguous(pdst, dst) {
+                    psrc.len += src.len;
+                    pdst.len += dst.len;
+                    merged += 1;
+                    continue;
+                }
+            }
+            out.push(*step);
+        }
+        rp.steps = out;
+    }
+    merged
+}
+
+/// Pass 5: remove copies that move no information — zero-length copies,
+/// identity round-trips (scratch bytes copied back to the argument
+/// region they were staged from, with no intervening write to either
+/// side), and stores to scratch no later step reads (scratch dies at
+/// program end and is re-zeroed per run).
+fn dead_copy_elim(prog: &mut CollectiveProgram) -> usize {
+    let mut removed = 0;
+    for rp in &mut prog.ranks {
+        rp.steps.retain(|s| {
+            if let StepKind::Copy { src, .. } = s.kind {
+                if src.len == 0 {
+                    removed += 1;
+                    return false;
+                }
+            }
+            true
+        });
+        removed += remove_identity_copies(&mut rp.steps);
+        removed += remove_unread_scratch_stores(&mut rp.steps);
+    }
+    removed
+}
+
+/// Provenance scan: `records` tracks scratch ranges known to hold an
+/// exact copy of an argument range. A copy from scratch back to the
+/// very argument range it was staged from is an identity and is
+/// dropped.
+fn remove_identity_copies(steps: &mut Vec<Step>) -> usize {
+    // (scratch_off, len, arg_slot, arg_off)
+    let mut records: Vec<(usize, usize, usize, usize)> = Vec::new();
+    let mut dead: Vec<usize> = Vec::new();
+    let scratch = |l: &Loc| l.buf == super::Buf::Scratch;
+    for (idx, step) in steps.iter().enumerate() {
+        // Identity check first (reads see pre-step state).
+        if let StepKind::Copy { src, dst } = step.kind {
+            if scratch(&src) && !scratch(&dst) {
+                if let super::Buf::Arg(slot) = dst.buf {
+                    let identity = records.iter().any(|&(so, sl, rslot, ao)| {
+                        rslot == slot
+                            && src.off >= so
+                            && src.off + src.len <= so + sl
+                            && ao + (src.off - so) == dst.off
+                            && src.len == dst.len
+                    });
+                    if identity {
+                        dead.push(idx);
+                        continue; // removed: writes nothing, invalidates nothing
+                    }
+                }
+            }
+        }
+        // Invalidate records overlapping any byte this step writes.
+        let writes: Vec<Loc> = match step.kind {
+            StepKind::Recv { dst, .. } | StepKind::SendRecv { dst, .. } => vec![dst],
+            StepKind::Copy { dst, .. } => vec![dst],
+            StepKind::Reduce { acc, .. } => vec![acc],
+            _ => vec![],
+        };
+        for w in &writes {
+            records.retain(|&(so, sl, rslot, ao)| {
+                let scratch_hit = scratch(w) && w.off < so + sl && so < w.off + w.len;
+                let arg_hit = matches!(w.buf, super::Buf::Arg(s) if s == rslot)
+                    && w.off < ao + sl
+                    && ao < w.off + w.len;
+                !(scratch_hit || arg_hit) || w.len == 0
+            });
+        }
+        // A fresh argument→scratch copy establishes provenance.
+        if let StepKind::Copy { src, dst } = step.kind {
+            if let (super::Buf::Arg(slot), true) = (src.buf, scratch(&dst)) {
+                if dst.len > 0 {
+                    records.push((dst.off, dst.len, slot, src.off));
+                }
+            }
+        }
+    }
+    for &idx in dead.iter().rev() {
+        steps.remove(idx);
+    }
+    dead.len()
+}
+
+/// Liveness scan: a copy into scratch whose destination no later step
+/// reads is dead (scratch is private, re-zeroed per run, and invisible
+/// after the program ends).
+fn remove_unread_scratch_stores(steps: &mut Vec<Step>) -> usize {
+    let mut dead: Vec<usize> = Vec::new();
+    for idx in 0..steps.len() {
+        let StepKind::Copy { dst, .. } = steps[idx].kind else {
+            continue;
+        };
+        if dst.buf != super::Buf::Scratch || dst.len == 0 {
+            continue;
+        }
+        let read_later = steps[idx + 1..].iter().any(|s| {
+            let reads: Vec<Loc> = match s.kind {
+                StepKind::Send { src, .. } => vec![src],
+                StepKind::SendRecv { src, .. } => vec![src],
+                StepKind::Copy { src, .. } => vec![src],
+                StepKind::Reduce { acc, other } => vec![acc, other],
+                _ => vec![],
+            };
+            reads.iter().any(|r| locs_overlap(r, &dst))
+        });
+        if !read_later {
+            dead.push(idx);
+        }
+    }
+    for &idx in dead.iter().rev() {
+        steps.remove(idx);
+    }
+    dead.len()
+}
+
+/// The internal rendezvous re-proof: simulates synchronous matching of
+/// the whole program (each rank blocks at its current communication
+/// step until every half is matched; halves match FIFO per
+/// `(src, dst, tag)` channel, at most one send and one receive half per
+/// rank at a time). Returns false on deadlock or length mismatch —
+/// the same model `intercom-verify`'s matcher proves programs against,
+/// under which deadlock-freedom transfers to any eager backend.
+fn rendezvous_ok(prog: &CollectiveProgram) -> bool {
+    #[derive(Clone, Copy)]
+    struct Half {
+        peer: usize,
+        tag: Tag,
+        len: usize,
+        done: bool,
+    }
+    #[derive(Clone, Copy, Default)]
+    struct Cur {
+        send: Option<Half>,
+        recv: Option<Half>,
+    }
+    let p = prog.p;
+    let load = |rank: usize, next: &mut usize| -> Option<Cur> {
+        let steps = &prog.ranks[rank].steps;
+        while *next < steps.len() {
+            match steps[*next].kind {
+                StepKind::Send { to, tag_off, src } => {
+                    return Some(Cur {
+                        send: Some(Half {
+                            peer: to,
+                            tag: tag_off,
+                            len: src.len,
+                            done: false,
+                        }),
+                        recv: None,
+                    })
+                }
+                StepKind::Recv { from, tag_off, dst } => {
+                    return Some(Cur {
+                        send: None,
+                        recv: Some(Half {
+                            peer: from,
+                            tag: tag_off,
+                            len: dst.len,
+                            done: false,
+                        }),
+                    })
+                }
+                StepKind::SendRecv {
+                    to,
+                    src,
+                    from,
+                    dst,
+                    tag_off,
+                    rtag_off,
+                } => {
+                    return Some(Cur {
+                        send: Some(Half {
+                            peer: to,
+                            tag: tag_off,
+                            len: src.len,
+                            done: false,
+                        }),
+                        recv: Some(Half {
+                            peer: from,
+                            tag: rtag_off,
+                            len: dst.len,
+                            done: false,
+                        }),
+                    })
+                }
+                _ => *next += 1,
+            }
+        }
+        None
+    };
+    let mut next = vec![0usize; p];
+    let mut cur: Vec<Option<Cur>> = (0..p).map(|r| load(r, &mut next[r])).collect();
+    loop {
+        if cur.iter().all(Option::is_none) {
+            return true;
+        }
+        let snapshot = cur.clone();
+        let mut progressed = false;
+        for a in 0..p {
+            let Some(ca) = snapshot[a] else { continue };
+            let Some(s) = ca.send else { continue };
+            if s.done || s.peer >= p {
+                if s.peer >= p {
+                    return false;
+                }
+                continue;
+            }
+            let b = s.peer;
+            let Some(cb) = snapshot[b] else { continue };
+            let Some(r) = cb.recv else { continue };
+            if r.done || r.peer != a || r.tag != s.tag {
+                continue;
+            }
+            if r.len != s.len {
+                return false;
+            }
+            cur[a].as_mut().unwrap().send.as_mut().unwrap().done = true;
+            cur[b].as_mut().unwrap().recv.as_mut().unwrap().done = true;
+            progressed = true;
+        }
+        for r in 0..p {
+            let all_done = cur[r]
+                .is_some_and(|c| c.send.is_none_or(|h| h.done) && c.recv.is_none_or(|h| h.done));
+            if all_done {
+                next[r] += 1;
+                cur[r] = load(r, &mut next[r]);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{lower, Buf, PlanOp, RankProgram};
+    use super::*;
+    use intercom_cost::Strategy;
+
+    fn loc(buf: Buf, off: usize, len: usize) -> Loc {
+        Loc { buf, off, len }
+    }
+
+    fn step(kind: StepKind, tag: Tag) -> Step {
+        Step {
+            kind,
+            stage: stage_of(tag),
+        }
+    }
+
+    /// A hand-built two-rank program shell (op/strategy irrelevant to
+    /// the passes; Alltoall keeps the priced gate on the direct wire
+    /// fold).
+    fn mini(p: usize, n: usize, ranks: Vec<Vec<Step>>, scratch: usize) -> CollectiveProgram {
+        CollectiveProgram {
+            plan_id: 0,
+            op: PlanOp::Alltoall,
+            p,
+            n,
+            elem_size: 1,
+            strategy: None,
+            ranks: ranks
+                .into_iter()
+                .map(|steps| RankProgram {
+                    steps,
+                    scratch_bytes: scratch,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn same_stage_fusion_applies() {
+        // Rank 0: send(1, t0) then recv(1, t0), disjoint regions.
+        // Rank 1: the mirror in the opposite order.
+        let a = loc(Buf::Arg(0), 0, 4);
+        let b = loc(Buf::Arg(0), 4, 4);
+        let prog = mini(
+            2,
+            8,
+            vec![
+                vec![
+                    step(
+                        StepKind::Send {
+                            to: 1,
+                            tag_off: 0,
+                            src: a,
+                        },
+                        0,
+                    ),
+                    step(
+                        StepKind::Recv {
+                            from: 1,
+                            tag_off: 0,
+                            dst: b,
+                        },
+                        0,
+                    ),
+                ],
+                vec![
+                    step(
+                        StepKind::Recv {
+                            from: 0,
+                            tag_off: 0,
+                            dst: b,
+                        },
+                        0,
+                    ),
+                    step(
+                        StepKind::Send {
+                            to: 0,
+                            tag_off: 0,
+                            src: a,
+                        },
+                        0,
+                    ),
+                ],
+            ],
+            0,
+        );
+        let (opt, stats) = optimize(&prog);
+        assert_eq!(stats.fused, 2);
+        assert!(!stats.reverted);
+        for rp in &opt.ranks {
+            assert_eq!(rp.steps.len(), 1);
+            assert!(matches!(rp.steps[0].kind, StepKind::SendRecv { .. }));
+        }
+    }
+
+    #[test]
+    fn fusion_refuses_dependent_forwarding() {
+        // Ring-style forwarding: recv into a region, then send that
+        // same region. Co-posting would ship stale bytes — refused.
+        let r = loc(Buf::Arg(0), 0, 4);
+        let prog = mini(
+            2,
+            4,
+            vec![
+                vec![
+                    step(
+                        StepKind::Recv {
+                            from: 1,
+                            tag_off: 0,
+                            dst: r,
+                        },
+                        0,
+                    ),
+                    step(
+                        StepKind::Send {
+                            to: 1,
+                            tag_off: 1,
+                            src: r,
+                        },
+                        1,
+                    ),
+                ],
+                vec![
+                    step(
+                        StepKind::Send {
+                            to: 0,
+                            tag_off: 0,
+                            src: r,
+                        },
+                        0,
+                    ),
+                    step(
+                        StepKind::Recv {
+                            from: 0,
+                            tag_off: 1,
+                            dst: r,
+                        },
+                        1,
+                    ),
+                ],
+            ],
+            0,
+        );
+        let (opt, stats) = optimize(&prog);
+        assert_eq!(stats.fused, 0);
+        assert_eq!(opt.ranks[0].steps.len(), 2, "dependent pair kept apart");
+        // Rank 1's send→recv pair on the same region overlaps, so the
+        // cross-stage detour may fire there — but never rank 0's.
+        assert!(matches!(opt.ranks[0].steps[0].kind, StepKind::Recv { .. }));
+        let _ = stats;
+    }
+
+    #[test]
+    fn cross_stage_detour_redirects_overlapping_recv() {
+        // The §6 exchange: send buf up at tag 0, receive the result
+        // back into the same buffer at tag 1 (MST allreduce non-root).
+        let buf = loc(Buf::Arg(0), 0, 8);
+        let prog = mini(
+            2,
+            8,
+            vec![
+                vec![
+                    step(
+                        StepKind::Send {
+                            to: 1,
+                            tag_off: 0,
+                            src: buf,
+                        },
+                        0,
+                    ),
+                    step(StepKind::CallOverhead, 0),
+                    step(
+                        StepKind::Recv {
+                            from: 1,
+                            tag_off: 1,
+                            dst: buf,
+                        },
+                        1,
+                    ),
+                ],
+                vec![
+                    step(
+                        StepKind::Recv {
+                            from: 0,
+                            tag_off: 0,
+                            dst: loc(Buf::Scratch, 0, 8),
+                        },
+                        0,
+                    ),
+                    step(
+                        StepKind::Send {
+                            to: 0,
+                            tag_off: 1,
+                            src: buf,
+                        },
+                        1,
+                    ),
+                ],
+            ],
+            16,
+        );
+        let (opt, stats) = optimize(&prog);
+        // Rank 0 needs the scratch detour; rank 1's recv→send pair
+        // touches disjoint regions, so it fuses plainly. Both count.
+        assert_eq!(stats.overlapped, 2);
+        assert!(!stats.reverted);
+        let r0 = &opt.ranks[0];
+        let StepKind::SendRecv {
+            src,
+            dst,
+            tag_off,
+            rtag_off,
+            ..
+        } = r0.steps[0].kind
+        else {
+            panic!("expected fused exchange, got {:?}", r0.steps[0].kind);
+        };
+        assert_eq!((tag_off, rtag_off), (0, 1), "halves keep their stage tags");
+        assert_eq!(src, buf);
+        assert_eq!(dst.buf, Buf::Scratch, "receive detoured through scratch");
+        assert!(dst.off >= 16, "detour scratch is fresh");
+        assert!(r0.scratch_bytes >= dst.off + dst.len);
+        // The copy-back lands at the receive's original program point.
+        let last = r0.steps.last().unwrap();
+        assert!(matches!(last.kind, StepKind::Copy { src, dst: d } if src == dst && d == buf));
+    }
+
+    #[test]
+    fn coalescing_merges_contiguous_and_respects_gaps() {
+        let s1 = loc(Buf::Arg(0), 0, 4);
+        let s2 = loc(Buf::Arg(0), 4, 4);
+        let gap = loc(Buf::Arg(0), 12, 4); // not contiguous with s2
+        let d1 = loc(Buf::Arg(1), 0, 4);
+        let d2 = loc(Buf::Arg(1), 4, 4);
+        let d3 = loc(Buf::Arg(1), 8, 4);
+        let prog = mini(
+            2,
+            4,
+            vec![
+                vec![
+                    step(
+                        StepKind::Send {
+                            to: 1,
+                            tag_off: 0,
+                            src: s1,
+                        },
+                        0,
+                    ),
+                    step(
+                        StepKind::Send {
+                            to: 1,
+                            tag_off: 0,
+                            src: s2,
+                        },
+                        0,
+                    ),
+                    step(
+                        StepKind::Send {
+                            to: 1,
+                            tag_off: 0,
+                            src: gap,
+                        },
+                        0,
+                    ),
+                ],
+                vec![
+                    step(
+                        StepKind::Recv {
+                            from: 0,
+                            tag_off: 0,
+                            dst: d1,
+                        },
+                        0,
+                    ),
+                    step(
+                        StepKind::Recv {
+                            from: 0,
+                            tag_off: 0,
+                            dst: d2,
+                        },
+                        0,
+                    ),
+                    step(
+                        StepKind::Recv {
+                            from: 0,
+                            tag_off: 0,
+                            dst: d3,
+                        },
+                        0,
+                    ),
+                ],
+            ],
+            0,
+        );
+        let (opt, stats) = optimize(&prog);
+        assert_eq!(
+            stats.coalesced, 1,
+            "first two merge; the gapped third stays"
+        );
+        assert_eq!(opt.ranks[0].steps.len(), 2);
+        assert!(matches!(
+            opt.ranks[0].steps[0].kind,
+            StepKind::Send { src, .. } if src.len == 8
+        ));
+        assert!(matches!(
+            opt.ranks[1].steps[0].kind,
+            StepKind::Recv { dst, .. } if dst.len == 8
+        ));
+    }
+
+    #[test]
+    fn identity_round_trip_copies_die() {
+        // Stage a block to scratch, copy it straight back: the
+        // copy-back is an identity; the stage store then has no reader.
+        let a = loc(Buf::Arg(0), 8, 4);
+        let s = loc(Buf::Scratch, 0, 4);
+        let prog = mini(
+            1,
+            4,
+            vec![vec![
+                step(StepKind::Copy { src: a, dst: s }, 0),
+                step(StepKind::Copy { src: s, dst: a }, 0),
+            ]],
+            16,
+        );
+        let (opt, stats) = optimize(&prog);
+        assert_eq!(stats.dead_copies, 2);
+        assert!(opt.ranks[0].steps.is_empty());
+    }
+
+    #[test]
+    fn empty_elision_is_gated_on_n() {
+        let empty = loc(Buf::Scratch, 0, 0);
+        let mk = |n: usize| {
+            mini(
+                2,
+                n,
+                vec![
+                    vec![step(
+                        StepKind::Send {
+                            to: 1,
+                            tag_off: 0,
+                            src: empty,
+                        },
+                        0,
+                    )],
+                    vec![step(
+                        StepKind::Recv {
+                            from: 0,
+                            tag_off: 0,
+                            dst: empty,
+                        },
+                        0,
+                    )],
+                ],
+                0,
+            )
+        };
+        let (opt, stats) = optimize(&mk(4));
+        assert_eq!(stats.elided, 2);
+        assert_eq!(opt.comm_steps(), 0);
+        let (opt0, stats0) = optimize(&mk(0));
+        assert_eq!(stats0.elided, 0, "n = 0 keeps its barrier messages");
+        assert_eq!(opt0.comm_steps(), 2);
+    }
+
+    #[test]
+    fn broken_programs_revert_to_the_original() {
+        // An unmatched send can never rendezvous: the re-proof fails
+        // and the original program survives untouched.
+        let a = loc(Buf::Arg(0), 0, 4);
+        let prog = mini(
+            2,
+            4,
+            vec![
+                vec![step(
+                    StepKind::Send {
+                        to: 1,
+                        tag_off: 0,
+                        src: a,
+                    },
+                    0,
+                )],
+                vec![],
+            ],
+            0,
+        );
+        let (opt, stats) = optimize(&prog);
+        assert!(stats.reverted);
+        assert_eq!(stats.total(), 0);
+        assert_eq!(opt.ranks, prog.ranks);
+    }
+
+    #[test]
+    fn mst_allreduce_gets_the_exchange_detour() {
+        let st = Strategy::pure_mst(8);
+        let prog = lower(PlanOp::AllReduce, Some(&st), 8, 16, 4).unwrap();
+        let (opt, stats) = optimize(&prog);
+        assert!(!stats.reverted);
+        // Every non-root rank's send-up/recv-down pair fuses: 7 pairs.
+        assert_eq!(stats.overlapped, 7);
+        assert_eq!(opt.comm_steps(), prog.comm_steps() - 7);
+        assert!(priced_wire(&opt) < priced_wire(&prog));
+    }
+
+    #[test]
+    fn small_broadcast_sheds_empty_messages() {
+        // Scatter-collect broadcast of 1 element over 9 ranks: 8 of the
+        // 9 partition blocks are empty, and every one of their sends
+        // and receives disappears.
+        let st = Strategy::new(vec![9], intercom_cost::StrategyKind::ScatterCollect);
+        let prog = lower(PlanOp::Broadcast { root: 0 }, Some(&st), 9, 1, 8).unwrap();
+        let (opt, stats) = optimize(&prog);
+        assert!(!stats.reverted);
+        assert!(stats.elided > 0);
+        assert!(
+            opt.comm_steps() < prog.comm_steps(),
+            "{} !< {}",
+            opt.comm_steps(),
+            prog.comm_steps()
+        );
+    }
+
+    #[test]
+    fn optimized_ring_allreduce_is_already_alpha_optimal() {
+        // The paper's ring algorithms emit fused exchanges of exactly
+        // the occupied blocks: nothing for the optimizer to find.
+        let st = Strategy::pure_long(4);
+        let prog = lower(PlanOp::AllReduce, Some(&st), 4, 8, 8).unwrap();
+        let (opt, stats) = optimize(&prog);
+        assert_eq!(stats.total(), 0, "{stats:?}");
+        assert_eq!(opt.comm_steps(), prog.comm_steps());
+    }
+
+    #[test]
+    fn wire_pricing_agrees_with_annotate() {
+        let st = Strategy::pure_mst(5);
+        let prog = lower(PlanOp::AllReduce, Some(&st), 5, 10, 4).unwrap();
+        let direct: usize = prog
+            .ranks
+            .iter()
+            .flat_map(|r| r.steps.iter())
+            .map(|s| match s.kind {
+                StepKind::Send { src, .. } => src.len,
+                StepKind::Recv { dst, .. } => dst.len,
+                StepKind::SendRecv { src, dst, .. } => src.len.max(dst.len),
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(priced_wire(&prog), direct);
+    }
+}

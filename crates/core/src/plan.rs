@@ -53,12 +53,17 @@ impl<T: Scalar> PlanCore<T> {
         strategy: Option<Strategy>,
         n: usize,
     ) -> Self {
+        // Persistent plans compile at full optimization: the pass
+        // pipeline's rewrites are re-proven by the schedule audit and
+        // pinned byte-identical by the differential suites, so the
+        // optimized program is the deployed artifact.
         let key = PlanKey {
             op,
             p: cc.size(),
             n,
             elem_size: std::mem::size_of::<T>(),
             strategy,
+            opt: ir::OptLevel::Full,
         };
         PlanCore {
             program: ir::global_cache().get_or_compile(&key),

@@ -96,8 +96,11 @@ pub enum OpRecord {
         from: usize,
         /// Bytes written by the receive half.
         dst: MemSpan,
-        /// Message tag (shared by both halves).
+        /// Tag of the send half.
         tag: Tag,
+        /// Tag of the receive half (equal to `tag` except in fused
+        /// cross-stage exchanges emitted by the schedule optimizer).
+        rtag: Tag,
     },
     /// Local combine work over `bytes` bytes (the γ term).
     Compute {
@@ -241,6 +244,32 @@ impl Comm for RecordingComm {
             from,
             dst,
             tag,
+            rtag: tag,
+        });
+        Ok(())
+    }
+
+    fn sendrecv_tagged(
+        &self,
+        to: usize,
+        data: &[u8],
+        stag: Tag,
+        from: usize,
+        buf: &mut [u8],
+        rtag: Tag,
+    ) -> Result<()> {
+        self.check_peer(to)?;
+        self.check_peer(from)?;
+        buf.fill(0);
+        let src = MemSpan::of(data);
+        let dst = MemSpan::of(buf);
+        self.ops.borrow_mut().push(OpRecord::SendRecv {
+            to,
+            src,
+            from,
+            dst,
+            tag: stag,
+            rtag,
         });
         Ok(())
     }

@@ -128,11 +128,24 @@ impl Comm for SimComm {
         buf: &mut [u8],
         tag: Tag,
     ) -> Result<()> {
+        self.sendrecv_tagged(to, data, tag, from, buf, tag)
+    }
+
+    fn sendrecv_tagged(
+        &self,
+        to: usize,
+        data: &[u8],
+        stag: Tag,
+        from: usize,
+        buf: &mut [u8],
+        rtag: Tag,
+    ) -> Result<()> {
         let reply = self.roundtrip(Request::SendRecv {
             to,
             data: self.pooled_copy(data),
             from,
-            tag,
+            tag: stag,
+            rtag,
             rlen: buf.len(),
         })?;
         self.unpack(reply, buf)

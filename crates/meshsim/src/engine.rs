@@ -39,7 +39,11 @@ pub(crate) enum Request {
         to: usize,
         data: Vec<u8>,
         from: usize,
+        /// Tag of the send half.
         tag: Tag,
+        /// Tag of the receive half (differs from `tag` in fused
+        /// cross-stage exchanges emitted by the schedule optimizer).
+        rtag: Tag,
         rlen: usize,
     },
     Compute {
@@ -265,11 +269,12 @@ impl Engine {
                 data,
                 from,
                 tag,
+                rtag,
                 rlen,
             } => {
                 self.block(rank, 2);
                 self.post_send(rank, to, tag, data);
-                self.post_recv(from, rank, tag, rlen);
+                self.post_recv(from, rank, rtag, rlen);
             }
         }
     }
@@ -866,6 +871,7 @@ mod tests {
                     data: vec![0; 20],
                     from: left,
                     tag: 0,
+                    rtag: 0,
                     rlen: 20,
                 },
             );

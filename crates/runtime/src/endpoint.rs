@@ -463,70 +463,19 @@ impl Comm for ThreadComm {
         buf: &mut [u8],
         tag: Tag,
     ) -> Result<()> {
-        // Large pairwise exchanges go zero-copy: ship a borrowed window
-        // onto `data` instead of a pooled copy, then block until the
-        // peer has copied out of it. Safe against deadlock because both
-        // sides of an exchange post their (non-blocking) offers before
-        // either waits, and each side's wait is satisfied by the peer's
-        // recv of the matching tag. Excluded when `to` is this rank:
-        // the offer would land in our own mailbox and could only be
-        // consumed by a *later* local recv, after the wait — for the
-        // self case the eager buffered copy is required.
-        if data.len() >= self.rendezvous_threshold && to != self.rank {
-            debug_assert_ne!(tag, FAREWELL_TAG, "Tag::MAX is reserved");
-            self.check_peer(to)?;
-            let obs = self.obs();
-            let start = obs.map_or(0.0, Recorder::now);
-            let done = self.take_completion();
-            let window = BorrowedBytes {
-                ptr: data.as_ptr(),
-                len: data.len(),
-                done: done.clone(),
-            };
-            self.senders[to]
-                .send(Msg {
-                    src: self.rank,
-                    tag,
-                    data: Payload::Borrowed(window),
-                })
-                .map_err(|_| CommError::Disconnected)?;
-            let recv_result = self.recv(from, tag, buf);
-            // Wait for the peer to finish with our bytes even if our own
-            // receive failed — `data` must not be touched after return.
-            let wait_begun = obs.map_or(0.0, Recorder::now);
-            let wait_result = done.wait();
-            self.retire_completion(done);
-            if let Some(r) = obs {
-                // The send half of the exchange (the inner `recv` above
-                // recorded the receive half): offered at `start`,
-                // released when the peer signalled its copy-out.
-                let end = r.now();
-                let (plan, step) = self.plan_step.get();
-                r.record(TraceEvent {
-                    kind: EventKind::SendRecv,
-                    rank: self.rank,
-                    src: self.rank,
-                    dst: to,
-                    tag,
-                    bytes: data.len(),
-                    start,
-                    end,
-                    hops: 0,
-                    plan,
-                    step,
-                });
-                r.with_counters(|c| {
-                    c.msgs_sent += 1;
-                    c.bytes_out += data.len() as u64;
-                    c.rendezvous_msgs += 1;
-                    c.wait_secs += end - wait_begun;
-                });
-            }
-            recv_result?;
-            return wait_result;
-        }
-        self.send(to, tag, data)?;
-        self.recv(from, tag, buf)
+        self.exchange(to, data, tag, from, buf, tag)
+    }
+
+    fn sendrecv_tagged(
+        &self,
+        to: usize,
+        data: &[u8],
+        stag: Tag,
+        from: usize,
+        buf: &mut [u8],
+        rtag: Tag,
+    ) -> Result<()> {
+        self.exchange(to, data, stag, from, buf, rtag)
     }
 
     fn compute(&self, bytes: usize) {
@@ -557,6 +506,87 @@ impl Comm for ThreadComm {
 
     fn plan_step(&self, plan: u64, step: u64) {
         self.plan_step.set((plan, step));
+    }
+}
+
+impl ThreadComm {
+    /// The exchange engine behind both `sendrecv` flavours: the send
+    /// half travels under `stag`, the receive half matches `rtag`.
+    fn exchange(
+        &self,
+        to: usize,
+        data: &[u8],
+        stag: Tag,
+        from: usize,
+        buf: &mut [u8],
+        rtag: Tag,
+    ) -> Result<()> {
+        // Large pairwise exchanges go zero-copy: ship a borrowed window
+        // onto `data` instead of a pooled copy, then block until the
+        // peer has copied out of it. Safe against deadlock because both
+        // sides of an exchange post their (non-blocking) offers before
+        // either waits, and each side's wait is satisfied by the peer's
+        // recv of the matching tag. Excluded when `to` is this rank:
+        // the offer would land in our own mailbox and could only be
+        // consumed by a *later* local recv, after the wait — for the
+        // self case the eager buffered copy is required.
+        if data.len() >= self.rendezvous_threshold && to != self.rank {
+            debug_assert_ne!(stag, FAREWELL_TAG, "Tag::MAX is reserved");
+            self.check_peer(to)?;
+            let obs = self.obs();
+            let start = obs.map_or(0.0, Recorder::now);
+            let done = self.take_completion();
+            let window = BorrowedBytes {
+                ptr: data.as_ptr(),
+                len: data.len(),
+                done: done.clone(),
+            };
+            self.senders[to]
+                .send(Msg {
+                    src: self.rank,
+                    tag: stag,
+                    data: Payload::Borrowed(window),
+                })
+                .map_err(|_| CommError::Disconnected)?;
+            let recv_result = self.recv(from, rtag, buf);
+            // Wait for the peer to finish with our bytes even if our own
+            // receive failed — `data` must not be touched after return.
+            let wait_begun = obs.map_or(0.0, Recorder::now);
+            let wait_result = done.wait();
+            self.retire_completion(done);
+            if let Some(r) = obs {
+                // The send half of the exchange (the inner `recv` above
+                // recorded the receive half): offered at `start`,
+                // released when the peer signalled its copy-out.
+                let end = r.now();
+                let (plan, step) = self.plan_step.get();
+                r.record(TraceEvent {
+                    kind: EventKind::SendRecv,
+                    rank: self.rank,
+                    src: self.rank,
+                    dst: to,
+                    tag: stag,
+                    bytes: data.len(),
+                    start,
+                    end,
+                    hops: 0,
+                    plan,
+                    step,
+                });
+                r.with_counters(|c| {
+                    c.msgs_sent += 1;
+                    c.bytes_out += data.len() as u64;
+                    c.rendezvous_msgs += 1;
+                    c.wait_secs += end - wait_begun;
+                });
+            }
+            recv_result?;
+            return wait_result;
+        }
+        // Eager path: the buffered send never blocks, so send-then-recv
+        // is deadlock-free in either half order.
+        self.send(to, stag, data)?;
+        self.recv(from, rtag, buf)
     }
 }
 

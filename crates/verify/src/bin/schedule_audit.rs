@@ -10,24 +10,34 @@
 //! the §6 cost-model bounds.
 //!
 //! By default the sweep checks the **compiled schedule IR** — the very
-//! step lists persistent plans execute (`--source=ir`); pass
-//! `--source=trace` to check recording-backend extractions instead.
+//! step lists persistent plans execute (`--source=ir`) — *and* repeats
+//! the full sweep on the **optimized IR** (`ir-opt`), proving that
+//! every rewrite the [`intercom::ir::optimize`] pass pipeline performs
+//! preserves all four invariants. Pass `--source=ir-opt` or
+//! `--source=trace` to run a single sweep from that source instead.
 //! When auditing the IR, a trace-sourced sweep over a subset of node
 //! counts runs as an independent cross-check on the lowering.
+//!
+//! The sweep is sharded across worker threads over a shared worklist
+//! of `(node count, mesh shape)` units, so auditing both the plain and
+//! the optimized IR (~2× the schedule space) keeps a flat wall-time.
 //!
 //! The audit then runs four *mutation probes* — deliberately broken
 //! schedules — and fails unless each probe is caught, guarding the
 //! checker itself against silent rot.
 
 use intercom::algorithms::LEVEL_TAG_STRIDE;
+use intercom::ir::OptStats;
 use intercom::trace::{MemSpan, OpRecord};
 use intercom_cost::{enumerate_mesh_strategies, enumerate_strategies, Strategy};
 use intercom_topology::Mesh2D;
 use intercom_verify::{
     analyze_links, check_buffer_safety, check_single_port, extract_programs, match_programs,
-    verify_schedule, verify_schedule_ir, Event, Schedule, Source, VerifyOp, Violation,
+    verify_schedule, verify_schedule_ir, verify_schedule_ir_opt, Event, Schedule, Source, VerifyOp,
+    Violation,
 };
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Node counts: every size through 17 (covers all small parities and
 /// primes), a composite with many factorizations, a large prime, and a
@@ -48,18 +58,64 @@ const BLOCK_SIZES: [usize; 3] = [0, 1, 13];
 /// menus plus a prime, kept small so CI stays fast.
 const CROSSCHECK_NODE_COUNTS: [usize; 3] = [8, 9, 12];
 
+/// Summed [`OptStats`] across every `ir-opt` verification of a sweep:
+/// how much work each optimizer pass actually did over the full
+/// schedule space. `reverts` counts programs whose rewrite failed the
+/// internal re-proof and fell back to the original (expected zero).
+#[derive(Debug, Clone, Copy, Default)]
+struct OptTotals {
+    elided: usize,
+    fused: usize,
+    overlapped: usize,
+    coalesced: usize,
+    dead_copies: usize,
+    reverts: usize,
+}
+
+impl OptTotals {
+    fn add(&mut self, s: &OptStats) {
+        self.elided += s.elided;
+        self.fused += s.fused;
+        self.overlapped += s.overlapped;
+        self.coalesced += s.coalesced;
+        self.dead_copies += s.dead_copies;
+        self.reverts += usize::from(s.reverted);
+    }
+
+    fn merge(&mut self, o: &OptTotals) {
+        self.elided += o.elided;
+        self.fused += o.fused;
+        self.overlapped += o.overlapped;
+        self.coalesced += o.coalesced;
+        self.dead_copies += o.dead_copies;
+        self.reverts += o.reverts;
+    }
+
+    fn total(&self) -> usize {
+        self.elided + self.fused + self.overlapped + self.coalesced + self.dead_copies
+    }
+}
+
 struct Stats {
     source: Source,
     checks: usize,
     failures: Vec<String>,
     /// `(p, schedules verified at that node count)`, in sweep order.
     per_p: Vec<(usize, usize)>,
+    /// Per-pass rewrite totals; all-zero unless `source` is `IrOpt`.
+    opt: OptTotals,
+    /// Worker threads the sweep was sharded over.
+    threads: usize,
 }
 
 fn run(stats: &mut Stats, mesh: &Mesh2D, op: VerifyOp, st: Option<&Strategy>, n: usize) {
     stats.checks += 1;
     let result = match stats.source {
         Source::Ir => verify_schedule_ir(&op, st, mesh, n),
+        Source::IrOpt => verify_schedule_ir_opt(&op, st, mesh, n).map(|(rep, os)| {
+            stats.opt.add(&os);
+            rep
+        }),
         Source::Trace => verify_schedule(&op, st, mesh, n),
     };
     match result {
@@ -95,59 +151,114 @@ fn roots(p: usize) -> Vec<usize> {
     }
 }
 
+/// Audits every collective × strategy × size on one mesh shape — the
+/// unit of work the sharded sweep distributes across threads.
+fn audit_shape(stats: &mut Stats, p: usize, r: usize, c: usize) {
+    let mesh = Mesh2D::new(r, c);
+    // A 1×c machine is a linear array: every ordered
+    // factorization is a valid logical mesh. A true 2-D machine
+    // uses the §7.1 mesh-aware strategies (plus the row-major
+    // linear fallbacks they include).
+    let strategies = if r == 1 {
+        enumerate_strategies(p, 0)
+    } else {
+        enumerate_mesh_strategies(r, c, 0)
+    };
+    for st in &strategies {
+        for n in VECTOR_SIZES {
+            for root in roots(p) {
+                run(stats, &mesh, VerifyOp::Broadcast { root }, Some(st), n);
+                run(stats, &mesh, VerifyOp::Reduce { root }, Some(st), n);
+            }
+            run(stats, &mesh, VerifyOp::AllReduce, Some(st), n);
+        }
+        for n in BLOCK_SIZES {
+            run(stats, &mesh, VerifyOp::ReduceScatter, Some(st), n);
+            run(stats, &mesh, VerifyOp::Collect, Some(st), n);
+        }
+    }
+    for n in BLOCK_SIZES {
+        for root in roots(p) {
+            run(stats, &mesh, VerifyOp::Scatter { root }, None, n);
+            run(stats, &mesh, VerifyOp::Gather { root }, None, n);
+        }
+        run(stats, &mesh, VerifyOp::Alltoall, None, n);
+    }
+    for n in VECTOR_SIZES {
+        for root in roots(p) {
+            for segments in [1, 4] {
+                run(
+                    stats,
+                    &mesh,
+                    VerifyOp::PipelinedBcast { root, segments },
+                    None,
+                    n,
+                );
+            }
+        }
+    }
+}
+
 fn audit(quiet: bool, source: Source, node_counts: &[usize]) -> Stats {
+    // Worklist of (p, rows, cols) units; workers claim the next index
+    // from a shared cursor, so a thread finishing a cheap shape
+    // immediately picks up more work (no static partitioning skew).
+    let units: Vec<(usize, usize, usize)> = node_counts
+        .iter()
+        .flat_map(|&p| shapes(p).into_iter().map(move |(r, c)| (p, r, c)))
+        .collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(units.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    // Per-unit fragments, indexed by worklist position so the merged
+    // per-p totals are deterministic regardless of claim order.
+    let fragments: Vec<std::sync::Mutex<Option<Stats>>> =
+        units.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&(p, r, c)) = units.get(i) else {
+                    break;
+                };
+                let mut local = Stats {
+                    source,
+                    checks: 0,
+                    failures: Vec::new(),
+                    per_p: Vec::new(),
+                    opt: OptTotals::default(),
+                    threads,
+                };
+                audit_shape(&mut local, p, r, c);
+                *fragments[i].lock().unwrap() = Some(local);
+            });
+        }
+    });
+
     let mut stats = Stats {
         source,
         checks: 0,
         failures: Vec::new(),
         per_p: Vec::new(),
+        opt: OptTotals::default(),
+        threads,
     };
     for &p in node_counts {
         let before = stats.checks;
-        for (r, c) in shapes(p) {
-            let mesh = Mesh2D::new(r, c);
-            // A 1×c machine is a linear array: every ordered
-            // factorization is a valid logical mesh. A true 2-D machine
-            // uses the §7.1 mesh-aware strategies (plus the row-major
-            // linear fallbacks they include).
-            let strategies = if r == 1 {
-                enumerate_strategies(p, 0)
-            } else {
-                enumerate_mesh_strategies(r, c, 0)
-            };
-            for st in &strategies {
-                for n in VECTOR_SIZES {
-                    for root in roots(p) {
-                        run(&mut stats, &mesh, VerifyOp::Broadcast { root }, Some(st), n);
-                        run(&mut stats, &mesh, VerifyOp::Reduce { root }, Some(st), n);
-                    }
-                    run(&mut stats, &mesh, VerifyOp::AllReduce, Some(st), n);
-                }
-                for n in BLOCK_SIZES {
-                    run(&mut stats, &mesh, VerifyOp::ReduceScatter, Some(st), n);
-                    run(&mut stats, &mesh, VerifyOp::Collect, Some(st), n);
-                }
+        for (i, &(up, _, _)) in units.iter().enumerate() {
+            if up != p {
+                continue;
             }
-            for n in BLOCK_SIZES {
-                for root in roots(p) {
-                    run(&mut stats, &mesh, VerifyOp::Scatter { root }, None, n);
-                    run(&mut stats, &mesh, VerifyOp::Gather { root }, None, n);
-                }
-                run(&mut stats, &mesh, VerifyOp::Alltoall, None, n);
-            }
-            for n in VECTOR_SIZES {
-                for root in roots(p) {
-                    for segments in [1, 4] {
-                        run(
-                            &mut stats,
-                            &mesh,
-                            VerifyOp::PipelinedBcast { root, segments },
-                            None,
-                            n,
-                        );
-                    }
-                }
-            }
+            let frag = fragments[i]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("every unit was audited");
+            stats.checks += frag.checks;
+            stats.failures.extend(frag.failures);
+            stats.opt.merge(&frag.opt);
         }
         stats.per_p.push((p, stats.checks - before));
         if !quiet {
@@ -277,8 +388,25 @@ fn escape_json(s: &str) -> String {
 
 /// Bumped whenever the shape of the `--json` document changes, so CI
 /// consumers can fail fast on a format drift instead of misreading it.
-/// v2: added `source` and the `crosscheck` object.
-const JSON_SCHEMA_VERSION: u32 = 2;
+/// v2: added `source` and the `crosscheck` object. v3: added
+/// `threads`, the `optsweep` object (the full optimized-IR sweep with
+/// its per-pass `rewrites` counts) and, for `--source=ir-opt`, a
+/// top-level `rewrites` object.
+const JSON_SCHEMA_VERSION: u32 = 3;
+
+fn rewrites_json(o: &OptTotals) -> String {
+    format!(
+        "{{\"elided\":{},\"fused\":{},\"overlapped\":{},\"coalesced\":{},\
+         \"dead_copies\":{},\"reverts\":{},\"total\":{}}}",
+        o.elided,
+        o.fused,
+        o.overlapped,
+        o.coalesced,
+        o.dead_copies,
+        o.reverts,
+        o.total(),
+    )
+}
 
 fn main() -> ExitCode {
     let json = std::env::args().any(|a| a == "--json");
@@ -286,17 +414,21 @@ fn main() -> ExitCode {
         None => Source::Ir,
         Some(a) => match a.as_str() {
             "--source=ir" => Source::Ir,
+            "--source=ir-opt" => Source::IrOpt,
             "--source=trace" => Source::Trace,
             other => {
-                eprintln!("schedule-audit: unknown option {other} (expected ir or trace)");
+                eprintln!("schedule-audit: unknown option {other} (expected ir, ir-opt or trace)");
                 return ExitCode::FAILURE;
             }
         },
     };
     let stats = audit(json, source, &NODE_COUNTS);
-    // Auditing the compiled IR proves the deployed artifact; the
-    // trace-sourced subset then cross-checks the lowering itself
-    // against the unmodified algorithm code.
+    // Auditing the compiled IR proves the deployed artifact. The
+    // default run then repeats the *full* sweep on the optimized IR —
+    // every pass-pipeline rewrite re-proven across the whole schedule
+    // space — and a trace-sourced subset cross-checks the lowering
+    // itself against the unmodified algorithm code.
+    let optsweep = (source == Source::Ir).then(|| audit(true, Source::IrOpt, &NODE_COUNTS));
     let crosscheck =
         (source == Source::Ir).then(|| audit(true, Source::Trace, &CROSSCHECK_NODE_COUNTS));
     let probes = [
@@ -305,8 +437,14 @@ fn main() -> ExitCode {
         ("span-overlap -> buffer-safety", probe_buffer_overlap()),
         ("link-share -> conflict", probe_link_conflict()),
     ];
+    // A revert is not a violation (the program that ran is the proven
+    // original) but it breaks the pipeline's deadlock-monotonicity
+    // contract, so the audit treats any revert as a failure.
+    let reverts = stats.opt.reverts + optsweep.as_ref().map_or(0, |o| o.opt.reverts);
     let ok = stats.failures.is_empty()
+        && optsweep.as_ref().is_none_or(|o| o.failures.is_empty())
         && crosscheck.as_ref().is_none_or(|c| c.failures.is_empty())
+        && reverts == 0
         && probes.iter().all(|(_, caught)| *caught);
 
     if json {
@@ -320,9 +458,28 @@ fn main() -> ExitCode {
             .iter()
             .map(|f| format!("\"{}\"", escape_json(f)))
             .collect();
-        if let Some(c) = &crosscheck {
-            failures.extend(c.failures.iter().map(|f| format!("\"{}\"", escape_json(f))));
+        for extra in optsweep.iter().chain(crosscheck.iter()) {
+            failures.extend(
+                extra
+                    .failures
+                    .iter()
+                    .map(|f| format!("\"{}\"", escape_json(f))),
+            );
         }
+        let optsweep_json = match &optsweep {
+            Some(o) => format!(
+                "{{\"source\":\"ir-opt\",\"checks\":{},\"failure_count\":{},\"rewrites\":{}}}",
+                o.checks,
+                o.failures.len(),
+                rewrites_json(&o.opt),
+            ),
+            None => "null".to_string(),
+        };
+        let rewrites_json = if source == Source::IrOpt {
+            rewrites_json(&stats.opt)
+        } else {
+            "null".to_string()
+        };
         let crosscheck_json = match &crosscheck {
             Some(c) => format!(
                 "{{\"source\":\"trace\",\"checks\":{},\"failure_count\":{}}}",
@@ -339,10 +496,12 @@ fn main() -> ExitCode {
             .collect();
         println!(
             "{{\n  \"schema_version\": {JSON_SCHEMA_VERSION},\n  \"source\": \"{source}\",\n  \
-             \"checks\": {},\n  \
+             \"threads\": {},\n  \"checks\": {},\n  \
              \"failure_count\": {},\n  \"failures\": [{}],\n  \"per_p\": [{}],\n  \
+             \"rewrites\": {rewrites_json},\n  \"optsweep\": {optsweep_json},\n  \
              \"crosscheck\": {crosscheck_json},\n  \
              \"mutation_probes\": [{}],\n  \"pass\": {ok}\n}}",
+            stats.threads,
             stats.checks,
             failures.len(),
             failures.join(","),
@@ -357,16 +516,49 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "schedule-audit: {} schedules verified from source {source}",
-        stats.checks
+        "schedule-audit: {} schedules verified from source {source} ({} threads)",
+        stats.checks, stats.threads
     );
+    if source == Source::IrOpt {
+        let o = &stats.opt;
+        println!(
+            "schedule-audit: rewrites applied: {} (elided {}, fused {}, overlapped {}, \
+             coalesced {}, dead copies {}), {} reverts",
+            o.total(),
+            o.elided,
+            o.fused,
+            o.overlapped,
+            o.coalesced,
+            o.dead_copies,
+            o.reverts,
+        );
+    }
     let mut failures = stats.failures;
+    if let Some(o) = optsweep {
+        let t = &o.opt;
+        println!(
+            "schedule-audit: {} optimized-IR checks: {} rewrites re-proven (elided {}, \
+             fused {}, overlapped {}, coalesced {}, dead copies {}), {} reverts",
+            o.checks,
+            t.total(),
+            t.elided,
+            t.fused,
+            t.overlapped,
+            t.coalesced,
+            t.dead_copies,
+            t.reverts,
+        );
+        failures.extend(o.failures);
+    }
     if let Some(c) = crosscheck {
         println!(
             "schedule-audit: {} trace-sourced cross-checks (p in {CROSSCHECK_NODE_COUNTS:?})",
             c.checks
         );
         failures.extend(c.failures);
+    }
+    if reverts > 0 {
+        println!("schedule-audit: {reverts} optimizer REVERTS (deadlock-monotonicity broken)");
     }
     if !failures.is_empty() {
         println!("{} FAILURES:", failures.len());
@@ -386,7 +578,7 @@ fn main() -> ExitCode {
             probes_ok = false;
         }
     }
-    if failures.is_empty() && probes_ok {
+    if failures.is_empty() && probes_ok && reverts == 0 {
         println!("schedule-audit: PASS");
         ExitCode::SUCCESS
     } else {

@@ -82,12 +82,14 @@ pub fn programs_of(prog: &CollectiveProgram) -> Vec<Vec<OpRecord>> {
                         from,
                         dst,
                         tag_off,
+                        rtag_off,
                     } => OpRecord::SendRecv {
                         to,
                         src: span(src.buf, src.off, src.len),
                         from,
                         dst: span(dst.buf, dst.off, dst.len),
                         tag: tag_off,
+                        rtag: rtag_off,
                     },
                     StepKind::Copy { src, dst } => OpRecord::Copy {
                         src: span(src.buf, src.off, src.len),
@@ -123,6 +125,29 @@ pub fn ir_programs(
     Ok(programs_of(&prog))
 }
 
+/// Lowers one collective call, runs the full
+/// [`optimize`](intercom::ir::optimize) pass pipeline over it, and
+/// returns the *optimized* program's per-rank symbolic programs plus
+/// the optimizer's rewrite counts. This is the `--source=ir-opt` audit
+/// path: the object being verified is the exact artifact an
+/// [`OptLevel::Full`](intercom::ir::OptLevel) plan cache would hand
+/// the runtime.
+///
+/// # Panics
+///
+/// Panics if `strategy` is `None` for an op where
+/// [`VerifyOp::takes_strategy`] is true.
+pub fn ir_opt_programs(
+    op: &VerifyOp,
+    strategy: Option<&Strategy>,
+    p: usize,
+    n: usize,
+) -> Result<(Vec<Vec<OpRecord>>, intercom::ir::OptStats)> {
+    let prog = lower(plan_op(op), strategy, p, n, 1)?;
+    let (opt, stats) = intercom::ir::optimize(&prog);
+    Ok((programs_of(&opt), stats))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,7 +171,8 @@ mod tests {
                             from,
                             dst,
                             tag,
-                        } => Some(format!("x{to}/{from}/{tag}/{}/{}", src.len, dst.len)),
+                            rtag,
+                        } => Some(format!("x{to}/{from}/{tag}.{rtag}/{}/{}", src.len, dst.len)),
                         _ => None,
                     })
                     .collect()

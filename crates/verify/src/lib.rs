@@ -57,8 +57,9 @@ pub use checks::{
     Violation,
 };
 pub use extract::{extract_program, extract_programs, VerifyOp};
-pub use ir::ir_programs;
+pub use ir::{ir_opt_programs, ir_programs};
 pub use report::{
-    verify_programs, verify_schedule, verify_schedule_ir, LevelConflict, Report, Source,
+    verify_programs, verify_schedule, verify_schedule_ir, verify_schedule_ir_opt, LevelConflict,
+    Report, Source,
 };
 pub use schedule::{match_programs, Event, Schedule};

@@ -17,6 +17,12 @@ pub enum Source {
     /// The compiled schedule IR ([`crate::ir::ir_programs`]): the audit
     /// proves properties of the artifact the runtime actually executes.
     Ir,
+    /// The *optimized* schedule IR ([`crate::ir::ir_opt_programs`]):
+    /// the same compiled artifact after the
+    /// [`intercom::ir::optimize`] pass pipeline. Every rewrite the
+    /// optimizer performs is re-proven against the same four
+    /// invariants as the unoptimized program.
+    IrOpt,
     /// Trace extraction against a recording backend
     /// ([`crate::extract::extract_programs`]): an independent
     /// cross-check on the lowering.
@@ -27,6 +33,7 @@ impl fmt::Display for Source {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
             Source::Ir => "ir",
+            Source::IrOpt => "ir-opt",
             Source::Trace => "trace",
         })
     }
@@ -138,6 +145,28 @@ pub fn verify_schedule_ir(
         n,
         &programs,
         Source::Ir,
+    ))
+}
+
+/// Verifies one collective call statically from its **optimized
+/// schedule IR**: lowers, runs the full
+/// [`intercom::ir::optimize`] pass pipeline, and checks the four
+/// invariants on the rewritten program. Returns the optimizer's
+/// per-pass rewrite counts alongside the report so callers (the
+/// audit) can aggregate how much work the pipeline actually did.
+///
+/// `Err` is returned only when the *lowering* itself fails; invariant
+/// failures land in [`Report::violations`].
+pub fn verify_schedule_ir_opt(
+    op: &VerifyOp,
+    strategy: Option<&Strategy>,
+    mesh: &Mesh2D,
+    n: usize,
+) -> Result<(Report, intercom::ir::OptStats)> {
+    let (programs, stats) = crate::ir::ir_opt_programs(op, strategy, mesh.nodes(), n)?;
+    Ok((
+        verify_programs(op, strategy, mesh, n, &programs, Source::IrOpt),
+        stats,
     ))
 }
 

@@ -109,6 +109,7 @@ fn load(program: &[OpRecord], pc: &mut usize) -> Current {
                 from,
                 dst,
                 tag,
+                rtag,
             } => {
                 return Current {
                     send: Some(Half {
@@ -118,7 +119,7 @@ fn load(program: &[OpRecord], pc: &mut usize) -> Current {
                     }),
                     recv: Some(Half {
                         peer: from,
-                        tag,
+                        tag: rtag,
                         span: dst,
                     }),
                 }
@@ -284,6 +285,7 @@ mod tests {
                     from: (me + 2) % 3,
                     dst: span(me * 1000 + 500, 4),
                     tag: 0,
+                    rtag: 0,
                 }]
             })
             .collect();
@@ -390,6 +392,7 @@ mod tests {
                 from: 1,
                 dst: span(50, 4),
                 tag: 0,
+                rtag: 0,
             }],
             vec![
                 OpRecord::Recv {

@@ -7,8 +7,28 @@
 #   ./ci.sh sanitize   - opt-in: runtime tests under ThreadSanitizer
 #                        (requires a nightly toolchain with -Zsanitizer;
 #                        skipped with a message when unavailable)
+#   ./ci.sh miri       - opt-in: IR interpreter unit tests under Miri
+#                        (requires a nightly toolchain with the miri
+#                        component; skipped with a message when
+#                        unavailable)
 set -euo pipefail
 cd "$(dirname "$0")"
+
+if [[ "${1:-}" == "miri" ]]; then
+    echo "==> Miri (IR interpreter unit tests, nightly, best-effort)"
+    if ! rustup toolchain list 2>/dev/null | grep -q nightly; then
+        echo "miri: no nightly toolchain installed - skipping"
+        exit 0
+    fi
+    if ! rustup component list --toolchain nightly 2>/dev/null \
+            | grep -q "miri.*installed"; then
+        echo "miri: nightly miri component not installed - skipping"
+        exit 0
+    fi
+    cargo +nightly miri test -p intercom --lib -q ir::
+    echo "ci.sh miri: all green"
+    exit 0
+fi
 
 if [[ "${1:-}" == "sanitize" ]]; then
     echo "==> ThreadSanitizer (runtime tests, nightly, best-effort)"
@@ -62,6 +82,9 @@ cargo fmt --all -- --check
 
 echo "==> schedule-audit (static verification sweep)"
 cargo run --release -p intercom-verify --bin schedule-audit
+
+echo "==> schedule-audit --source=concurrent (multi-tenant non-interference sweep)"
+cargo run --release -p intercom-verify --bin schedule-audit -- --source=concurrent
 
 echo "==> hotpath bench (smoke)"
 cargo run --release -p intercom-bench --bin hotpath -- --smoke >/dev/null

@@ -13,6 +13,45 @@ use crate::error::Result;
 use intercom_cost::MachineParams;
 use intercom_topology::{Coord, Mesh2D};
 
+/// Node ids of physical row `r`, west→east — the logical order
+/// [`MeshWorld::my_row`] uses. Comm-free so embedding-consumers (the
+/// multi-program verifier, workload generators) can build the same
+/// rank→node maps a live group communicator would induce.
+pub fn row_members(mesh: &Mesh2D, r: usize) -> Vec<usize> {
+    mesh.row_nodes(r)
+}
+
+/// Node ids of physical column `c`, north→south — the logical order
+/// [`MeshWorld::my_col`] uses.
+pub fn col_members(mesh: &Mesh2D, c: usize) -> Vec<usize> {
+    mesh.col_nodes(c)
+}
+
+/// Node ids of the rectangular submesh with corner `(row0, col0)` and
+/// extent `rows × cols`, row-major — the logical order
+/// [`MeshWorld::submesh`] uses. Panics if the rectangle leaves the mesh.
+pub fn submesh_members(
+    mesh: &Mesh2D,
+    row0: usize,
+    col0: usize,
+    rows: usize,
+    cols: usize,
+) -> Vec<usize> {
+    assert!(
+        row0 + rows <= mesh.rows() && col0 + cols <= mesh.cols(),
+        "submesh {rows}x{cols} at ({row0},{col0}) leaves the {}x{} mesh",
+        mesh.rows(),
+        mesh.cols(),
+    );
+    let mut members = Vec::with_capacity(rows * cols);
+    for r in row0..row0 + rows {
+        for c in col0..col0 + cols {
+            members.push(mesh.id(Coord::new(r, c)));
+        }
+    }
+    members
+}
+
 /// A world laid out as a physical 2-D mesh, row-major: node id
 /// `= row · cols + col`. Factory for whole-mesh, row, column and submesh
 /// communicators.
@@ -85,12 +124,7 @@ impl<'a, C: Comm + ?Sized> MeshWorld<'a, C> {
         rows: usize,
         cols: usize,
     ) -> Result<Communicator<'a, C>> {
-        let mut members = Vec::with_capacity(rows * cols);
-        for r in row0..row0 + rows {
-            for c in col0..col0 + cols {
-                members.push(self.mesh.id(Coord::new(r, c)));
-            }
-        }
+        let members = submesh_members(&self.mesh, row0, col0, rows, cols);
         Communicator::from_group(self.comm, self.machine, members, Some(&self.mesh))
     }
 
@@ -133,5 +167,40 @@ mod tests {
         let c = SelfComm;
         let mw = MeshWorld::new(&c, Mesh2D::new(1, 1), MachineParams::PARAGON).unwrap();
         assert!(mw.group(vec![0]).is_ok());
+    }
+
+    #[test]
+    fn row_and_col_members_on_3x3() {
+        let m = Mesh2D::new(3, 3);
+        assert_eq!(row_members(&m, 0), [0, 1, 2]);
+        assert_eq!(row_members(&m, 2), [6, 7, 8]);
+        assert_eq!(col_members(&m, 0), [0, 3, 6]);
+        assert_eq!(col_members(&m, 2), [2, 5, 8]);
+    }
+
+    #[test]
+    fn submesh_members_on_4x4() {
+        let m = Mesh2D::new(4, 4);
+        // Interior 2x2 block at (1,1): row-major logical order.
+        assert_eq!(submesh_members(&m, 1, 1, 2, 2), [5, 6, 9, 10]);
+        // Full mesh is the identity embedding.
+        assert_eq!(submesh_members(&m, 0, 0, 4, 4), (0..16).collect::<Vec<_>>());
+        // A row / a column are the row_members / col_members embeddings.
+        assert_eq!(submesh_members(&m, 2, 0, 1, 4), row_members(&m, 2));
+        assert_eq!(submesh_members(&m, 0, 3, 4, 1), col_members(&m, 3));
+    }
+
+    #[test]
+    fn degenerate_1xp_submeshes() {
+        let m = Mesh2D::new(1, 5);
+        assert_eq!(row_members(&m, 0), [0, 1, 2, 3, 4]);
+        assert_eq!(col_members(&m, 3), [3]);
+        assert_eq!(submesh_members(&m, 0, 1, 1, 3), [1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves the")]
+    fn submesh_out_of_bounds_panics() {
+        submesh_members(&Mesh2D::new(3, 3), 2, 2, 2, 2);
     }
 }

@@ -21,7 +21,7 @@
 use super::{lower, optimize, CollectiveProgram, OptLevel, PlanOp};
 use crate::error::Result;
 use intercom_cost::Strategy;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -65,10 +65,44 @@ struct Entry {
     last_used: u64,
 }
 
+/// The locked cache state: the program map plus an exact recency index.
+/// `recency` maps each entry's `last_used` stamp back to its key; the
+/// clock is strictly monotone under the lock, so stamps are unique and
+/// the index's first entry *is* the LRU — eviction pops it in O(log n)
+/// instead of scanning every entry.
+struct Store {
+    plans: HashMap<PlanKey, Entry>,
+    recency: BTreeMap<u64, PlanKey>,
+}
+
+impl Store {
+    /// Stamps `key` as used `now`, keeping `recency` in sync. Returns
+    /// the cached program, or `None` if the key is absent.
+    fn touch(&mut self, key: &PlanKey, now: u64) -> Option<Arc<CollectiveProgram>> {
+        let entry = self.plans.get_mut(key)?;
+        self.recency.remove(&entry.last_used);
+        entry.last_used = now;
+        self.recency.insert(now, key.clone());
+        Some(entry.prog.clone())
+    }
+
+    /// Inserts a freshly compiled program stamped `now`.
+    fn insert(&mut self, key: PlanKey, prog: Arc<CollectiveProgram>, now: u64) {
+        self.recency.insert(now, key.clone());
+        self.plans.insert(
+            key,
+            Entry {
+                prog,
+                last_used: now,
+            },
+        );
+    }
+}
+
 /// A memoizing store of compiled programs, shareable across threads
 /// (every rank of a threaded world hits one cache).
 pub struct PlanCache {
-    plans: Mutex<HashMap<PlanKey, Entry>>,
+    store: Mutex<Store>,
     capacity: usize,
     /// Logical clock stamping each access; strictly monotone under the
     /// cache lock, so LRU order is exact.
@@ -93,7 +127,10 @@ impl PlanCache {
     /// An empty cache retaining at most `capacity` programs (min 1).
     pub fn with_capacity(capacity: usize) -> Self {
         PlanCache {
-            plans: Mutex::new(HashMap::new()),
+            store: Mutex::new(Store {
+                plans: HashMap::new(),
+                recency: BTreeMap::new(),
+            }),
             capacity: capacity.max(1),
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -113,15 +150,12 @@ impl PlanCache {
     }
 
     /// Evicts least-recently-used entries until occupancy fits the
-    /// capacity. Called with the lock held, after an insert.
-    fn enforce_capacity(&self, plans: &mut HashMap<PlanKey, Entry>) {
-        while plans.len() > self.capacity {
-            let lru = plans
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-                .expect("non-empty above capacity");
-            plans.remove(&lru);
+    /// capacity. Called with the lock held, after an insert. The recency
+    /// index makes each eviction an O(log n) pop of its first stamp.
+    fn enforce_capacity(&self, store: &mut Store) {
+        while store.plans.len() > self.capacity {
+            let (_, lru) = store.recency.pop_first().expect("non-empty above capacity");
+            store.plans.remove(&lru);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -131,23 +165,16 @@ impl PlanCache {
     /// concurrent ranks requesting the same key compile it exactly once
     /// and the rest observe hits.
     pub fn get_or_compile(&self, key: &PlanKey) -> Result<Arc<CollectiveProgram>> {
-        let mut plans = self.plans.lock().unwrap();
+        let mut store = self.store.lock().unwrap();
         let now = self.clock.fetch_add(1, Ordering::Relaxed);
-        if let Some(entry) = plans.get_mut(key) {
-            entry.last_used = now;
+        if let Some(prog) = store.touch(key, now) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(entry.prog.clone());
+            return Ok(prog);
         }
         let prog = Self::compile(key)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
-        plans.insert(
-            key.clone(),
-            Entry {
-                prog: prog.clone(),
-                last_used: now,
-            },
-        );
-        self.enforce_capacity(&mut plans);
+        store.insert(key.clone(), prog.clone(), now);
+        self.enforce_capacity(&mut store);
         Ok(prog)
     }
 
@@ -165,22 +192,15 @@ impl PlanCache {
     {
         let mut compiled = 0;
         for key in keys {
-            let mut plans = self.plans.lock().unwrap();
+            let mut store = self.store.lock().unwrap();
             let now = self.clock.fetch_add(1, Ordering::Relaxed);
-            if let Some(entry) = plans.get_mut(&key) {
-                entry.last_used = now;
+            if store.touch(&key, now).is_some() {
                 continue;
             }
             let prog = Self::compile(&key)?;
             compiled += 1;
-            plans.insert(
-                key,
-                Entry {
-                    prog,
-                    last_used: now,
-                },
-            );
-            self.enforce_capacity(&mut plans);
+            store.insert(key, prog, now);
+            self.enforce_capacity(&mut store);
         }
         Ok(compiled)
     }
@@ -190,7 +210,7 @@ impl PlanCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.plans.lock().unwrap().len(),
+            entries: self.store.lock().unwrap().plans.len(),
             evictions: self.evictions.load(Ordering::Relaxed),
             capacity: self.capacity,
         }
@@ -198,7 +218,10 @@ impl PlanCache {
 
     /// Drops every cached program and resets the counters.
     pub fn clear(&self) {
-        self.plans.lock().unwrap().clear();
+        let mut store = self.store.lock().unwrap();
+        store.plans.clear();
+        store.recency.clear();
+        drop(store);
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
@@ -286,6 +309,29 @@ mod tests {
         let before = cache.stats().misses;
         cache.get_or_compile(&key(2)).unwrap();
         assert_eq!(cache.stats().misses, before + 1, "key(2) was evicted");
+    }
+
+    #[test]
+    fn recency_index_survives_touch_and_eviction_churn() {
+        // Re-touching entries must reorder the recency index, not grow
+        // it; sustained overflow then evicts in exact LRU order.
+        let cache = PlanCache::with_capacity(3);
+        for n in 1..=3 {
+            cache.get_or_compile(&key(n)).unwrap();
+        }
+        for _ in 0..5 {
+            cache.get_or_compile(&key(2)).unwrap(); // LRU order: 1, 3, 2
+        }
+        cache.get_or_compile(&key(4)).unwrap(); // evicts 1
+        cache.get_or_compile(&key(5)).unwrap(); // evicts 3
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.evictions), (3, 2));
+        let before = cache.stats().misses;
+        cache.get_or_compile(&key(2)).unwrap(); // survived all along
+        assert_eq!(cache.stats().misses, before, "key(2) was never evicted");
+        cache.get_or_compile(&key(1)).unwrap();
+        cache.get_or_compile(&key(3)).unwrap();
+        assert_eq!(cache.stats().misses, before + 2, "1 and 3 were evicted");
     }
 
     #[test]

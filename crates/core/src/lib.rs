@@ -55,7 +55,7 @@ pub mod trace;
 
 pub use cast::Scalar;
 pub use comm::{Comm, GroupComm, Tag};
-pub use communicator::{Algo, Communicator};
+pub use communicator::{Algo, Communicator, CALL_TAG_STRIDE};
 pub use error::{CommError, Result};
 pub use op::{Elem, ReduceOp};
 pub use pool::{BufferPool, PoolStats};

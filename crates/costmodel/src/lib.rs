@@ -33,6 +33,7 @@
 
 pub mod collective;
 pub mod composed;
+pub mod contention;
 pub mod crossover;
 pub mod enumerate;
 pub mod expr;
@@ -44,6 +45,7 @@ pub mod table2;
 pub use collective::{
     hybrid_cost, stage_predictions, CollectiveOp, CostContext, StageKind, StagePrediction,
 };
+pub use contention::{CompositeContention, TenantLoad};
 pub use crossover::crossover_length;
 pub use enumerate::{enumerate_mesh_strategies, enumerate_strategies};
 pub use expr::CostExpr;

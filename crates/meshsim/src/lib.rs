@@ -45,7 +45,7 @@ pub mod stats;
 pub use comm::SimComm;
 pub use net::NetSpec;
 pub use sim::{simulate, SimConfig, SimReport};
-pub use stats::LinkLoad;
+pub use stats::{LinkConcurrency, LinkLoad};
 // The trace schema moved to the unified observability layer; the
 // simulator emits `intercom_obs::TraceEvent`s (one per transfer) and
 // the old names remain available from here.

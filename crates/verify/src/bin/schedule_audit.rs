@@ -22,19 +22,31 @@
 //! of `(node count, mesh shape)` units, so auditing both the plain and
 //! the optimized IR (~2× the schedule space) keeps a flat wall-time.
 //!
-//! The audit then runs four *mutation probes* — deliberately broken
-//! schedules — and fails unless each probe is caught, guarding the
-//! checker itself against silent rot.
+//! The default run also sweeps a **multi-tenant scenario matrix**
+//! through the concurrent analyzer (`--source=concurrent` runs only
+//! it): disjoint rows/columns, rows *and* columns together,
+//! overlapping submeshes, fully-overlapping distinct-tag-space
+//! tenants, and interleaved groups sharing physical links — every
+//! legitimate workload must prove non-interfering, and the composite
+//! per-link contention is reported for the cost model.
+//!
+//! The audit then runs the *mutation probes* — deliberately broken
+//! schedules and workloads (including colliding tag bases, shared
+//! memory windows, a cross-tenant wait cycle and a duplicate-node
+//! embedding) — and fails unless each probe is caught, guarding the
+//! checkers themselves against silent rot.
 
 use intercom::algorithms::LEVEL_TAG_STRIDE;
+use intercom::groups::{col_members, row_members, submesh_members};
 use intercom::ir::OptStats;
 use intercom::trace::{MemSpan, OpRecord};
 use intercom_cost::{enumerate_mesh_strategies, enumerate_strategies, Strategy};
 use intercom_topology::Mesh2D;
 use intercom_verify::{
     analyze_links, check_buffer_safety, check_single_port, extract_programs, match_programs,
-    verify_schedule, verify_schedule_ir, verify_schedule_ir_opt, Event, Schedule, Source, VerifyOp,
-    Violation,
+    tenant_tag_base, verify_concurrent, verify_schedule, verify_schedule_ir,
+    verify_schedule_ir_opt, ConcurrentViolation, Event, Schedule, Source, Tenant, VerifyOp,
+    Violation, Workload,
 };
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -368,6 +380,282 @@ fn probe_link_conflict() -> bool {
     analyze_links(&sched, &mesh).max_sharing == 2
 }
 
+/// One row/column/submesh tenant for the concurrent scenario matrix.
+fn row_tenant(mesh: &Mesh2D, r: usize, idx: usize) -> Tenant {
+    let members = row_members(mesh, r);
+    let st = Strategy::pure_long(members.len());
+    Tenant::lowered(
+        format!("row{r}"),
+        &VerifyOp::Collect,
+        Some(&st),
+        2 * members.len(),
+        members,
+        tenant_tag_base(idx),
+    )
+    .expect("row tenant lowers")
+}
+
+fn col_tenant(mesh: &Mesh2D, c: usize, idx: usize) -> Tenant {
+    let members = col_members(mesh, c);
+    let st = Strategy::pure_mst(members.len());
+    Tenant::lowered(
+        format!("col{c}"),
+        &VerifyOp::AllReduce,
+        Some(&st),
+        8,
+        members,
+        tenant_tag_base(idx),
+    )
+    .expect("col tenant lowers")
+}
+
+fn submesh_tenant(
+    mesh: &Mesh2D,
+    name: &str,
+    (r0, c0, rows, cols): (usize, usize, usize, usize),
+    idx: usize,
+) -> Tenant {
+    let members = submesh_members(mesh, r0, c0, rows, cols);
+    let st = Strategy::pure_mst(members.len());
+    Tenant::lowered(
+        name,
+        &VerifyOp::Broadcast { root: 0 },
+        Some(&st),
+        32,
+        members,
+        tenant_tag_base(idx),
+    )
+    .expect("submesh tenant lowers")
+}
+
+/// The multi-tenant scenario matrix: every legitimate workload here
+/// must verify with zero violations.
+fn concurrent_scenarios() -> Vec<(String, Workload)> {
+    let mut out = Vec::new();
+    for (rows, cols) in [(3, 3), (4, 4), (2, 6)] {
+        let mesh = Mesh2D::new(rows, cols);
+        let row_set: Vec<Tenant> = (0..rows).map(|r| row_tenant(&mesh, r, r)).collect();
+        out.push((
+            format!("{rows}x{cols} disjoint rows"),
+            Workload::new(Mesh2D::new(rows, cols), row_set.clone()),
+        ));
+        let col_set: Vec<Tenant> = (0..cols).map(|c| col_tenant(&mesh, c, c)).collect();
+        out.push((
+            format!("{rows}x{cols} disjoint columns"),
+            Workload::new(Mesh2D::new(rows, cols), col_set),
+        ));
+        // Rows and columns at once: every node hosts two tenants.
+        let mut both = row_set;
+        for c in 0..cols {
+            both.push(col_tenant(&mesh, c, rows + c));
+        }
+        out.push((
+            format!("{rows}x{cols} rows + columns"),
+            Workload::new(Mesh2D::new(rows, cols), both),
+        ));
+    }
+    // Overlapping 2x2 submeshes sharing the center of a 3x3.
+    let mesh = Mesh2D::new(3, 3);
+    out.push((
+        "3x3 overlapping submeshes".into(),
+        Workload::new(
+            Mesh2D::new(3, 3),
+            vec![
+                submesh_tenant(&mesh, "nw", (0, 0, 2, 2), 0),
+                submesh_tenant(&mesh, "se", (1, 1, 2, 2), 1),
+            ],
+        ),
+    ));
+    // Two whole-mesh tenants, fully overlapping, isolated only by tag
+    // bases and memory windows.
+    let mesh = Mesh2D::new(4, 4);
+    out.push((
+        "4x4 full overlap, distinct tag spaces".into(),
+        Workload::new(
+            Mesh2D::new(4, 4),
+            vec![
+                submesh_tenant(&mesh, "whole0", (0, 0, 4, 4), 0),
+                submesh_tenant(&mesh, "whole1", (0, 0, 4, 4), 1),
+            ],
+        ),
+    ));
+    // Interleaved pair groups on linear arrays: disjoint nodes, shared
+    // links — contention is reported, not a violation.
+    for cols in [4usize, 8] {
+        let pairs = cols / 2;
+        let tenants: Vec<Tenant> = (0..pairs)
+            .map(|g| {
+                Tenant::lowered(
+                    format!("pair{g}"),
+                    &VerifyOp::Broadcast { root: 0 },
+                    Some(&Strategy::pure_mst(2)),
+                    16,
+                    vec![g, g + pairs],
+                    tenant_tag_base(g),
+                )
+                .expect("pair tenant lowers")
+            })
+            .collect();
+        out.push((
+            format!("1x{cols} interleaved pair groups"),
+            Workload::new(Mesh2D::new(1, cols), tenants),
+        ));
+    }
+    out
+}
+
+/// Results of the concurrent scenario sweep.
+struct ConcStats {
+    scenarios: usize,
+    tenants: usize,
+    failures: Vec<String>,
+    /// Worst single-tenant per-link peak across all scenarios.
+    solo_max: usize,
+    /// Worst composite per-link sharing across all scenarios.
+    composite_max: usize,
+}
+
+fn concurrent_sweep(quiet: bool) -> ConcStats {
+    let mut stats = ConcStats {
+        scenarios: 0,
+        tenants: 0,
+        failures: Vec::new(),
+        solo_max: 0,
+        composite_max: 0,
+    };
+    for (name, workload) in concurrent_scenarios() {
+        stats.scenarios += 1;
+        stats.tenants += workload.tenants.len();
+        let report = verify_concurrent(&workload);
+        stats.solo_max = stats.solo_max.max(report.contention.solo_max);
+        stats.composite_max = stats.composite_max.max(report.contention.composite_max);
+        if !report.ok() {
+            stats.failures.push(format!("{name}: {report}"));
+        } else if !quiet {
+            println!("concurrent [{name}]: {report}");
+        }
+    }
+    stats
+}
+
+/// Concurrent probe 1: two tenants on the same nodes with the same tag
+/// base must be rejected as a tag collision (and the adversarial
+/// matcher must realize an actual cross-tenant steal).
+fn probe_concurrent_tag_collision() -> bool {
+    let st = Strategy::pure_mst(4);
+    let mk = |name: &str| {
+        Tenant::lowered(
+            name,
+            &VerifyOp::Broadcast { root: 0 },
+            Some(&st),
+            16,
+            vec![0, 1, 2, 3],
+            0,
+        )
+        .expect("probe tenant lowers")
+    };
+    let rep = verify_concurrent(&Workload::new(Mesh2D::new(2, 2), vec![mk("a"), mk("b")]));
+    rep.violations.iter().any(|v| {
+        matches!(v, ConcurrentViolation::TagCollision { tenant_a, tenant_b, .. }
+            if tenant_a == "a" && tenant_b == "b")
+    }) && rep
+        .violations
+        .iter()
+        .any(|v| matches!(v, ConcurrentViolation::CrossTenantMatch { .. }))
+}
+
+/// Concurrent probe 2: two co-resident tenants declaring the same
+/// memory window must be rejected for buffer overlap.
+fn probe_concurrent_buffer_overlap() -> bool {
+    let st = Strategy::pure_mst(4);
+    let mk = |i: usize| {
+        let mut t = Tenant::lowered(
+            format!("t{i}"),
+            &VerifyOp::Broadcast { root: 0 },
+            Some(&st),
+            16,
+            vec![0, 1, 2, 3],
+            tenant_tag_base(i),
+        )
+        .expect("probe tenant lowers");
+        t.mem_base = Some(0);
+        t
+    };
+    let rep = verify_concurrent(&Workload::new(Mesh2D::new(2, 2), vec![mk(0), mk(1)]));
+    rep.violations
+        .iter()
+        .any(|v| matches!(v, ConcurrentViolation::BufferOverlap { node: 0, .. }))
+}
+
+/// Concurrent probe 3: two tenants embedded head-to-tail with broken
+/// send tags must deadlock with a wait cycle that *names both
+/// tenants*.
+fn probe_concurrent_cross_deadlock() -> bool {
+    let span = |addr: usize| MemSpan { addr, len: 8 };
+    let a = Tenant::from_programs(
+        "a",
+        vec![
+            vec![OpRecord::Recv {
+                from: 1,
+                tag: 1,
+                dst: span(0),
+            }],
+            vec![OpRecord::Send {
+                to: 0,
+                tag: 3,
+                src: span(0),
+            }],
+        ],
+        vec![0, 1],
+        tenant_tag_base(0),
+    );
+    let b = Tenant::from_programs(
+        "b",
+        vec![
+            vec![OpRecord::Send {
+                to: 1,
+                tag: 7,
+                src: span(0),
+            }],
+            vec![OpRecord::Recv {
+                from: 0,
+                tag: 2,
+                dst: span(0),
+            }],
+        ],
+        vec![1, 0],
+        tenant_tag_base(1),
+    );
+    let rep = verify_concurrent(&Workload::new(Mesh2D::new(1, 2), vec![a, b]));
+    rep.violations.iter().any(|v| match v {
+        ConcurrentViolation::CrossDeadlock { cycle: Some(c), .. } => {
+            let mut tenants: Vec<&str> = c.iter().map(|x| x.tenant.as_str()).collect();
+            tenants.sort_unstable();
+            tenants.dedup();
+            tenants.len() >= 2
+        }
+        _ => false,
+    })
+}
+
+/// Concurrent probe 4: an embedding claiming one node twice must be
+/// rejected before any analysis runs.
+fn probe_concurrent_bad_embedding() -> bool {
+    let t = Tenant::lowered(
+        "dup",
+        &VerifyOp::Broadcast { root: 0 },
+        Some(&Strategy::pure_mst(2)),
+        8,
+        vec![0, 0],
+        0,
+    )
+    .expect("probe tenant lowers");
+    let rep = verify_concurrent(&Workload::new(Mesh2D::new(1, 2), vec![t]));
+    rep.violations
+        .iter()
+        .any(|v| matches!(v, ConcurrentViolation::BadEmbedding { .. }))
+}
+
 /// Escapes a string for embedding in a JSON document (std-only — the
 /// workspace ships no serde).
 fn escape_json(s: &str) -> String {
@@ -391,8 +679,110 @@ fn escape_json(s: &str) -> String {
 /// v2: added `source` and the `crosscheck` object. v3: added
 /// `threads`, the `optsweep` object (the full optimized-IR sweep with
 /// its per-pass `rewrites` counts) and, for `--source=ir-opt`, a
-/// top-level `rewrites` object.
-const JSON_SCHEMA_VERSION: u32 = 3;
+/// top-level `rewrites` object. v4: added the `concurrent` object (the
+/// multi-tenant scenario sweep with its composite contention bounds),
+/// the four concurrent entries in `mutation_probes`, and the
+/// `--source=concurrent` mode that emits a concurrent-only document.
+const JSON_SCHEMA_VERSION: u32 = 4;
+
+fn concurrent_json(c: &ConcStats) -> String {
+    format!(
+        "{{\"scenarios\":{},\"tenants_checked\":{},\"failure_count\":{},\
+         \"composite\":{{\"solo_max\":{},\"composite_max\":{}}}}}",
+        c.scenarios,
+        c.tenants,
+        c.failures.len(),
+        c.solo_max,
+        c.composite_max,
+    )
+}
+
+/// The concurrent mutation probes, each a deliberately broken workload
+/// the analyzer must reject.
+fn concurrent_probes() -> [(&'static str, bool); 4] {
+    [
+        (
+            "tenant tag-base collision -> residue + cross-tenant match",
+            probe_concurrent_tag_collision(),
+        ),
+        (
+            "shared memory window -> buffer overlap",
+            probe_concurrent_buffer_overlap(),
+        ),
+        (
+            "cross-tenant wait cycle -> attributed deadlock",
+            probe_concurrent_cross_deadlock(),
+        ),
+        (
+            "duplicate-node embedding -> rejected",
+            probe_concurrent_bad_embedding(),
+        ),
+    ]
+}
+
+fn probes_json(probes: &[(&str, bool)]) -> String {
+    probes
+        .iter()
+        .map(|(name, caught)| format!("{{\"name\":\"{}\",\"caught\":{caught}}}", escape_json(name)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// `--source=concurrent`: only the multi-tenant scenario sweep and its
+/// mutation probes.
+fn run_concurrent_only(json: bool) -> ExitCode {
+    let stats = concurrent_sweep(json);
+    let probes = concurrent_probes();
+    let ok = stats.failures.is_empty() && probes.iter().all(|(_, caught)| *caught);
+    if json {
+        let failures: Vec<String> = stats
+            .failures
+            .iter()
+            .map(|f| format!("\"{}\"", escape_json(f)))
+            .collect();
+        println!(
+            "{{\n  \"schema_version\": {JSON_SCHEMA_VERSION},\n  \"source\": \"concurrent\",\n  \
+             \"concurrent\": {},\n  \"failure_count\": {},\n  \"failures\": [{}],\n  \
+             \"mutation_probes\": [{}],\n  \"pass\": {ok}\n}}",
+            concurrent_json(&stats),
+            failures.len(),
+            failures.join(","),
+            probes_json(&probes),
+        );
+        return if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    println!(
+        "schedule-audit: {} concurrent scenarios ({} tenants) verified non-interfering; \
+         composite link sharing {} (solo max {})",
+        stats.scenarios, stats.tenants, stats.composite_max, stats.solo_max
+    );
+    if !stats.failures.is_empty() {
+        println!("{} FAILURES:", stats.failures.len());
+        for (i, f) in stats.failures.iter().enumerate() {
+            println!("[{i}] {f}");
+        }
+    }
+    let mut probes_ok = true;
+    for (name, caught) in probes {
+        if caught {
+            println!("mutation probe caught: {name}");
+        } else {
+            println!("MUTATION PROBE MISSED: {name}");
+            probes_ok = false;
+        }
+    }
+    if stats.failures.is_empty() && probes_ok {
+        println!("schedule-audit: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("schedule-audit: FAIL");
+        ExitCode::FAILURE
+    }
+}
 
 fn rewrites_json(o: &OptTotals) -> String {
     format!(
@@ -416,8 +806,12 @@ fn main() -> ExitCode {
             "--source=ir" => Source::Ir,
             "--source=ir-opt" => Source::IrOpt,
             "--source=trace" => Source::Trace,
+            "--source=concurrent" => return run_concurrent_only(json),
             other => {
-                eprintln!("schedule-audit: unknown option {other} (expected ir, ir-opt or trace)");
+                eprintln!(
+                    "schedule-audit: unknown option {other} \
+                     (expected ir, ir-opt, trace or concurrent)"
+                );
                 return ExitCode::FAILURE;
             }
         },
@@ -431,12 +825,18 @@ fn main() -> ExitCode {
     let optsweep = (source == Source::Ir).then(|| audit(true, Source::IrOpt, &NODE_COUNTS));
     let crosscheck =
         (source == Source::Ir).then(|| audit(true, Source::Trace, &CROSSCHECK_NODE_COUNTS));
-    let probes = [
+    // The default run also proves the multi-tenant scenario matrix
+    // non-interfering through the concurrent analyzer.
+    let concurrent = (source == Source::Ir).then(|| concurrent_sweep(true));
+    let mut probes = vec![
         ("step-move -> single-port", probe_step_move()),
         ("tag-bump -> deadlock", probe_tag_bump()),
         ("span-overlap -> buffer-safety", probe_buffer_overlap()),
         ("link-share -> conflict", probe_link_conflict()),
     ];
+    if concurrent.is_some() {
+        probes.extend(concurrent_probes());
+    }
     // A revert is not a violation (the program that ran is the proven
     // original) but it breaks the pipeline's deadlock-monotonicity
     // contract, so the audit treats any revert as a failure.
@@ -444,6 +844,7 @@ fn main() -> ExitCode {
     let ok = stats.failures.is_empty()
         && optsweep.as_ref().is_none_or(|o| o.failures.is_empty())
         && crosscheck.as_ref().is_none_or(|c| c.failures.is_empty())
+        && concurrent.as_ref().is_none_or(|c| c.failures.is_empty())
         && reverts == 0
         && probes.iter().all(|(_, caught)| *caught);
 
@@ -465,6 +866,9 @@ fn main() -> ExitCode {
                     .iter()
                     .map(|f| format!("\"{}\"", escape_json(f))),
             );
+        }
+        if let Some(c) = &concurrent {
+            failures.extend(c.failures.iter().map(|f| format!("\"{}\"", escape_json(f))));
         }
         let optsweep_json = match &optsweep {
             Some(o) => format!(
@@ -488,25 +892,23 @@ fn main() -> ExitCode {
             ),
             None => "null".to_string(),
         };
-        let probes: Vec<String> = probes
-            .iter()
-            .map(|(name, caught)| {
-                format!("{{\"name\":\"{}\",\"caught\":{caught}}}", escape_json(name))
-            })
-            .collect();
+        let concurrent_json = match &concurrent {
+            Some(c) => concurrent_json(c),
+            None => "null".to_string(),
+        };
         println!(
             "{{\n  \"schema_version\": {JSON_SCHEMA_VERSION},\n  \"source\": \"{source}\",\n  \
              \"threads\": {},\n  \"checks\": {},\n  \
              \"failure_count\": {},\n  \"failures\": [{}],\n  \"per_p\": [{}],\n  \
              \"rewrites\": {rewrites_json},\n  \"optsweep\": {optsweep_json},\n  \
-             \"crosscheck\": {crosscheck_json},\n  \
+             \"crosscheck\": {crosscheck_json},\n  \"concurrent\": {concurrent_json},\n  \
              \"mutation_probes\": [{}],\n  \"pass\": {ok}\n}}",
             stats.threads,
             stats.checks,
             failures.len(),
             failures.join(","),
             per_p.join(","),
-            probes.join(","),
+            probes_json(&probes),
         );
         return if ok {
             ExitCode::SUCCESS
@@ -554,6 +956,14 @@ fn main() -> ExitCode {
         println!(
             "schedule-audit: {} trace-sourced cross-checks (p in {CROSSCHECK_NODE_COUNTS:?})",
             c.checks
+        );
+        failures.extend(c.failures);
+    }
+    if let Some(c) = concurrent {
+        println!(
+            "schedule-audit: {} concurrent scenarios ({} tenants) verified non-interfering; \
+             composite link sharing {} (solo max {})",
+            c.scenarios, c.tenants, c.composite_max, c.solo_max
         );
         failures.extend(c.failures);
     }

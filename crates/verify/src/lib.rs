@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 
 pub mod checks;
+pub mod concurrent;
 pub mod extract;
 pub mod ir;
 pub mod report;
@@ -55,6 +56,10 @@ pub mod schedule;
 pub use checks::{
     analyze_links, check_buffer_safety, check_program_aliasing, check_single_port, LinkAnalysis,
     Violation,
+};
+pub use concurrent::{
+    tenant_tag_base, verify_concurrent, ConcurrentReport, ConcurrentViolation, CtxId, Tenant,
+    Workload, TENANT_TAG_STRIDE,
 };
 pub use extract::{extract_program, extract_programs, VerifyOp};
 pub use ir::{ir_opt_programs, ir_programs};

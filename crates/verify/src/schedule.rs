@@ -51,31 +51,33 @@ pub struct Schedule {
     pub events: Vec<Event>,
 }
 
-/// One posted half of a rank's current operation.
+/// One posted half of a rank's current operation. Shared with the
+/// multi-program product matcher ([`crate::concurrent`]), which runs
+/// the same rendezvous semantics over contexts from several programs.
 #[derive(Debug, Clone, Copy)]
-struct Half {
-    peer: usize,
-    tag: Tag,
-    span: MemSpan,
+pub(crate) struct Half {
+    pub(crate) peer: usize,
+    pub(crate) tag: Tag,
+    pub(crate) span: MemSpan,
 }
 
 /// A rank's current blocking operation: up to one send half and one
 /// receive half (both for `sendrecv`). Empty = idle or finished.
 #[derive(Debug, Clone, Copy, Default)]
-struct Current {
-    send: Option<Half>,
-    recv: Option<Half>,
+pub(crate) struct Current {
+    pub(crate) send: Option<Half>,
+    pub(crate) recv: Option<Half>,
 }
 
 impl Current {
-    fn done(&self) -> bool {
+    pub(crate) fn done(&self) -> bool {
         self.send.is_none() && self.recv.is_none()
     }
 }
 
 /// Advances `pc` past accounting records to the next communication
 /// operation and returns its halves (empty when the program is over).
-fn load(program: &[OpRecord], pc: &mut usize) -> Current {
+pub(crate) fn load(program: &[OpRecord], pc: &mut usize) -> Current {
     while let Some(op) = program.get(*pc) {
         *pc += 1;
         match *op {

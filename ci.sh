@@ -86,6 +86,9 @@ cargo run --release -p intercom-verify --bin schedule-audit
 echo "==> schedule-audit --source=concurrent (multi-tenant non-interference sweep)"
 cargo run --release -p intercom-verify --bin schedule-audit -- --source=concurrent
 
+echo "==> schedule-audit --source=chaos (fault-injection sweep, both backends)"
+cargo run --release -p intercom-verify --bin schedule-audit -- --source=chaos
+
 echo "==> hotpath bench (smoke)"
 cargo run --release -p intercom-bench --bin hotpath -- --smoke >/dev/null
 

@@ -42,6 +42,7 @@ pub mod cast;
 pub mod comm;
 pub mod communicator;
 pub mod error;
+pub mod faults;
 pub mod groups;
 pub mod ir;
 pub mod nx_compat;
@@ -56,7 +57,8 @@ pub mod trace;
 pub use cast::Scalar;
 pub use comm::{Comm, GroupComm, Tag};
 pub use communicator::{Algo, Communicator, CALL_TAG_STRIDE};
-pub use error::{CommError, Result};
+pub use error::{AbortCause, AbortInfo, CollectiveError, CommError, Result};
+pub use faults::{Fault, FaultKind, FaultLayer, FaultPlan, FaultyComm, POISON_TAG};
 pub use op::{Elem, ReduceOp};
 pub use pool::{BufferPool, PoolStats};
 pub use rng::SplitMix64;

@@ -16,8 +16,9 @@
 
 use crate::fluid::FluidScratch;
 use crate::net::NetSpec;
+use intercom::faults::POISON_TAG;
 use intercom::rng::splitmix64;
-use intercom::{CommError, Tag};
+use intercom::{AbortCause, AbortInfo, CommError, Tag};
 use intercom_cost::MachineParams;
 use intercom_obs::TraceEvent;
 use std::collections::{HashMap, VecDeque};
@@ -150,6 +151,10 @@ pub(crate) struct Engine {
     jitter: f64,
     jitter_seed: u64,
     jitter_counter: u64,
+    /// Set once a coordinated-abort poison record arrives on
+    /// [`POISON_TAG`]: every blocked rank is released with the abort
+    /// diagnosis and every later comm request fails fast with it.
+    poisoned: Option<AbortInfo>,
 }
 
 impl Engine {
@@ -192,6 +197,7 @@ impl Engine {
             jitter,
             jitter_seed,
             jitter_counter: 0,
+            poisoned: None,
         }
     }
 
@@ -242,6 +248,52 @@ impl Engine {
             matches!(self.states[rank], RankState::Running),
             "rank {rank} issued a request while not running"
         );
+        // A poison record never blocks its sender: acknowledge it
+        // immediately, then (first record only) release every blocked
+        // rank with the abort diagnosis and clear all pending traffic —
+        // the coordinated-abort guarantee that no rank hangs.
+        if let Request::Send {
+            tag: POISON_TAG,
+            ref data,
+            ..
+        } = req
+        {
+            let info = AbortInfo::decode(data).unwrap_or(AbortInfo {
+                origin: rank,
+                culprit: rank,
+                plan: 0,
+                step: 0,
+                cause: AbortCause::External,
+            });
+            self.ready_replies.push((
+                rank,
+                Reply {
+                    data: None,
+                    err: None,
+                },
+            ));
+            if self.poisoned.is_none() {
+                self.poison(info);
+            }
+            return;
+        }
+        // Once poisoned, every further comm request fails fast with the
+        // same diagnosis; accounting requests still apply harmlessly.
+        if let Some(info) = self.poisoned {
+            if matches!(
+                req,
+                Request::Send { .. } | Request::Recv { .. } | Request::SendRecv { .. }
+            ) {
+                self.ready_replies.push((
+                    rank,
+                    Reply {
+                        data: None,
+                        err: Some(CommError::Aborted(info)),
+                    },
+                ));
+                return;
+            }
+        }
         match req {
             Request::Compute { bytes } => {
                 self.clocks[rank] += bytes as f64 * self.machine.gamma;
@@ -277,6 +329,32 @@ impl Engine {
                 self.post_recv(from, rank, rtag, rlen);
             }
         }
+    }
+
+    /// Latches the abort, releases every blocked rank with the
+    /// diagnosis, and clears all pending/in-flight traffic: after a
+    /// poison nothing else can ever complete, and the freed ranks must
+    /// observe the abort rather than a dangling rendezvous.
+    fn poison(&mut self, info: AbortInfo) {
+        self.poisoned = Some(info);
+        for rank in 0..self.states.len() {
+            if matches!(self.states[rank], RankState::Blocked { .. }) {
+                self.states[rank] = RankState::Running;
+                self.blocked -= 1;
+                self.ready_replies.push((
+                    rank,
+                    Reply {
+                        data: None,
+                        err: Some(CommError::Aborted(info)),
+                    },
+                ));
+            }
+        }
+        self.pending_sends.clear();
+        self.pending_recvs.clear();
+        self.waiting.clear();
+        self.active.clear();
+        self.rates_dirty = false;
     }
 
     fn block(&mut self, rank: usize, outstanding: u8) {
@@ -935,6 +1013,85 @@ mod tests {
         );
         e.handle(1, Request::Finished);
         e.advance();
+    }
+
+    #[test]
+    fn poison_releases_blocked_ranks_with_diagnosis() {
+        let mesh = mesh_net(1, 3);
+        let mut e = Engine::new(mesh, unit_machine(), false);
+        // Ranks 1 and 2 block on receives that will never match.
+        e.handle(
+            1,
+            Request::Recv {
+                from: 0,
+                tag: 4,
+                len: 8,
+            },
+        );
+        e.handle(
+            2,
+            Request::Recv {
+                from: 0,
+                tag: 5,
+                len: 8,
+            },
+        );
+        assert!(e.drain_replies().is_empty());
+        // Rank 0 poisons instead of sending data.
+        let info = AbortInfo {
+            origin: 0,
+            culprit: 0,
+            plan: 9,
+            step: 2,
+            cause: AbortCause::DropBudget,
+        };
+        e.handle(
+            0,
+            Request::Send {
+                to: 1,
+                tag: POISON_TAG,
+                data: info.encode().to_vec(),
+            },
+        );
+        let mut replies = e.drain_replies();
+        replies.sort_by_key(|(r, _)| *r);
+        assert_eq!(replies.len(), 3);
+        // The poisoner is acknowledged without blocking...
+        assert!(replies[0].1.err.is_none());
+        // ...and both blocked ranks wake with the same diagnosis.
+        for (rank, reply) in &replies[1..] {
+            assert!(
+                matches!(reply.err, Some(CommError::Aborted(i)) if i == info),
+                "rank {rank}: {:?}",
+                reply.err
+            );
+        }
+        // Later comm requests fail fast; a duplicate poison still acks.
+        e.handle(
+            1,
+            Request::Recv {
+                from: 2,
+                tag: 6,
+                len: 1,
+            },
+        );
+        e.handle(
+            0,
+            Request::Send {
+                to: 2,
+                tag: POISON_TAG,
+                data: info.encode().to_vec(),
+            },
+        );
+        let replies = e.drain_replies();
+        assert_eq!(replies.len(), 2);
+        assert!(matches!(replies[0].1.err, Some(CommError::Aborted(_))));
+        assert!(replies[1].1.err.is_none());
+        // All ranks can still finish cleanly.
+        for r in 0..3 {
+            e.handle(r, Request::Finished);
+        }
+        assert_eq!(e.finished_count(), 3);
     }
 
     #[test]

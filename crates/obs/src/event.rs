@@ -27,6 +27,15 @@ pub enum EventKind {
     SendRecv,
     /// A local reduction step (the γ term): `bytes` folded element-wise.
     Reduce,
+    /// A scripted fault fired on this rank (fault-injection runs only).
+    FaultInjected,
+    /// The fault layer retransmitted a message (attempt count rides in
+    /// `bytes`).
+    Retry,
+    /// A bounded wait expired; `src` names the silent peer.
+    Timeout,
+    /// The coordinated abort reached this rank.
+    Abort,
 }
 
 impl EventKind {
@@ -37,7 +46,21 @@ impl EventKind {
             EventKind::Recv => "recv",
             EventKind::SendRecv => "sendrecv",
             EventKind::Reduce => "reduce",
+            EventKind::FaultInjected => "fault",
+            EventKind::Retry => "retry",
+            EventKind::Timeout => "timeout",
+            EventKind::Abort => "abort",
         }
+    }
+
+    /// Whether the event moves bytes across the network (fault and
+    /// reduction markers do not; the residual analyzer folds only
+    /// communication events against the cost model).
+    pub fn is_comm(&self) -> bool {
+        matches!(
+            self,
+            EventKind::Send | EventKind::Recv | EventKind::SendRecv
+        )
     }
 }
 

@@ -12,7 +12,7 @@
 //! ranks drift apart, the effect PR 2's verifier could only bound
 //! statically — and reports the slowest rank's critical path.
 
-use crate::event::{EventKind, Stage, TraceEvent};
+use crate::event::{Stage, TraceEvent};
 use crate::record::RunRecord;
 use intercom_cost::{
     stage_predictions, CollectiveOp, CostContext, MachineParams, StageKind, Strategy,
@@ -126,10 +126,11 @@ impl ResidualReport {
     }
 }
 
-/// Communication events only (stage folding ignores local reductions:
-/// their time shows up inside the enclosing stage interval).
+/// Communication events only (stage folding ignores local reductions
+/// and fault-layer markers: reduction time shows up inside the
+/// enclosing stage interval, and fault events carry no wire traffic).
 fn is_comm(ev: &TraceEvent) -> bool {
-    ev.kind != EventKind::Reduce
+    ev.kind.is_comm()
 }
 
 /// Folds a recorded run against the cost model.

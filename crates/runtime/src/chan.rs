@@ -46,6 +46,16 @@ pub struct SendError<T>(pub T);
 #[derive(Debug, PartialEq, Eq)]
 pub struct RecvError;
 
+/// Error returned by [`Receiver::recv_timeout`]: either the deadline
+/// expired with the queue still empty, or every sender is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed without a message arriving.
+    Timeout,
+    /// The queue is drained and no sender remains.
+    Disconnected,
+}
+
 /// Creates a connected unbounded channel.
 pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
@@ -125,6 +135,34 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Blocks until a message arrives or `timeout` elapses. The wait is
+    /// deadline-based: spurious condvar wakeups re-wait only for the
+    /// remaining time.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                return Ok(v);
+            }
+            if st.producers == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, result) = self.shared.ready.wait_timeout(st, remaining).unwrap();
+            st = guard;
+            if result.timed_out() && st.queue.is_empty() && st.producers > 0 {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
     /// Non-blocking receive: `None` when the queue is currently empty
     /// (regardless of sender liveness).
     pub fn try_recv(&self) -> Option<T> {
@@ -196,6 +234,33 @@ mod tests {
         assert_eq!(rx.try_recv(), None);
         tx.send(3i64).unwrap();
         assert_eq!(rx.try_recv(), Some(3));
+    }
+
+    #[test]
+    fn recv_timeout_returns_message_or_reason() {
+        use std::time::Duration;
+        let (tx, rx) = channel();
+        tx.send(5u8).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Ok(5));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_late_send() {
+        use std::time::Duration;
+        let (tx, rx) = channel();
+        let h = std::thread::spawn(move || rx.recv_timeout(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(10));
+        tx.send(9u32).unwrap();
+        assert_eq!(h.join().unwrap(), Ok(9));
     }
 
     #[test]

@@ -18,12 +18,14 @@
 //! — one memcpy per hop instead of two, which is what bounds the
 //! bandwidth-heavy ring primitives.
 
-use crate::chan::{Receiver, Sender};
-use intercom::{BufferPool, Comm, CommError, PoolStats, Result, Tag};
+use crate::chan::{Receiver, RecvTimeoutError, Sender};
+use intercom::faults::POISON_TAG;
+use intercom::{AbortCause, AbortInfo, BufferPool, Comm, CommError, PoolStats, Result, Tag};
 use intercom_obs::{EventKind, Recorder, TraceEvent};
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Default size at or above which `sendrecv` payloads skip the pooled
 /// copy entirely: the receiver copies straight out of the sender's
@@ -55,16 +57,32 @@ impl Completion {
         }
     }
 
-    fn mark(&self, s: CopyState) {
-        *self.state.lock().unwrap() = s;
-        self.done.notify_all();
-    }
-
-    /// Blocks until the receiver is finished with the borrowed bytes.
-    fn wait(&self) -> Result<()> {
-        let mut st = self.state.lock().unwrap();
+    /// Blocks until the receiver is finished with the borrowed bytes,
+    /// or `timeout` elapses. On timeout the window is *withdrawn*
+    /// (marked `Abandoned` under the same lock the receiver copies
+    /// under), so a late receiver can never dereference the borrow
+    /// after this frame returns; `peer`/`tag` label the resulting
+    /// [`CommError::Timeout`].
+    fn wait(&self, timeout: Duration, peer: usize, tag: Tag) -> Result<()> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
         while *st == CopyState::Pending {
-            st = self.done.wait(st).unwrap();
+            let Some(remaining) = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|d| !d.is_zero())
+            else {
+                *st = CopyState::Abandoned;
+                return Err(CommError::Timeout {
+                    from: peer,
+                    tag,
+                    waited_ms: timeout.as_millis() as u64,
+                });
+            };
+            let (guard, _) = self
+                .done
+                .wait_timeout(st, remaining)
+                .unwrap_or_else(|p| p.into_inner());
+            st = guard;
         }
         match *st {
             CopyState::Copied => Ok(()),
@@ -102,7 +120,7 @@ impl Drop for BorrowedBytes {
         // Dropping without an explicit `Copied` mark (receiver errored,
         // panicked, or its mailbox was torn down) must still release the
         // blocked sender.
-        let mut st = self.done.state.lock().unwrap();
+        let mut st = self.done.state.lock().unwrap_or_else(|p| p.into_inner());
         if *st == CopyState::Pending {
             *st = CopyState::Abandoned;
             drop(st);
@@ -143,9 +161,18 @@ impl Payload {
                 pools[src].release(v);
             }
             Payload::Borrowed(b) => {
+                // Copy *under the completion lock*: a sender whose
+                // bounded wait expired withdraws the window (state
+                // flips to `Abandoned` under this same lock), so the
+                // borrow is dereferenced only while provably alive.
+                let mut st = b.done.state.lock().unwrap_or_else(|p| p.into_inner());
+                if *st != CopyState::Pending {
+                    return Err(CommError::Disconnected);
+                }
                 buf.copy_from_slice(b.as_slice());
-                b.done.mark(CopyState::Copied);
-                // `mark` released the sender; skip the Drop re-check.
+                *st = CopyState::Copied;
+                drop(st);
+                b.done.done.notify_all();
             }
         }
         Ok(())
@@ -236,6 +263,13 @@ pub struct ThreadComm {
     /// `(0, 0)` outside plan execution. Stamped onto every recorded
     /// [`TraceEvent`] so timelines attribute work to schedule steps.
     plan_step: Cell<(u64, u64)>,
+    /// Bound on every blocking wait (inbox matching and rendezvous
+    /// completion). A regression that would deadlock instead surfaces
+    /// as [`CommError::Timeout`] naming the silent peer.
+    wait_timeout: Duration,
+    /// Set once a coordinated-abort poison record is observed; every
+    /// later receive fails fast with the same diagnosis.
+    aborted: RefCell<Option<AbortInfo>>,
 }
 
 impl ThreadComm {
@@ -245,6 +279,7 @@ impl ThreadComm {
         inbox: Receiver<Msg>,
         pools: Arc<Vec<BufferPool>>,
         rendezvous_threshold: usize,
+        wait_timeout: Duration,
     ) -> Self {
         debug_assert_eq!(senders.len(), pools.len());
         let p = senders.len();
@@ -259,6 +294,8 @@ impl ThreadComm {
             completions: RefCell::new(Vec::new()),
             recorder: None,
             plan_step: Cell::new((0, 0)),
+            wait_timeout,
+            aborted: RefCell::new(None),
         }
     }
 
@@ -297,7 +334,7 @@ impl ThreadComm {
         let mut cache = self.completions.borrow_mut();
         if let Some(i) = cache.iter().position(|c| Arc::strong_count(c) == 1) {
             let c = cache.swap_remove(i);
-            *c.state.lock().unwrap() = CopyState::Pending;
+            *c.state.lock().unwrap_or_else(|p| p.into_inner()) = CopyState::Pending;
             return c;
         }
         Arc::new(Completion::new())
@@ -325,16 +362,37 @@ impl ThreadComm {
     /// stash first and stashing any interleaved traffic. Observing the
     /// peer's farewell (its endpoint dropped with no matching message
     /// queued) yields [`CommError::Disconnected`] instead of blocking
-    /// forever.
+    /// forever; a poison record ([`POISON_TAG`]) latches the
+    /// coordinated abort and fails this and every later receive; and
+    /// the whole wait is bounded by the endpoint's deadline, so a
+    /// schedule regression that would hang instead reports
+    /// [`CommError::Timeout`] naming the silent peer.
     fn take_matching(&self, from: usize, tag: Tag) -> Result<Payload> {
+        if let Some(info) = *self.aborted.borrow() {
+            return Err(CommError::Aborted(info));
+        }
         if let Some(data) = self.stash.borrow_mut()[from].pop(tag) {
             return Ok(data);
         }
         if self.departed.borrow()[from] {
             return Err(CommError::Disconnected);
         }
+        let deadline = Instant::now() + self.wait_timeout;
         loop {
-            let msg = self.inbox.recv().map_err(|_| CommError::Disconnected)?;
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .unwrap_or(Duration::ZERO);
+            let msg = match self.inbox.recv_timeout(remaining) {
+                Ok(msg) => msg,
+                Err(RecvTimeoutError::Disconnected) => return Err(CommError::Disconnected),
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CommError::Timeout {
+                        from,
+                        tag,
+                        waited_ms: self.wait_timeout.as_millis() as u64,
+                    })
+                }
+            };
             if msg.tag == FAREWELL_TAG {
                 self.departed.borrow_mut()[msg.src] = true;
                 if msg.src == from {
@@ -342,11 +400,40 @@ impl ThreadComm {
                 }
                 continue;
             }
+            if msg.tag == POISON_TAG {
+                return Err(CommError::Aborted(self.absorb_poison(msg)));
+            }
             if msg.src == from && msg.tag == tag {
                 return Ok(msg.data);
             }
             self.stash.borrow_mut()[msg.src].push(msg.tag, msg.data);
         }
+    }
+
+    /// Latches an inbound poison record: decodes the abort diagnosis
+    /// (falling back to an [`AbortCause::External`] record naming the
+    /// sender when malformed), retires the payload, and arms the
+    /// fail-fast path for every later receive.
+    fn absorb_poison(&self, msg: Msg) -> AbortInfo {
+        let decoded = match &msg.data {
+            Payload::Pooled(v) => AbortInfo::decode(v),
+            Payload::Borrowed(b) => AbortInfo::decode(b.as_slice()),
+        };
+        let info = decoded.unwrap_or(AbortInfo {
+            origin: msg.src,
+            culprit: msg.src,
+            plan: 0,
+            step: 0,
+            cause: AbortCause::External,
+        });
+        match msg.data {
+            Payload::Pooled(v) => self.pools[msg.src].release(v),
+            // Dropping a borrowed window marks it Abandoned, releasing
+            // the (never-expected) blocked sender.
+            Payload::Borrowed(_) => {}
+        }
+        *self.aborted.borrow_mut() = Some(info);
+        info
     }
 
     /// Counters of this rank's payload pool (hits/misses/recycled).
@@ -551,8 +638,10 @@ impl ThreadComm {
             let recv_result = self.recv(from, rtag, buf);
             // Wait for the peer to finish with our bytes even if our own
             // receive failed — `data` must not be touched after return.
+            // The bounded wait *withdraws* the window on expiry, so the
+            // borrow stays sound even then.
             let wait_begun = obs.map_or(0.0, Recorder::now);
-            let wait_result = done.wait();
+            let wait_result = done.wait(self.wait_timeout, to, stag);
             self.retire_completion(done);
             if let Some(r) = obs {
                 // The send half of the exchange (the inner `recv` above
@@ -609,8 +698,16 @@ mod tests {
             r0,
             pools.clone(),
             DEFAULT_RENDEZVOUS_THRESHOLD,
+            Duration::from_secs(30),
         );
-        let b = ThreadComm::new(1, vec![s0, s1], r1, pools, DEFAULT_RENDEZVOUS_THRESHOLD);
+        let b = ThreadComm::new(
+            1,
+            vec![s0, s1],
+            r1,
+            pools,
+            DEFAULT_RENDEZVOUS_THRESHOLD,
+            Duration::from_secs(30),
+        );
         (a, b)
     }
 
@@ -691,6 +788,7 @@ mod tests {
             r,
             make_pools(1),
             DEFAULT_RENDEZVOUS_THRESHOLD,
+            Duration::from_secs(30),
         );
         drop(_s);
         let mut buf = [0u8; 1];

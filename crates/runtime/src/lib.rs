@@ -32,7 +32,8 @@ pub mod world;
 pub use calibrate::{calibrate, Calibration};
 pub use endpoint::{ThreadComm, DEFAULT_RENDEZVOUS_THRESHOLD};
 pub use world::{
-    run_world, run_world_observed, run_world_pooled, run_world_recorded, run_world_tuned,
+    default_wait_timeout, run_world, run_world_deadline, run_world_observed, run_world_pooled,
+    run_world_recorded, run_world_tuned,
 };
 
 // Re-exported so downstream tests can name the trait without an extra

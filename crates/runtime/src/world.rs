@@ -5,6 +5,19 @@ use crate::endpoint::{Msg, ThreadComm, DEFAULT_RENDEZVOUS_THRESHOLD};
 use intercom::BufferPool;
 use intercom_obs::{RankRecord, Recorder, RunRecord};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// The default bound on every blocking wait inside the threaded
+/// runtime, generous enough that no healthy collective ever trips it.
+/// Override with the `INTERCOM_WAIT_TIMEOUT_MS` environment variable
+/// (chaos tests shrink it to diagnose scripted stalls in milliseconds).
+pub fn default_wait_timeout() -> Duration {
+    std::env::var("INTERCOM_WAIT_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_secs(30))
+}
 
 /// Runs `f` on `p` ranks, each on its own OS thread with a connected
 /// [`ThreadComm`] endpoint, and returns the per-rank results in rank
@@ -44,7 +57,36 @@ where
     T: Send,
     F: Fn(&ThreadComm) -> T + Send + Sync,
 {
-    run_world_inner(p, make_pool, rendezvous_threshold, None, f).0
+    run_world_inner(
+        p,
+        make_pool,
+        rendezvous_threshold,
+        default_wait_timeout(),
+        None,
+        f,
+    )
+    .0
+}
+
+/// [`run_world`] with an explicit bound on every blocking wait: a
+/// receive or rendezvous completion that exceeds `deadline` fails with
+/// [`intercom::CommError::Timeout`] naming the silent peer, instead of
+/// hanging. The fault-injection harness runs its stall scenarios under
+/// a tight deadline here.
+pub fn run_world_deadline<T, F>(p: usize, deadline: Duration, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&ThreadComm) -> T + Send + Sync,
+{
+    run_world_inner(
+        p,
+        BufferPool::new,
+        DEFAULT_RENDEZVOUS_THRESHOLD,
+        deadline,
+        None,
+        f,
+    )
+    .0
 }
 
 /// [`run_world`] with per-rank observability: every `send`/`recv`/
@@ -72,16 +114,21 @@ where
         p,
         BufferPool::new,
         DEFAULT_RENDEZVOUS_THRESHOLD,
+        default_wait_timeout(),
         Some(recorders),
         f,
     );
-    (out, run.expect("recorders were provided"))
+    (
+        out,
+        run.expect("run_world_inner returns a record when recorders are provided"),
+    )
 }
 
 fn run_world_inner<T, F>(
     p: usize,
     make_pool: impl Fn() -> BufferPool,
     rendezvous_threshold: usize,
+    wait_timeout: Duration,
     recorders: Option<Vec<Recorder>>,
     f: F,
 ) -> (Vec<T>, Option<RunRecord>)
@@ -124,6 +171,7 @@ where
                         inbox,
                         pools.clone(),
                         rendezvous_threshold,
+                        wait_timeout,
                     );
                     if let Some(r) = recorder {
                         comm.attach_recorder(r);

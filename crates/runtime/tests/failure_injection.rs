@@ -1,9 +1,11 @@
 //! Failure injection: ranks that die mid-collective must surface
 //! [`CommError::Disconnected`] to their peers, never hang them.
 
-use intercom::{Comm, CommError};
-use intercom_runtime::run_world;
+use intercom::faults::POISON_TAG;
+use intercom::{AbortCause, AbortInfo, Comm, CommError};
+use intercom_runtime::{run_world, run_world_deadline};
 use std::panic::AssertUnwindSafe;
+use std::time::Duration;
 
 /// Runs a world where rank `victim` exits immediately; surviving ranks
 /// attempt `f` and report the error they saw.
@@ -71,6 +73,61 @@ fn collective_with_dead_member_errors_not_hangs() {
         .iter()
         .any(|r| matches!(r, Err(CommError::Disconnected))));
     let _ = AssertUnwindSafe(());
+}
+
+#[test]
+fn recv_from_silent_peer_times_out_not_hangs() {
+    // Rank 1 is alive but silent past the deadline: the bounded wait
+    // must expire with a Timeout naming the silent peer and the tag the
+    // waiter was matching against, instead of blocking forever (or
+    // reporting Disconnected — rank 1's endpoint is still up).
+    let out = run_world_deadline(2, Duration::from_millis(100), |c| {
+        if c.rank() == 1 {
+            // Outlive rank 0's deadline without ever sending.
+            std::thread::sleep(Duration::from_millis(400));
+            return None;
+        }
+        let mut buf = [0u8; 4];
+        Some(c.recv(1, 99, &mut buf).unwrap_err())
+    });
+    assert_eq!(out[1], None);
+    match out[0] {
+        Some(CommError::Timeout {
+            from,
+            tag,
+            waited_ms,
+        }) => {
+            assert_eq!(from, 1);
+            assert_eq!(tag, 99);
+            assert!(waited_ms >= 100, "waited only {waited_ms}ms");
+        }
+        ref other => panic!("expected a bounded-wait timeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn poison_record_wakes_a_blocked_receiver() {
+    // A rank blocked on an unrelated tag must be woken the moment a
+    // coordinated-abort poison record arrives, and must surface the
+    // decoded diagnosis rather than its own timeout.
+    let info = AbortInfo {
+        origin: 1,
+        culprit: 1,
+        plan: 7,
+        step: 3,
+        cause: AbortCause::Stall,
+    };
+    let out = run_world_deadline(2, Duration::from_secs(5), |c| {
+        if c.rank() == 1 {
+            std::thread::sleep(Duration::from_millis(50));
+            c.send(0, POISON_TAG, &info.encode()).unwrap();
+            return None;
+        }
+        // Blocked waiting for a data message that will never come.
+        let mut buf = [0u8; 4];
+        Some(c.recv(1, 12, &mut buf).unwrap_err())
+    });
+    assert_eq!(out[0], Some(CommError::Aborted(info)));
 }
 
 #[test]

@@ -40,13 +40,14 @@ use intercom::algorithms::LEVEL_TAG_STRIDE;
 use intercom::groups::{col_members, row_members, submesh_members};
 use intercom::ir::OptStats;
 use intercom::trace::{MemSpan, OpRecord};
+use intercom::CommError;
 use intercom_cost::{enumerate_mesh_strategies, enumerate_strategies, Strategy};
 use intercom_topology::Mesh2D;
 use intercom_verify::{
-    analyze_links, check_buffer_safety, check_single_port, extract_programs, match_programs,
-    tenant_tag_base, verify_concurrent, verify_schedule, verify_schedule_ir,
-    verify_schedule_ir_opt, ConcurrentViolation, Event, Schedule, Source, Tenant, VerifyOp,
-    Violation, Workload,
+    analyze_links, chaos_sweep, check_buffer_safety, check_single_port, extract_programs,
+    hang_probe, match_programs, stall_probe, tenant_tag_base, verify_concurrent, verify_schedule,
+    verify_schedule_ir, verify_schedule_ir_opt, ChaosReport, ConcurrentViolation, Event,
+    HangDiagnosis, Schedule, Source, Tenant, VerifyOp, Violation, Workload,
 };
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -656,6 +657,52 @@ fn probe_concurrent_bad_embedding() -> bool {
         .any(|v| matches!(v, ConcurrentViolation::BadEmbedding { .. }))
 }
 
+/// Chaos probe 1: a deliberately cyclic two-rank program run live under
+/// a tight deadline must end in bounded-wait errors on every rank (no
+/// hang), and the watchdog's residual-matcher diagnosis must name the
+/// 0↔1 wait-for cycle.
+fn probe_chaos_hang() -> bool {
+    let probe = hang_probe();
+    let bounded = probe.errors.iter().all(|e| {
+        matches!(
+            e,
+            Some(CommError::Timeout { .. }) | Some(CommError::Disconnected)
+        )
+    });
+    let diagnosed = match probe.diagnosis {
+        HangDiagnosis::Deadlock(Violation::Deadlock {
+            cycle: Some(ref c), ..
+        }) => {
+            let mut c = c.clone();
+            c.sort_unstable();
+            c == vec![0, 1]
+        }
+        _ => false,
+    };
+    bounded && diagnosed
+}
+
+/// Chaos probe 2: a mid-broadcast progress snapshot whose residual *can*
+/// complete must be diagnosed as a straggler (rank 2, the rank that
+/// stopped before forwarding) — not misreported as a deadlock.
+fn probe_chaos_stall() -> bool {
+    matches!(stall_probe(), HangDiagnosis::Stall { rank: 2, .. })
+}
+
+/// The watchdog-diagnosis probes run with the chaos sweep.
+fn chaos_probes() -> [(&'static str, bool); 2] {
+    [
+        (
+            "seeded hang -> bounded waits + wait-for cycle diagnosis",
+            probe_chaos_hang(),
+        ),
+        (
+            "mid-broadcast stall -> straggler diagnosis",
+            probe_chaos_stall(),
+        ),
+    ]
+}
+
 /// Escapes a string for embedding in a JSON document (std-only — the
 /// workspace ships no serde).
 fn escape_json(s: &str) -> String {
@@ -683,7 +730,77 @@ fn escape_json(s: &str) -> String {
 /// multi-tenant scenario sweep with its composite contention bounds),
 /// the four concurrent entries in `mutation_probes`, and the
 /// `--source=concurrent` mode that emits a concurrent-only document.
-const JSON_SCHEMA_VERSION: u32 = 4;
+/// v5: added the `chaos` object (the fault-injection sweep: cases,
+/// byte-identical recoveries, coordinated aborts, retransmissions and
+/// the hang count, which must be zero), the two watchdog-diagnosis
+/// entries in `mutation_probes`, and the `--source=chaos` mode that
+/// runs the full scenario matrix on both backends.
+const JSON_SCHEMA_VERSION: u32 = 5;
+
+fn chaos_json(c: &ChaosReport) -> String {
+    format!(
+        "{{\"cases\":{},\"recoveries\":{},\"aborts\":{},\"retries\":{},\
+         \"hangs\":{},\"failure_count\":{}}}",
+        c.cases,
+        c.recoveries,
+        c.aborts,
+        c.retries,
+        c.hangs,
+        c.failures.len(),
+    )
+}
+
+/// `--source=chaos`: the full fault-injection matrix (every scenario ×
+/// every collective × both backends) plus the watchdog probes.
+fn run_chaos_only(json: bool) -> ExitCode {
+    let report = chaos_sweep(false);
+    let probes = chaos_probes();
+    let ok = report.ok() && probes.iter().all(|(_, caught)| *caught);
+    if json {
+        let failures: Vec<String> = report
+            .failures
+            .iter()
+            .map(|f| format!("\"{}\"", escape_json(f)))
+            .collect();
+        println!(
+            "{{\n  \"schema_version\": {JSON_SCHEMA_VERSION},\n  \"source\": \"chaos\",\n  \
+             \"chaos\": {},\n  \"failure_count\": {},\n  \"failures\": [{}],\n  \
+             \"mutation_probes\": [{}],\n  \"pass\": {ok}\n}}",
+            chaos_json(&report),
+            failures.len(),
+            failures.join(","),
+            probes_json(&probes),
+        );
+        return if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    println!("schedule-audit: {report}");
+    if !report.failures.is_empty() {
+        println!("{} FAILURES:", report.failures.len());
+        for (i, f) in report.failures.iter().enumerate() {
+            println!("[{i}] {f}");
+        }
+    }
+    let mut probes_ok = true;
+    for (name, caught) in probes {
+        if caught {
+            println!("mutation probe caught: {name}");
+        } else {
+            println!("MUTATION PROBE MISSED: {name}");
+            probes_ok = false;
+        }
+    }
+    if ok && probes_ok {
+        println!("schedule-audit: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("schedule-audit: FAIL");
+        ExitCode::FAILURE
+    }
+}
 
 fn concurrent_json(c: &ConcStats) -> String {
     format!(
@@ -807,10 +924,11 @@ fn main() -> ExitCode {
             "--source=ir-opt" => Source::IrOpt,
             "--source=trace" => Source::Trace,
             "--source=concurrent" => return run_concurrent_only(json),
+            "--source=chaos" => return run_chaos_only(json),
             other => {
                 eprintln!(
                     "schedule-audit: unknown option {other} \
-                     (expected ir, ir-opt, trace or concurrent)"
+                     (expected ir, ir-opt, trace, concurrent or chaos)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -826,8 +944,10 @@ fn main() -> ExitCode {
     let crosscheck =
         (source == Source::Ir).then(|| audit(true, Source::Trace, &CROSSCHECK_NODE_COUNTS));
     // The default run also proves the multi-tenant scenario matrix
-    // non-interfering through the concurrent analyzer.
+    // non-interfering through the concurrent analyzer, and runs the
+    // reduced chaos matrix (the full one backs `--source=chaos`).
     let concurrent = (source == Source::Ir).then(|| concurrent_sweep(true));
+    let chaos = (source == Source::Ir).then(|| chaos_sweep(true));
     let mut probes = vec![
         ("step-move -> single-port", probe_step_move()),
         ("tag-bump -> deadlock", probe_tag_bump()),
@@ -837,6 +957,9 @@ fn main() -> ExitCode {
     if concurrent.is_some() {
         probes.extend(concurrent_probes());
     }
+    if chaos.is_some() {
+        probes.extend(chaos_probes());
+    }
     // A revert is not a violation (the program that ran is the proven
     // original) but it breaks the pipeline's deadlock-monotonicity
     // contract, so the audit treats any revert as a failure.
@@ -845,6 +968,7 @@ fn main() -> ExitCode {
         && optsweep.as_ref().is_none_or(|o| o.failures.is_empty())
         && crosscheck.as_ref().is_none_or(|c| c.failures.is_empty())
         && concurrent.as_ref().is_none_or(|c| c.failures.is_empty())
+        && chaos.as_ref().is_none_or(ChaosReport::ok)
         && reverts == 0
         && probes.iter().all(|(_, caught)| *caught);
 
@@ -868,6 +992,9 @@ fn main() -> ExitCode {
             );
         }
         if let Some(c) = &concurrent {
+            failures.extend(c.failures.iter().map(|f| format!("\"{}\"", escape_json(f))));
+        }
+        if let Some(c) = &chaos {
             failures.extend(c.failures.iter().map(|f| format!("\"{}\"", escape_json(f))));
         }
         let optsweep_json = match &optsweep {
@@ -896,12 +1023,17 @@ fn main() -> ExitCode {
             Some(c) => concurrent_json(c),
             None => "null".to_string(),
         };
+        let chaos_json = match &chaos {
+            Some(c) => chaos_json(c),
+            None => "null".to_string(),
+        };
         println!(
             "{{\n  \"schema_version\": {JSON_SCHEMA_VERSION},\n  \"source\": \"{source}\",\n  \
              \"threads\": {},\n  \"checks\": {},\n  \
              \"failure_count\": {},\n  \"failures\": [{}],\n  \"per_p\": [{}],\n  \
              \"rewrites\": {rewrites_json},\n  \"optsweep\": {optsweep_json},\n  \
              \"crosscheck\": {crosscheck_json},\n  \"concurrent\": {concurrent_json},\n  \
+             \"chaos\": {chaos_json},\n  \
              \"mutation_probes\": [{}],\n  \"pass\": {ok}\n}}",
             stats.threads,
             stats.checks,
@@ -965,6 +1097,16 @@ fn main() -> ExitCode {
              composite link sharing {} (solo max {})",
             c.scenarios, c.tenants, c.composite_max, c.solo_max
         );
+        failures.extend(c.failures);
+    }
+    if let Some(c) = chaos {
+        println!("schedule-audit: chaos smoke: {c}");
+        if c.hangs > 0 {
+            failures.push(format!(
+                "chaos smoke: {} hangs (wait expired undiagnosed)",
+                c.hangs
+            ));
+        }
         failures.extend(c.failures);
     }
     if reverts > 0 {

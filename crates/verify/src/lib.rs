@@ -43,9 +43,19 @@
 //! and mesh shapes, and is wired into `ci.sh` as a hard gate. See
 //! `docs/verification.md` for the schedule model and how the invariants
 //! map back to the paper.
+//!
+//! Static proofs assume a reliable fabric; the [`chaos`] module tests
+//! what happens when that assumption breaks. It runs a seeded
+//! fault-injection matrix (delays, drops, corruption, stalls) for real
+//! on both backends, demanding byte-identical recovery or a coordinated
+//! abort — never a hang — and its [`chaos::diagnose_hang`] reuses the
+//! rendezvous matcher on *residual* programs to turn a watchdog's
+//! progress snapshot into a wait-for-cycle or straggler diagnosis. The
+//! audit's `--source=chaos` mode gates CI on the full sweep.
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod checks;
 pub mod concurrent;
 pub mod extract;
@@ -53,6 +63,10 @@ pub mod ir;
 pub mod report;
 pub mod schedule;
 
+pub use chaos::{
+    chaos_ops, chaos_sweep, diagnose_hang, fault_trace_events, hang_probe, scenario_plan,
+    scenarios, stall_probe, Backend, CaseRun, ChaosReport, HangDiagnosis, HangProbe, Scenario,
+};
 pub use checks::{
     analyze_links, check_buffer_safety, check_program_aliasing, check_single_port, LinkAnalysis,
     Violation,

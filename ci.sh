@@ -104,7 +104,13 @@ echo "==> observability smoke (trace export round-trip + residual reports)"
 # is detected from measured timestamps.
 cargo run --release --bin trace-dump -- --check --out target/ci-traces >/dev/null
 
-echo "==> observability overhead gate (disabled recorder <= 3%)"
+echo "==> observability overhead gate (disabled recorder + disabled metrics <= 3%)"
 cargo run --release -p intercom-bench --bin obs -- --smoke >/dev/null
+
+echo "==> metrics exposition round-trip (export -> parse -> re-export idempotent)"
+cargo run --release --bin intercom-metrics -- --check --p 6 >/dev/null
+
+echo "==> drift-loop smoke (2x beta shift -> verdict, refit, re-selection)"
+cargo run --release -p intercom-bench --bin autotune -- --smoke >/dev/null
 
 echo "ci.sh: all green"

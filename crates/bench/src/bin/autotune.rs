@@ -1,0 +1,252 @@
+//! `autotune` — closed-loop drift/refit selection-quality benchmark.
+//!
+//! Simulates a machine whose true β is 2× the configured Paragon model
+//! (a link running at half its nominal bandwidth), streams residual
+//! reports from simulated collectives into the [`AutoTuner`], and
+//! measures selection quality before and after the refit: for every
+//! tracked call shape, the strategy chosen under the *stale* parameters
+//! and the one chosen under the *refit* parameters are both priced
+//! under the **true** machine. The ratio is the real speedup the closed
+//! loop buys.
+//!
+//! The run is also the CI drift-loop smoke gate (`--smoke` only trims
+//! the report sweep; the gate always applies): the binary exits nonzero
+//! unless
+//!
+//! * a [`DriftVerdict`] fires,
+//! * the refit β̂ lands within 10% of the true β,
+//! * at least one shape re-selects, invalidating cached plans, and
+//! * every re-selection is no worse — and at least one strictly
+//!   cheaper — under the true machine.
+//!
+//! Run: `cargo run --release -p intercom-bench --bin autotune`
+//! Emits `BENCH_autotune.json` in the current directory.
+
+use intercom::comm::GroupComm;
+use intercom::ir::{OptLevel, PlanCache, PlanKey, PlanOp};
+use intercom::selector::{choose_strategy, GroupShape};
+use intercom::{algorithms, AutoTuner, RetuneReport, TrackedShape};
+use intercom_cost::{hybrid_cost, CollectiveOp, CostContext, MachineParams, Strategy};
+use intercom_meshsim::{simulate, SimConfig};
+use intercom_obs::{analyze, ResidualReport, RunRecord};
+use intercom_topology::Mesh2D;
+use std::process::ExitCode;
+
+/// Refit accuracy the gate demands: |β̂ − β_true| / β_true ≤ 10%.
+const REFIT_TOLERANCE: f64 = 0.10;
+
+/// Records one broadcast on the simulated *true* machine and folds it
+/// against the *configured* parameters — the production feedback
+/// artifact the drift monitor consumes. Scatter-collect strategies give
+/// the fit two independent stages, so α̂/β̂ are identifiable.
+fn residual_on_true_machine(
+    strategy: &Strategy,
+    p: usize,
+    n: usize,
+    true_machine: MachineParams,
+    configured: &MachineParams,
+) -> ResidualReport {
+    let cfg = SimConfig::new(Mesh2D::new(1, p), true_machine).with_trace();
+    let rep = simulate(&cfg, |c| {
+        use intercom::Comm as _;
+        let gc = GroupComm::world(c);
+        let mut buf = vec![0u8; n];
+        if c.rank() == 0 {
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = (i % 251) as u8;
+            }
+        }
+        algorithms::broadcast(&gc, strategy, 0, &mut buf, 0).expect("simulated broadcast");
+    });
+    let trace = rep.trace.expect("tracing enabled");
+    let run = RunRecord::from_transfers(trace.records(), p);
+    analyze(
+        &run,
+        CollectiveOp::Broadcast,
+        strategy,
+        CostContext::linear_with(configured),
+        configured,
+        n,
+    )
+}
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.9}")
+    } else {
+        "null".into()
+    }
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let reports = if smoke { 4 } else { 12 };
+
+    let configured = MachineParams::PARAGON_MODEL;
+    let mut true_machine = configured;
+    true_machine.beta *= 2.0;
+
+    // Call shapes near the MST / scatter-collect crossover, where the
+    // β shift genuinely changes the best answer (found by sweeping the
+    // selector under both parameter sets).
+    let shapes = [
+        (
+            PlanOp::Broadcast { root: 0 },
+            CollectiveOp::Broadcast,
+            8usize,
+            16384usize,
+        ),
+        (
+            PlanOp::AllReduce,
+            CollectiveOp::CombineToAll,
+            12usize,
+            8192usize,
+        ),
+    ];
+
+    let mut tuner = AutoTuner::new(configured);
+    let cache = PlanCache::new();
+    for (plan_op, cost_op, p, n) in shapes {
+        tuner.track(TrackedShape {
+            plan_op,
+            cost_op,
+            shape: GroupShape::Linear(p),
+            n_elems: n,
+            elem_size: 1,
+            n_cost_bytes: n,
+        });
+        // Warm the cache with the stale choice, exactly as a production
+        // process that planned before the link degraded would have.
+        let stale = choose_strategy(cost_op, GroupShape::Linear(p), n, &configured);
+        cache
+            .warm_up([PlanKey {
+                op: plan_op,
+                p,
+                n,
+                elem_size: 1,
+                strategy: Some(stale),
+                opt: OptLevel::Full,
+            }])
+            .expect("warm-up compiles");
+    }
+    let warmed_before = cache.stats().entries;
+
+    // Stream residual reports from the degraded machine until the
+    // monitor's confidence gate opens and the verdict fires.
+    let fit_strategy = Strategy::pure_long(8);
+    let mut retune: Option<RetuneReport> = None;
+    let mut fed = 0usize;
+    for _ in 0..reports {
+        let report = residual_on_true_machine(&fit_strategy, 8, 16384, true_machine, &configured);
+        fed += 1;
+        if let Some(r) = tuner.observe_with_cache(&report, &cache) {
+            retune = Some(r);
+            break;
+        }
+    }
+
+    let Some(retune) = retune else {
+        eprintln!("autotune gate FAILED: no drift verdict after {fed} residual reports");
+        return ExitCode::FAILURE;
+    };
+
+    let refit_beta = retune.new_params.beta;
+    let beta_rel_err = (refit_beta - true_machine.beta).abs() / true_machine.beta;
+
+    // Score every re-selection under the TRUE machine: this is the
+    // speedup the loop actually delivers, not the model's self-grade.
+    let mut lines = Vec::new();
+    let mut any_strictly_better = false;
+    let mut all_no_worse = true;
+    for r in &retune.reselections {
+        let ctx = match r.shape.shape {
+            GroupShape::Linear(_) => CostContext::linear_with(&true_machine),
+            GroupShape::Mesh { .. } => CostContext::mesh_with(&true_machine),
+        };
+        let price = |s: &Strategy| {
+            hybrid_cost(r.shape.cost_op, s, ctx).eval(r.shape.n_cost_bytes, &true_machine)
+        };
+        let (old_true, new_true) = (price(&r.old), price(&r.new));
+        if new_true < old_true {
+            any_strictly_better = true;
+        }
+        if new_true > old_true {
+            all_no_worse = false;
+        }
+        println!(
+            "reselect {:?} p={} n={}: {} -> {}  true-machine {:.3e}s -> {:.3e}s ({:.2}x), {} plans invalidated",
+            r.shape.cost_op,
+            r.shape.shape.nodes(),
+            r.shape.n_cost_bytes,
+            r.old,
+            r.new,
+            old_true,
+            new_true,
+            old_true / new_true,
+            r.invalidated,
+        );
+        lines.push(format!(
+            "    {{\"op\":\"{:?}\",\"p\":{},\"n\":{},\"old\":\"{}\",\"new\":\"{}\",\
+             \"old_true_secs\":{},\"new_true_secs\":{},\"invalidated\":{}}}",
+            r.shape.cost_op,
+            r.shape.shape.nodes(),
+            r.shape.n_cost_bytes,
+            r.old,
+            r.new,
+            json_num(old_true),
+            json_num(new_true),
+            r.invalidated,
+        ));
+    }
+
+    let pass = beta_rel_err <= REFIT_TOLERANCE
+        && !retune.reselections.is_empty()
+        && retune.invalidated > 0
+        && retune.warmed > 0
+        && any_strictly_better
+        && all_no_worse;
+
+    println!(
+        "drift verdict after {fed} reports: β {:.3e} -> {:.3e} (true {:.3e}, err {:.1}%), \
+         params v{}, {} invalidated, {} re-warmed",
+        configured.beta,
+        refit_beta,
+        true_machine.beta,
+        beta_rel_err * 100.0,
+        retune.version,
+        retune.invalidated,
+        retune.warmed,
+    );
+
+    let json = format!(
+        "{{\n  \"smoke\": {smoke},\n  \"reports_fed\": {fed},\n  \
+         \"configured_beta\": {},\n  \"true_beta\": {},\n  \"refit_beta\": {},\n  \
+         \"refit_beta_rel_err\": {},\n  \"refit_tolerance\": {REFIT_TOLERANCE},\n  \
+         \"params_version\": {},\n  \"warmed_before\": {warmed_before},\n  \
+         \"invalidated\": {},\n  \"rewarmed\": {},\n  \"reselections\": [\n{}\n  ],\n  \
+         \"pass\": {pass}\n}}\n",
+        json_num(configured.beta),
+        json_num(true_machine.beta),
+        json_num(refit_beta),
+        json_num(beta_rel_err),
+        retune.version,
+        retune.invalidated,
+        retune.warmed,
+        lines.join(",\n"),
+    );
+    std::fs::write("BENCH_autotune.json", &json).expect("write BENCH_autotune.json");
+    println!("wrote BENCH_autotune.json");
+
+    if !pass {
+        eprintln!(
+            "autotune gate FAILED: β err {:.1}% (limit {:.0}%), {} reselections, \
+             {} invalidated, strictly-better={any_strictly_better}, no-worse={all_no_worse}",
+            beta_rel_err * 100.0,
+            REFIT_TOLERANCE * 100.0,
+            retune.reselections.len(),
+            retune.invalidated,
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

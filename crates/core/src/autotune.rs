@@ -1,0 +1,289 @@
+//! The acting half of the closed autotuning loop: turn a
+//! [`DriftVerdict`] into a [`MachineParams`] refit, plan-cache
+//! invalidation and strategy re-selection.
+//!
+//! The obs side (`obs::drift`) *senses* — it folds streaming residual
+//! reports into an online α̂/β̂ estimate and raises a verdict when the
+//! estimate departs from the configured machine. This module *acts* on
+//! the verdict, which only the core crate can do, because it owns the
+//! plan cache and the selector:
+//!
+//! 1. install the refit via [`TunedParams::refit`] (bumping the params
+//!    version, exported as the `intercom_machine_params_version` gauge);
+//! 2. for every call shape the tuner has seen, re-run the selector
+//!    under the new parameters;
+//! 3. where the choice changed, [`PlanCache::invalidate_matching`] the
+//!    stale entries and [`PlanCache::warm_up`] the new winner, so the
+//!    next collective call compiles nothing and prices correctly;
+//! 4. report everything in a [`RetuneReport`] with both strategies
+//!    priced under the *new* parameters, making the win auditable.
+//!
+//! This is ROADMAP's "closed-loop autotuning from observed residuals"
+//! ("Fast Tuning of Intra-Cluster Collective Communications" rebuilt on
+//! verified schedules), end to end.
+
+use crate::ir::{global_cache, OptLevel, PlanCache, PlanKey, PlanOp};
+use crate::selector::{choose_strategy, GroupShape};
+use intercom_cost::{hybrid_cost, CollectiveOp, CostContext, MachineParams, Strategy, TunedParams};
+use intercom_obs::drift::{DriftConfig, DriftMonitor, DriftVerdict};
+use intercom_obs::residual::ResidualReport;
+
+/// One call shape the tuner re-selects for after a refit: the plan-side
+/// identity (what the cache is keyed on) plus the cost-side identity
+/// (what the selector prices).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackedShape {
+    /// The compiled op (with root/segment parameters) as cached.
+    pub plan_op: PlanOp,
+    /// The selector-facing collective.
+    pub cost_op: CollectiveOp,
+    /// The group shape selection runs over.
+    pub shape: GroupShape,
+    /// Size parameter in elements (the plan key's `n`).
+    pub n_elems: usize,
+    /// Element width in bytes.
+    pub elem_size: usize,
+    /// The byte length the selector prices (the communicator passes
+    /// `len · elem_size` for vector-length ops).
+    pub n_cost_bytes: usize,
+}
+
+/// One re-selection performed by a retune: the shape, the stale and
+/// fresh strategies, and both priced under the *new* parameters.
+#[derive(Debug, Clone)]
+pub struct Reselect {
+    /// The call shape that flipped.
+    pub shape: TrackedShape,
+    /// The strategy selected under the stale parameters.
+    pub old: Strategy,
+    /// The strategy selected under the refit parameters.
+    pub new: Strategy,
+    /// `old`'s predicted seconds under the refit parameters.
+    pub old_cost: f64,
+    /// `new`'s predicted seconds under the refit parameters.
+    pub new_cost: f64,
+    /// Cache entries invalidated for this shape.
+    pub invalidated: usize,
+}
+
+/// What one [`DriftVerdict`] caused.
+#[derive(Debug, Clone)]
+pub struct RetuneReport {
+    /// The verdict that triggered the retune.
+    pub verdict: DriftVerdict,
+    /// Parameters before the refit.
+    pub old_params: MachineParams,
+    /// Parameters now active.
+    pub new_params: MachineParams,
+    /// The bumped params version.
+    pub version: u64,
+    /// Shapes whose best strategy changed (stale entries invalidated,
+    /// new winner warmed).
+    pub reselections: Vec<Reselect>,
+    /// Total cache entries invalidated.
+    pub invalidated: usize,
+    /// Programs freshly compiled by re-warming.
+    pub warmed: usize,
+}
+
+/// The closed-loop tuner: wraps a [`DriftMonitor`] and a versioned
+/// parameter set, and acts on verdicts against the plan cache.
+#[derive(Debug)]
+pub struct AutoTuner {
+    monitor: DriftMonitor,
+    tuned: TunedParams,
+    shapes: Vec<TrackedShape>,
+}
+
+impl AutoTuner {
+    /// A tuner for a machine configured as `params`, with default drift
+    /// knobs.
+    pub fn new(params: MachineParams) -> Self {
+        Self::with_config(params, DriftConfig::default())
+    }
+
+    /// A tuner with explicit drift knobs.
+    pub fn with_config(params: MachineParams, cfg: DriftConfig) -> Self {
+        AutoTuner {
+            monitor: DriftMonitor::with_config(params, cfg),
+            tuned: TunedParams::new(params),
+            shapes: Vec::new(),
+        }
+    }
+
+    /// The parameters currently pricing selections.
+    pub fn params(&self) -> &MachineParams {
+        &self.tuned.current
+    }
+
+    /// The current params version (1 = as configured; each refit bumps).
+    pub fn version(&self) -> u64 {
+        self.tuned.version
+    }
+
+    /// Read access to the wrapped monitor (estimate, sample count).
+    pub fn monitor(&self) -> &DriftMonitor {
+        &self.monitor
+    }
+
+    /// Registers a call shape for post-refit re-selection. Duplicate
+    /// registrations are ignored.
+    pub fn track(&mut self, shape: TrackedShape) {
+        if !self.shapes.contains(&shape) {
+            self.shapes.push(shape);
+        }
+    }
+
+    /// The shapes the tuner will re-select after a refit.
+    pub fn tracked(&self) -> &[TrackedShape] {
+        &self.shapes
+    }
+
+    /// Feeds one residual report; on a drift verdict, retunes against
+    /// the process-wide [`global_cache`].
+    pub fn observe(&mut self, report: &ResidualReport) -> Option<RetuneReport> {
+        self.observe_with_cache(report, global_cache())
+    }
+
+    /// Feeds one residual report; on a drift verdict, refits the
+    /// parameters, re-selects every tracked shape and
+    /// invalidates/re-warms `cache`. Publishes the params version and
+    /// retune counters to the metrics registry.
+    pub fn observe_with_cache(
+        &mut self,
+        report: &ResidualReport,
+        cache: &PlanCache,
+    ) -> Option<RetuneReport> {
+        let verdict = self.monitor.observe(report)?;
+        let old_params = self.tuned.current;
+        let version = self.tuned.refit(verdict.refit.alpha, verdict.refit.beta);
+        let new_params = self.tuned.current;
+        self.monitor.rebase(new_params);
+
+        let mut reselections = Vec::new();
+        let mut invalidated = 0usize;
+        let mut warmed = 0usize;
+        for shape in &self.shapes {
+            let old = choose_strategy(shape.cost_op, shape.shape, shape.n_cost_bytes, &old_params);
+            let new = choose_strategy(shape.cost_op, shape.shape, shape.n_cost_bytes, &new_params);
+            if old == new {
+                continue;
+            }
+            // Retire every cached plan of this shape (any strategy,
+            // any opt level): each was compiled for a choice priced
+            // under the stale parameters.
+            let dropped = cache.invalidate_matching(|k| {
+                k.op == shape.plan_op && k.n == shape.n_elems && k.elem_size == shape.elem_size
+            });
+            invalidated += dropped;
+            warmed += cache
+                .warm_up([PlanKey {
+                    op: shape.plan_op,
+                    p: shape.shape.nodes(),
+                    n: shape.n_elems,
+                    elem_size: shape.elem_size,
+                    strategy: Some(new.clone()),
+                    opt: OptLevel::Full,
+                }])
+                .unwrap_or(0);
+            let ctx = match shape.shape {
+                GroupShape::Linear(_) => CostContext::linear_with(&new_params),
+                GroupShape::Mesh { .. } => CostContext::mesh_with(&new_params),
+            };
+            let price = |s: &Strategy| {
+                hybrid_cost(shape.cost_op, s, ctx).eval(shape.n_cost_bytes, &new_params)
+            };
+            reselections.push(Reselect {
+                shape: shape.clone(),
+                old_cost: price(&old),
+                new_cost: price(&new),
+                old,
+                new,
+                invalidated: dropped,
+            });
+        }
+
+        intercom_obs::metrics::counter_add(
+            "intercom_drift_verdicts_total",
+            &[("param", verdict.param.name())],
+            1,
+        );
+        intercom_obs::metrics::counter_add("intercom_refits_total", &[], 1);
+        intercom_obs::metrics::gauge_set("intercom_machine_params_version", &[], version as f64);
+        publish_cache_stats(cache);
+
+        Some(RetuneReport {
+            verdict,
+            old_params,
+            new_params,
+            version,
+            reselections,
+            invalidated,
+            warmed,
+        })
+    }
+}
+
+/// Publishes a plan cache's counters and occupancy to the metrics
+/// registry (no-op when the metrics layer is disabled).
+pub fn publish_cache_stats(cache: &PlanCache) {
+    if !intercom_obs::metrics::enabled() {
+        return;
+    }
+    let s = cache.stats();
+    let reg = intercom_obs::metrics::global();
+    reg.gauge_set("intercom_plancache_hits_total", &[], s.hits as f64);
+    reg.gauge_set("intercom_plancache_misses_total", &[], s.misses as f64);
+    reg.gauge_set(
+        "intercom_plancache_evictions_total",
+        &[],
+        s.evictions as f64,
+    );
+    reg.gauge_set(
+        "intercom_plancache_invalidations_total",
+        &[],
+        s.invalidations as f64,
+    );
+    reg.gauge_set("intercom_plancache_entries", &[], s.entries as f64);
+    if let Some(rate) = s.hit_rate() {
+        reg.gauge_set("intercom_plancache_hit_rate", &[], rate);
+    }
+}
+
+/// Publishes pool counters and the derived hit rate to the metrics
+/// registry (no-op when the metrics layer is disabled).
+pub fn publish_pool_stats(stats: &crate::pool::PoolStats) {
+    if !intercom_obs::metrics::enabled() {
+        return;
+    }
+    let reg = intercom_obs::metrics::global();
+    reg.counter_add("intercom_pool_acquire_hits_total", &[], stats.hits);
+    reg.counter_add("intercom_pool_acquire_misses_total", &[], stats.misses);
+    reg.counter_add("intercom_pool_recycled_total", &[], stats.recycled);
+    reg.counter_add("intercom_pool_discarded_total", &[], stats.discarded);
+    if let Some(rate) = stats.hit_rate() {
+        reg.gauge_set("intercom_pool_hit_rate", &[], rate);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracked_shapes_deduplicate() {
+        let mut tuner = AutoTuner::new(MachineParams::PARAGON_MODEL);
+        let shape = TrackedShape {
+            plan_op: PlanOp::Broadcast { root: 0 },
+            cost_op: CollectiveOp::Broadcast,
+            shape: GroupShape::Linear(8),
+            n_elems: 1024,
+            elem_size: 8,
+            n_cost_bytes: 8192,
+        };
+        tuner.track(shape.clone());
+        tuner.track(shape);
+        assert_eq!(tuner.tracked().len(), 1);
+        assert_eq!(tuner.version(), 1);
+    }
+}

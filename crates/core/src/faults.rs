@@ -184,6 +184,9 @@ pub enum FaultEventKind {
         /// The 1-based retransmission attempt.
         attempt: u32,
     },
+    /// This rank's checksum verdict rejected an incoming frame (the
+    /// receiver-side NAK that triggers the peer's retransmission).
+    Nak,
     /// A bounded wait expired on this rank.
     Timeout,
     /// This rank initiated (or observed) the coordinated abort.
@@ -199,6 +202,7 @@ impl FaultEventKind {
         match self {
             FaultEventKind::Injected(k) => k.name(),
             FaultEventKind::Retry { .. } => "retry",
+            FaultEventKind::Nak => "nak",
             FaultEventKind::Timeout => "timeout",
             FaultEventKind::Abort { .. } => "abort",
         }
@@ -337,6 +341,17 @@ impl FaultLayer {
     }
 
     fn log_event(&self, ev: FaultEvent) {
+        // The metrics layer sees every fault-path event as it happens
+        // (one branch when disabled), so recovered runs are visible in
+        // aggregate stats even when no tracer is attached.
+        let metric = match ev.kind {
+            FaultEventKind::Injected(_) => "intercom_fault_injected_total",
+            FaultEventKind::Retry { .. } => "intercom_fault_retries_total",
+            FaultEventKind::Nak => "intercom_fault_naks_total",
+            FaultEventKind::Timeout => "intercom_fault_timeouts_total",
+            FaultEventKind::Abort { .. } => "intercom_fault_aborts_total",
+        };
+        intercom_obs::metrics::counter_add(metric, &[("kind", ev.kind.name())], 1);
         self.logs[ev.rank]
             .lock()
             .unwrap_or_else(|p| p.into_inner())
@@ -586,6 +601,13 @@ impl<'a, C: Comm + ?Sized> FaultyComm<'a, C> {
                 buf.copy_from_slice(&wire[FRAME_HEADER..]);
                 return Ok(());
             }
+            self.layer.log_event(FaultEvent {
+                kind: FaultEventKind::Nak,
+                rank: self.rank,
+                peer: Some(from),
+                tag,
+                op_index: op,
+            });
         }
     }
 
@@ -668,9 +690,19 @@ impl<'a, C: Comm + ?Sized> FaultyComm<'a, C> {
                 )?,
                 (false, false) => unreachable!("exchange loop with nothing pending"),
             }
-            if need_recv && my_verdict {
-                buf.copy_from_slice(&rwire[FRAME_HEADER..]);
-                need_recv = false;
+            if need_recv {
+                if my_verdict {
+                    buf.copy_from_slice(&rwire[FRAME_HEADER..]);
+                    need_recv = false;
+                } else {
+                    self.layer.log_event(FaultEvent {
+                        kind: FaultEventKind::Nak,
+                        rank: self.rank,
+                        peer: Some(from),
+                        tag: rtag,
+                        op_index: op,
+                    });
+                }
             }
             if need_send && peer_verdict[0] == 1 {
                 need_send = false;

@@ -55,8 +55,35 @@ pub struct CacheStats {
     pub entries: usize,
     /// Programs evicted to keep occupancy within the capacity.
     pub evictions: u64,
+    /// Programs dropped by [`PlanCache::invalidate_matching`] (stale
+    /// after a `MachineParams` refit).
+    pub invalidations: u64,
     /// Maximum entries the cache retains.
     pub capacity: usize,
+}
+
+impl CacheStats {
+    /// The counter-wise difference `self − prev` — what happened
+    /// *between* two snapshots. Occupancy and capacity keep `self`'s
+    /// values (they are gauges, not counters). Merge-consistent: the
+    /// delta of accumulated totals equals the total of interval deltas.
+    pub fn delta(&self, prev: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(prev.hits),
+            misses: self.misses.saturating_sub(prev.misses),
+            entries: self.entries,
+            evictions: self.evictions.saturating_sub(prev.evictions),
+            invalidations: self.invalidations.saturating_sub(prev.invalidations),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Hit fraction of the lookups between construction (or the last
+    /// reset) and this snapshot, or `None` before any lookup.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
 }
 
 /// One cached program plus its recency stamp for LRU eviction.
@@ -110,6 +137,7 @@ pub struct PlanCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 /// Default capacity: generous for real applications (a working set is
@@ -136,6 +164,7 @@ impl PlanCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -205,6 +234,24 @@ impl PlanCache {
         Ok(compiled)
     }
 
+    /// Drops every cached program whose key satisfies `pred`, counting
+    /// each drop as an invalidation. Running plans are unaffected (they
+    /// hold their program by `Arc`); the next lookup of a dropped key
+    /// recompiles. This is how a `MachineParams` refit retires plans
+    /// whose frozen strategy was priced under stale parameters.
+    pub fn invalidate_matching(&self, pred: impl Fn(&PlanKey) -> bool) -> usize {
+        let mut store = self.store.lock().unwrap();
+        let stale: Vec<PlanKey> = store.plans.keys().filter(|k| pred(k)).cloned().collect();
+        for key in &stale {
+            if let Some(entry) = store.plans.remove(key) {
+                store.recency.remove(&entry.last_used);
+            }
+        }
+        self.invalidations
+            .fetch_add(stale.len() as u64, Ordering::Relaxed);
+        stale.len()
+    }
+
     /// Current counters and occupancy.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -212,6 +259,7 @@ impl PlanCache {
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.store.lock().unwrap().plans.len(),
             evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
             capacity: self.capacity,
         }
     }
@@ -225,6 +273,7 @@ impl PlanCache {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
+        self.invalidations.store(0, Ordering::Relaxed);
     }
 }
 
@@ -344,6 +393,51 @@ mod tests {
         // The compute loop then sees pure hits.
         cache.get_or_compile(&key(16)).unwrap();
         assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn invalidate_matching_drops_only_matches() {
+        let cache = PlanCache::new();
+        let old = cache.get_or_compile(&key(16)).unwrap();
+        cache.get_or_compile(&key(32)).unwrap();
+        let dropped = cache.invalidate_matching(|k| k.n == 16);
+        assert_eq!(dropped, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.invalidations), (1, 1));
+        // The dropped key recompiles (a fresh allocation), the survivor
+        // still hits.
+        let fresh = cache.get_or_compile(&key(16)).unwrap();
+        assert!(!Arc::ptr_eq(&old, &fresh), "stale program was retired");
+        let before = cache.stats().hits;
+        cache.get_or_compile(&key(32)).unwrap();
+        assert_eq!(cache.stats().hits, before + 1);
+    }
+
+    #[test]
+    fn invalidation_keeps_recency_index_consistent() {
+        let cache = PlanCache::with_capacity(2);
+        cache.get_or_compile(&key(1)).unwrap();
+        cache.get_or_compile(&key(2)).unwrap();
+        assert_eq!(cache.invalidate_matching(|_| true), 2);
+        // Eviction bookkeeping still works after a full purge.
+        for n in 3..=6 {
+            cache.get_or_compile(&key(n)).unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.evictions), (2, 2));
+    }
+
+    #[test]
+    fn stats_delta_subtracts_counters_keeps_gauges() {
+        let cache = PlanCache::new();
+        cache.get_or_compile(&key(16)).unwrap();
+        let prev = cache.stats();
+        cache.get_or_compile(&key(16)).unwrap();
+        cache.get_or_compile(&key(32)).unwrap();
+        let d = cache.stats().delta(&prev);
+        assert_eq!((d.hits, d.misses), (1, 1));
+        assert_eq!(d.entries, 2, "occupancy is a gauge");
+        assert_eq!(d.hit_rate(), Some(0.5));
     }
 
     #[test]

@@ -103,10 +103,30 @@ fn run<T: Scalar, C: Comm + ?Sized>(
     // temporaries are fresh zeroed allocations every call.
     scratch.clear();
     scratch.resize(rp.scratch_bytes.div_ceil(elem), T::default());
+    // Production telemetry: one relaxed load each when disabled. When
+    // on, the flight recorder gets a black-box entry and the metrics
+    // registry a latency sample per execution (per rank — concurrent
+    // ranks of one plan share the flight entry via its refcount).
+    let metrics_on = intercom_obs::metrics::enabled();
+    let flight_on = intercom_obs::flight::enabled();
+    let started = metrics_on.then(std::time::Instant::now);
+    if flight_on {
+        let strategy = prog.strategy.as_ref().map(|s| s.to_string());
+        intercom_obs::flight::begin(
+            prog.plan_id,
+            prog.op.name(),
+            prog.p,
+            prog.n,
+            strategy.as_deref(),
+        );
+    }
     let comm = gc.comm();
-    let result = (|| {
+    let result: Result<()> = (|| {
         for (idx, step) in rp.steps.iter().enumerate() {
             comm.plan_step(prog.plan_id, idx as u64);
+            if flight_on {
+                intercom_obs::flight::mark_step(prog.plan_id, idx as u64);
+            }
             match step.kind {
                 StepKind::Send { to, tag_off, src } => {
                     let s = read(args, scratch, elem, &src)?;
@@ -144,6 +164,39 @@ fn run<T: Scalar, C: Comm + ?Sized>(
         Ok(())
     })();
     comm.plan_step(0, 0);
+    if let Some(started) = started {
+        // Wall-clock on the executing thread: real latency for the
+        // threaded runtime; for the simulator it is host compute time
+        // (virtual time lives in the SimReport, ingested separately).
+        let strategy = prog
+            .strategy
+            .as_ref()
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "-".into());
+        let (p_s, n_s) = (prog.p.to_string(), prog.n.to_string());
+        let labels = &[
+            ("op", prog.op.name()),
+            ("strategy", strategy.as_str()),
+            ("p", p_s.as_str()),
+            ("n", n_s.as_str()),
+        ][..];
+        intercom_obs::metrics::observe(
+            "intercom_plan_exec_seconds",
+            labels,
+            started.elapsed().as_secs_f64(),
+        );
+        intercom_obs::metrics::counter_add(
+            "intercom_plan_steps_total",
+            &[("op", prog.op.name())],
+            rp.steps.len() as u64,
+        );
+    }
+    if flight_on {
+        match &result {
+            Ok(()) => intercom_obs::flight::finish(prog.plan_id),
+            Err(e) => intercom_obs::flight::fail(prog.plan_id, &e.to_string()),
+        }
+    }
     result
 }
 

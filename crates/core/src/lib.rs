@@ -37,6 +37,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod algorithms;
+pub mod autotune;
 pub mod block;
 pub mod cast;
 pub mod comm;
@@ -54,6 +55,7 @@ pub mod rng;
 pub mod selector;
 pub mod trace;
 
+pub use autotune::{AutoTuner, Reselect, RetuneReport, TrackedShape};
 pub use cast::Scalar;
 pub use comm::{Comm, GroupComm, Tag};
 pub use communicator::{Algo, Communicator, CALL_TAG_STRIDE};

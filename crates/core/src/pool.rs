@@ -58,6 +58,20 @@ impl PoolStats {
         self.recycled += other.recycled;
         self.discarded += other.discarded;
     }
+
+    /// The counter-wise difference `self − prev`: what the pool did
+    /// *between* two snapshots, so live views and bench A/Bs read
+    /// interval rates directly instead of re-deriving them from raw
+    /// totals. Merge-consistent with [`merge`](PoolStats::merge):
+    /// `merge(a, b).delta(&merge(a0, b0)) == merge(a.delta(&a0), b.delta(&b0))`.
+    pub fn delta(&self, prev: &PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits.saturating_sub(prev.hits),
+            misses: self.misses.saturating_sub(prev.misses),
+            recycled: self.recycled.saturating_sub(prev.recycled),
+            discarded: self.discarded.saturating_sub(prev.discarded),
+        }
+    }
 }
 
 /// A size-classed recycling pool of `Vec<u8>` payload buffers.

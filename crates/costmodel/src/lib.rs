@@ -49,6 +49,6 @@ pub use contention::{CompositeContention, TenantLoad};
 pub use crossover::crossover_length;
 pub use enumerate::{enumerate_mesh_strategies, enumerate_strategies};
 pub use expr::CostExpr;
-pub use machine::MachineParams;
+pub use machine::{MachineParams, TunedParams};
 pub use select::{best_strategy, rank_strategies};
 pub use strategy::{ConflictModel, Strategy, StrategyKind};

@@ -101,6 +101,52 @@ impl MachineParams {
     pub fn ptp(&self, n: usize) -> f64 {
         self.alpha + n as f64 * self.beta
     }
+
+    /// Returns a copy with the wire terms replaced by measured
+    /// estimates. γ, δ and `link_excess` are carried over unchanged:
+    /// the obs residual fit only identifies α and β (the compute and
+    /// call-overhead terms are subtracted before the least-squares
+    /// solve), so a refit must not disturb what it cannot observe.
+    /// Non-finite or non-positive estimates leave that term alone.
+    pub fn refit(mut self, alpha_hat: f64, beta_hat: f64) -> Self {
+        if alpha_hat.is_finite() && alpha_hat > 0.0 {
+            self.alpha = alpha_hat;
+        }
+        if beta_hat.is_finite() && beta_hat > 0.0 {
+            self.beta = beta_hat;
+        }
+        self
+    }
+}
+
+/// A versioned [`MachineParams`] holder: every refit bumps the version,
+/// which cache invalidation and the metrics gauge
+/// (`intercom_machine_params_version`) key on. Version 1 is the
+/// as-configured state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunedParams {
+    /// The parameters currently pricing selections.
+    pub current: MachineParams,
+    /// Monotonic version, starting at 1 and bumped by [`refit`](TunedParams::refit).
+    pub version: u64,
+}
+
+impl TunedParams {
+    /// Wraps freshly configured parameters at version 1.
+    pub fn new(params: MachineParams) -> Self {
+        TunedParams {
+            current: params,
+            version: 1,
+        }
+    }
+
+    /// Installs measured α̂/β̂ via [`MachineParams::refit`] and bumps
+    /// the version. Returns the new version.
+    pub fn refit(&mut self, alpha_hat: f64, beta_hat: f64) -> u64 {
+        self.current = self.current.refit(alpha_hat, beta_hat);
+        self.version += 1;
+        self.version
+    }
 }
 
 impl Default for MachineParams {

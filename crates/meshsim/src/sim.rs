@@ -176,12 +176,26 @@ where
                 }
             })
             .collect();
-        SimReport {
+        let report = SimReport {
             results,
             elapsed: engine.elapsed(),
             clocks: engine.clocks().to_vec(),
             trace: engine.take_trace().map(Trace::new),
+        };
+        // Production telemetry: virtual elapsed time and (when tracing)
+        // the transfer-derived counter totals. One branch when disabled.
+        if intercom_obs::metrics::enabled() {
+            let p_label = p.to_string();
+            let l = &[("p", p_label.as_str())][..];
+            intercom_obs::metrics::observe("intercom_sim_elapsed_seconds", l, report.elapsed);
+            if let Some(trace) = &report.trace {
+                intercom_obs::metrics::ingest_run(
+                    "sim",
+                    &intercom_obs::RunRecord::from_transfers(trace.records(), p),
+                );
+            }
         }
+        report
     })
 }
 

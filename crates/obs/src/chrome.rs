@@ -76,9 +76,15 @@ pub fn chrome_trace(run: &RunRecord) -> String {
         }
     }
     out.push_str("\n  ],\n");
+    let per_rank_dropped = run
+        .dropped
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
     let _ = write!(
         out,
-        "  \"otherData\": {{\"ranks\": {}, \"events\": {}, \"msgs_sent\": {}, \"bytes_out\": {}, \"bytes_in\": {}, \"dropped\": {}}}\n}}\n",
+        "  \"otherData\": {{\"ranks\": {}, \"events\": {}, \"msgs_sent\": {}, \"bytes_out\": {}, \"bytes_in\": {}, \"dropped\": {}, \"dropped_per_rank\": [{per_rank_dropped}]}}\n}}\n",
         run.p(),
         run.all_events().count(),
         totals.msgs_sent,

@@ -1,0 +1,349 @@
+//! The drift monitor: folds streaming [`ResidualReport`]s into an
+//! online α̂/β̂ estimate and raises a [`DriftVerdict`] when the
+//! estimate departs from the configured [`MachineParams`].
+//!
+//! This is the sensing half of the ROADMAP's closed autotuning loop
+//! ("Fast Tuning of Intra-Cluster Collective Communications" rebuilt on
+//! our verified schedules): the residual analyzer already fits α̂/β̂
+//! per recorded run; the monitor EWMA-smooths those one-shot fits,
+//! gates on a minimum sample count so a single noisy run cannot
+//! retune the machine, and compares the smoothed estimate against the
+//! active parameters. Crossing the relative-error threshold on either
+//! parameter yields a verdict carrying a refit `MachineParams`
+//! (γ/δ/link-excess are kept — the residual fit only identifies the
+//! wire terms); acting on the verdict — bumping the params version and
+//! invalidating the plan cache — is the `intercom::autotune` layer's
+//! job, keeping this module a pure, deterministic fold over f64
+//! streams (same stream ⇒ same refit, on any backend).
+
+use crate::residual::ResidualReport;
+use intercom_cost::MachineParams;
+
+/// Tuning knobs for a [`DriftMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// EWMA smoothing factor in `(0, 1]`: weight of the newest fit.
+    /// 1.0 = trust only the latest run.
+    pub ewma: f64,
+    /// Relative error `|est − configured| / configured` on α or β that
+    /// triggers a verdict.
+    pub rel_threshold: f64,
+    /// Fits to absorb before verdicts may fire (confidence gating).
+    pub min_samples: u32,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            ewma: 0.3,
+            rel_threshold: 0.25,
+            min_samples: 3,
+        }
+    }
+}
+
+/// Which parameter(s) crossed the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftParam {
+    /// Startup cost α drifted.
+    Alpha,
+    /// Per-byte cost β drifted.
+    Beta,
+    /// Both drifted.
+    Both,
+}
+
+impl DriftParam {
+    /// Short lowercase name (metric label value).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DriftParam::Alpha => "alpha",
+            DriftParam::Beta => "beta",
+            DriftParam::Both => "both",
+        }
+    }
+}
+
+/// The monitor's finding: reality has drifted from the configured
+/// machine, and here is the refit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftVerdict {
+    /// Which parameter(s) crossed the threshold.
+    pub param: DriftParam,
+    /// The parameters the system was pricing with.
+    pub configured: MachineParams,
+    /// The refit: smoothed α̂/β̂ with the configured γ/δ/link-excess
+    /// carried over.
+    pub refit: MachineParams,
+    /// `|α̂ − α| / α` at verdict time.
+    pub alpha_rel_err: f64,
+    /// `|β̂ − β| / β` at verdict time.
+    pub beta_rel_err: f64,
+    /// Fits absorbed when the verdict fired.
+    pub samples: u32,
+}
+
+/// Online α̂/β̂ estimator with confidence gating. Feed it every
+/// [`ResidualReport`] via [`observe`](DriftMonitor::observe); it
+/// returns a [`DriftVerdict`] at most once per threshold crossing
+/// (re-arming only after [`rebase`](DriftMonitor::rebase)).
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    cfg: DriftConfig,
+    configured: MachineParams,
+    alpha_est: Option<f64>,
+    beta_est: Option<f64>,
+    samples: u32,
+    tripped: bool,
+}
+
+impl DriftMonitor {
+    /// A monitor comparing against `configured` with default knobs.
+    pub fn new(configured: MachineParams) -> Self {
+        Self::with_config(configured, DriftConfig::default())
+    }
+
+    /// A monitor with explicit knobs.
+    pub fn with_config(configured: MachineParams, cfg: DriftConfig) -> Self {
+        DriftMonitor {
+            cfg,
+            configured,
+            alpha_est: None,
+            beta_est: None,
+            samples: 0,
+            tripped: false,
+        }
+    }
+
+    /// The parameters the monitor is comparing against.
+    pub fn configured(&self) -> &MachineParams {
+        &self.configured
+    }
+
+    /// Smoothed `(α̂, β̂)`, once at least one usable fit has arrived.
+    pub fn estimate(&self) -> Option<(f64, f64)> {
+        Some((self.alpha_est?, self.beta_est?))
+    }
+
+    /// Usable fits absorbed so far.
+    pub fn samples(&self) -> u32 {
+        self.samples
+    }
+
+    fn fold(est: &mut Option<f64>, sample: f64, ewma: f64) {
+        *est = Some(match *est {
+            None => sample,
+            Some(prev) => prev + ewma * (sample - prev),
+        });
+    }
+
+    /// Absorbs one residual report. Reports without a finite, positive
+    /// α̂ *and* β̂ fit are skipped (under-determined runs: fewer than
+    /// two distinct stages). Returns a verdict when the smoothed
+    /// estimate first crosses the threshold after the confidence gate.
+    pub fn observe(&mut self, report: &ResidualReport) -> Option<DriftVerdict> {
+        let (a, b) = (report.fitted_alpha?, report.fitted_beta?);
+        if !(a.is_finite() && b.is_finite() && a > 0.0 && b > 0.0) {
+            return None;
+        }
+        Self::fold(&mut self.alpha_est, a, self.cfg.ewma);
+        Self::fold(&mut self.beta_est, b, self.cfg.ewma);
+        self.samples += 1;
+        if self.tripped || self.samples < self.cfg.min_samples {
+            return None;
+        }
+        let (a_est, b_est) = (self.alpha_est?, self.beta_est?);
+        let rel = |est: f64, conf: f64| {
+            if conf > 0.0 {
+                (est - conf).abs() / conf
+            } else {
+                f64::INFINITY
+            }
+        };
+        let a_err = rel(a_est, self.configured.alpha);
+        let b_err = rel(b_est, self.configured.beta);
+        let param = match (
+            a_err > self.cfg.rel_threshold,
+            b_err > self.cfg.rel_threshold,
+        ) {
+            (true, true) => DriftParam::Both,
+            (true, false) => DriftParam::Alpha,
+            (false, true) => DriftParam::Beta,
+            (false, false) => return None,
+        };
+        self.tripped = true;
+        Some(DriftVerdict {
+            param,
+            configured: self.configured,
+            refit: self.configured.refit(a_est, b_est),
+            alpha_rel_err: a_err,
+            beta_rel_err: b_err,
+            samples: self.samples,
+        })
+    }
+
+    /// Re-arms the monitor against freshly adopted parameters (called
+    /// after a verdict's refit is installed). The smoothed estimate is
+    /// kept — it is the best current knowledge — but the trip latch
+    /// resets, so a *further* drift away from the new baseline can
+    /// fire again.
+    pub fn rebase(&mut self, configured: MachineParams) {
+        self.configured = configured;
+        self.tripped = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, TraceEvent, LEVEL_TAG_STRIDE};
+    use crate::record::RunRecord;
+    use crate::residual::analyze;
+    use intercom_cost::{CollectiveOp, CostContext, Strategy, StrategyKind};
+
+    /// A report whose α̂/β̂ fit exactly `(alpha, beta)` by synthesizing
+    /// event durations from the model (the pattern of
+    /// `residual::tests::alpha_beta_fit_recovers_exact_model`).
+    fn synthetic_report(alpha: f64, beta: f64) -> ResidualReport {
+        let machine = MachineParams::PARAGON_MODEL;
+        let truth = MachineParams {
+            alpha,
+            beta,
+            ..machine
+        };
+        let strategy = Strategy::new(vec![2, 2, 3], StrategyKind::Mst);
+        let p = strategy.nodes();
+        let n = 4096usize;
+        let preds = intercom_cost::stage_predictions(
+            CollectiveOp::Broadcast,
+            &strategy,
+            CostContext::linear_with(&machine),
+        );
+        let mut events: Vec<Vec<TraceEvent>> = vec![Vec::new(); p];
+        let mut t = 0.0f64;
+        for pred in &preds {
+            let dur = pred.cost.eval(n, &truth);
+            events[0].push(TraceEvent {
+                kind: EventKind::Send,
+                rank: 0,
+                src: 0,
+                dst: 1,
+                tag: pred.level as u64 * LEVEL_TAG_STRIDE + pred.sub,
+                bytes: n,
+                start: t,
+                end: t + dur,
+                hops: 0,
+                plan: 0,
+                step: 0,
+            });
+            t += dur;
+        }
+        let run = RunRecord::from_ranks(
+            events
+                .into_iter()
+                .enumerate()
+                .map(|(rank, ev)| crate::record::RankRecord {
+                    rank,
+                    events: ev,
+                    counters: Default::default(),
+                    dropped: 0,
+                })
+                .collect(),
+        );
+        analyze(
+            &run,
+            CollectiveOp::Broadcast,
+            &strategy,
+            CostContext::linear_with(&machine),
+            &machine,
+            n,
+        )
+    }
+
+    #[test]
+    fn stable_machine_never_trips() {
+        let machine = MachineParams::PARAGON_MODEL;
+        let mut mon = DriftMonitor::new(machine);
+        for _ in 0..10 {
+            let r = synthetic_report(machine.alpha, machine.beta);
+            assert!(mon.observe(&r).is_none());
+        }
+        let (a, b) = mon.estimate().unwrap();
+        assert!((a - machine.alpha).abs() / machine.alpha < 1e-6);
+        assert!((b - machine.beta).abs() / machine.beta < 1e-6);
+    }
+
+    #[test]
+    fn doubled_beta_trips_after_confidence_gate() {
+        let machine = MachineParams::PARAGON_MODEL;
+        let mut mon = DriftMonitor::new(machine);
+        let mut verdict = None;
+        let mut fired_at = 0;
+        for i in 1..=10 {
+            let r = synthetic_report(machine.alpha, machine.beta * 2.0);
+            if let Some(v) = mon.observe(&r) {
+                verdict = Some(v);
+                fired_at = i;
+                break;
+            }
+        }
+        let v = verdict.expect("2x beta must trip the monitor");
+        assert!(fired_at >= 3, "confidence gate holds until min_samples");
+        assert!(matches!(v.param, DriftParam::Beta | DriftParam::Both));
+        let true_beta = machine.beta * 2.0;
+        assert!(
+            (v.refit.beta - true_beta).abs() / true_beta < 0.10,
+            "refit β {} within 10% of true {}",
+            v.refit.beta,
+            true_beta
+        );
+        assert_eq!(v.refit.gamma, machine.gamma, "γ carried over");
+        assert_eq!(v.refit.delta, machine.delta, "δ carried over");
+        // Latched until rebase.
+        let r = synthetic_report(machine.alpha, machine.beta * 2.0);
+        assert!(mon.observe(&r).is_none(), "no duplicate verdicts");
+        mon.rebase(v.refit);
+        let r = synthetic_report(machine.alpha, machine.beta * 2.0);
+        assert!(
+            mon.observe(&r).is_none(),
+            "estimate matches the rebased params"
+        );
+    }
+
+    #[test]
+    fn monitor_is_deterministic_over_a_fixed_stream() {
+        let machine = MachineParams::PARAGON_MODEL;
+        let stream: Vec<ResidualReport> = (0..8)
+            .map(|i| synthetic_report(machine.alpha * (1.0 + 0.1 * i as f64), machine.beta * 1.8))
+            .collect();
+        let run = |stream: &[ResidualReport]| {
+            let mut mon = DriftMonitor::new(machine);
+            let mut verdicts = Vec::new();
+            for r in stream {
+                if let Some(v) = mon.observe(r) {
+                    verdicts.push(v);
+                }
+            }
+            (mon.estimate(), verdicts)
+        };
+        let (est1, v1) = run(&stream);
+        let (est2, v2) = run(&stream);
+        assert_eq!(est1, est2, "same stream, same estimate (bitwise)");
+        assert_eq!(v1, v2, "same stream, same verdicts");
+        assert!(!v1.is_empty());
+    }
+
+    #[test]
+    fn underdetermined_reports_are_skipped() {
+        let machine = MachineParams::PARAGON_MODEL;
+        let mut mon = DriftMonitor::new(machine);
+        let mut r = synthetic_report(machine.alpha, machine.beta);
+        r.fitted_alpha = None;
+        assert!(mon.observe(&r).is_none());
+        assert_eq!(mon.samples(), 0, "skipped fits do not count");
+        let mut r2 = synthetic_report(machine.alpha, machine.beta);
+        r2.fitted_beta = Some(f64::NAN);
+        assert!(mon.observe(&r2).is_none());
+        assert_eq!(mon.samples(), 0);
+    }
+}

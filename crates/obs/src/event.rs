@@ -32,6 +32,9 @@ pub enum EventKind {
     /// The fault layer retransmitted a message (attempt count rides in
     /// `bytes`).
     Retry,
+    /// A checksum verdict rejected an incoming frame (receiver-side
+    /// NAK; `src` names the sender being refused).
+    Nak,
     /// A bounded wait expired; `src` names the silent peer.
     Timeout,
     /// The coordinated abort reached this rank.
@@ -48,6 +51,7 @@ impl EventKind {
             EventKind::Reduce => "reduce",
             EventKind::FaultInjected => "fault",
             EventKind::Retry => "retry",
+            EventKind::Nak => "nak",
             EventKind::Timeout => "timeout",
             EventKind::Abort => "abort",
         }

@@ -22,7 +22,15 @@
 //!   report measured-vs-predicted α/β residuals, per-stage skew and
 //!   the slowest-rank critical path;
 //! - the [`Trace`] timeline view (step diagrams, Gantt charts, hot-pair
-//!   summaries) that previously lived inside the simulator.
+//!   summaries) that previously lived inside the simulator;
+//! - the always-on production telemetry layer: the [`metrics`]
+//!   registry (counters / gauges / log-bucketed histograms, Prometheus
+//!   and JSON exposition), the [`flight`] recorder (black box of the
+//!   last K plan executions, dumped on failure), and the [`drift`]
+//!   monitor (online α̂/β̂ estimate over streaming residual reports,
+//!   raising a [`DriftVerdict`] when reality departs from the
+//!   configured `MachineParams` — the sensing half of the closed
+//!   autotuning loop).
 //!
 //! See `docs/OBSERVABILITY.md` for the schema reference and a guided
 //! tour of the residual report.
@@ -30,14 +38,20 @@
 #![forbid(unsafe_code)]
 
 pub mod chrome;
+pub mod drift;
 pub mod event;
+pub mod flight;
 pub mod json;
+pub mod metrics;
 pub mod record;
 pub mod residual;
 pub mod timeline;
 
 pub use chrome::{chrome_trace, escape_json};
+pub use drift::{DriftConfig, DriftMonitor, DriftParam, DriftVerdict};
 pub use event::{stage_of, EventKind, Stage, TraceEvent, CALL_TAG_STRIDE, LEVEL_TAG_STRIDE};
+pub use flight::{FlightEntry, FlightOutcome, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
+pub use metrics::{Histogram, MetricKey, MetricValue, Registry, Shard, Snapshot};
 pub use record::{
     disabled_recorders, recorders, Counters, RankRecord, Recorder, RingBuffer, RunRecord,
     DEFAULT_RING_CAPACITY,

@@ -95,6 +95,16 @@ pub struct Counters {
     pub pool_hits: u64,
     /// Payload-pool acquire misses (filled at drain from the pool).
     pub pool_misses: u64,
+    /// Scripted faults that fired on this rank (fault-injection runs).
+    pub faults_injected: u64,
+    /// Fault-layer retransmissions (NAK- or drop-triggered resends).
+    pub retries: u64,
+    /// Checksum NAK verdicts this rank issued on receive.
+    pub naks: u64,
+    /// Bounded waits that expired (each precedes an abort or a retry).
+    pub timeout_waits: u64,
+    /// Coordinated-abort poison deliveries observed on this rank.
+    pub aborts: u64,
     /// Seconds spent blocked waiting for a peer (recv with no matching
     /// message yet, rendezvous completion waits).
     pub wait_secs: f64,
@@ -103,6 +113,24 @@ pub struct Counters {
 }
 
 impl Counters {
+    /// Folds one event into the fault counters. Communication and
+    /// reduction events are untouched — they are counted firsthand by
+    /// the backends; the fault regime only exists as trace events
+    /// (`verify::chaos::fault_trace_events` merges the fault layer's
+    /// log onto rank timelines), so recovered-vs-clean runs would
+    /// otherwise be indistinguishable in aggregate stats.
+    pub fn note_event(&mut self, kind: crate::event::EventKind) {
+        use crate::event::EventKind;
+        match kind {
+            EventKind::FaultInjected => self.faults_injected += 1,
+            EventKind::Retry => self.retries += 1,
+            EventKind::Nak => self.naks += 1,
+            EventKind::Timeout => self.timeout_waits += 1,
+            EventKind::Abort => self.aborts += 1,
+            EventKind::Send | EventKind::Recv | EventKind::SendRecv | EventKind::Reduce => {}
+        }
+    }
+
     /// Accumulates `other` into `self` (for whole-run aggregates).
     pub fn merge(&mut self, other: &Counters) {
         self.msgs_sent += other.msgs_sent;
@@ -115,6 +143,11 @@ impl Counters {
         self.reduce_bytes += other.reduce_bytes;
         self.pool_hits += other.pool_hits;
         self.pool_misses += other.pool_misses;
+        self.faults_injected += other.faults_injected;
+        self.retries += other.retries;
+        self.naks += other.naks;
+        self.timeout_waits += other.timeout_waits;
+        self.aborts += other.aborts;
         self.wait_secs += other.wait_secs;
         self.transfer_secs += other.transfer_secs;
     }
@@ -253,11 +286,16 @@ pub struct RunRecord {
 
 impl RunRecord {
     /// Assembles a run from drained per-rank records (any order).
+    /// Fault-kind events on each timeline are folded into that rank's
+    /// fault counters here, at drain time — zero hot-path cost.
     pub fn from_ranks(mut ranks: Vec<RankRecord>) -> Self {
         ranks.sort_by_key(|r| r.rank);
         let mut run = RunRecord::default();
-        for r in ranks {
+        for mut r in ranks {
             debug_assert_eq!(r.rank, run.events.len(), "rank records must be dense");
+            for ev in &r.events {
+                r.counters.note_event(ev.kind);
+            }
             run.events.push(r.events);
             run.counters.push(r.counters);
             run.dropped.push(r.dropped);

@@ -217,6 +217,11 @@ where
         }
     }
     let run = recording.then(|| RunRecord::from_ranks(ranks));
+    if let Some(run) = &run {
+        // Production telemetry: fold the drained counter totals into
+        // the global metrics registry (one branch when disabled).
+        intercom_obs::metrics::ingest_run("threads", run);
+    }
     (out, run)
 }
 

@@ -373,6 +373,7 @@ pub fn fault_trace_events(events: &[FaultEvent]) -> Vec<TraceEvent> {
             let kind = match e.kind {
                 FaultEventKind::Injected(_) => EventKind::FaultInjected,
                 FaultEventKind::Retry { .. } => EventKind::Retry,
+                FaultEventKind::Nak => EventKind::Nak,
                 FaultEventKind::Timeout => EventKind::Timeout,
                 FaultEventKind::Abort { .. } => EventKind::Abort,
             };

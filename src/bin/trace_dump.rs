@@ -168,6 +168,24 @@ fn dump_one(
     };
     let base = format!("{}_{}_p{}", op.name(), backend, p);
 
+    // Ring overflow silently truncates timelines; say so per rank, so
+    // an exported trace is never mistaken for a complete record.
+    let lost: u64 = rec.run.dropped.iter().sum();
+    if lost > 0 {
+        let per_rank: Vec<String> = rec
+            .run
+            .dropped
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d > 0)
+            .map(|(r, d)| format!("rank {r}: {d}"))
+            .collect();
+        eprintln!(
+            "{base}: WARNING: {lost} events dropped to ring overflow ({}) — the exported trace is incomplete; raise the ring capacity",
+            per_rank.join(", ")
+        );
+    }
+
     let doc = chrome_trace(&rec.run);
     if check {
         json::parse(&doc).map_err(|e| format!("{base}: exported trace is not valid JSON: {e}"))?;

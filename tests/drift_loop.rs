@@ -1,0 +1,150 @@
+//! Acceptance test for the closed observe→drift→refit→re-select loop
+//! (the ROADMAP's "closed-loop autotuning from observed residuals").
+//!
+//! A simulated machine whose true β is 2× the configured Paragon model
+//! runs production collectives; the residual reports stream into an
+//! [`AutoTuner`]. The loop must: raise a [`DriftVerdict`] once the
+//! confidence gate opens, refit β within 10% of the truth, invalidate
+//! the stale cached plans, and re-select a strategy the cost model
+//! prices cheaper than the stale choice — with the whole transaction
+//! visible in the metrics registry.
+
+use intercom_suite::cost::{hybrid_cost, CollectiveOp, CostContext, MachineParams, Strategy};
+use intercom_suite::driver::{record_sim, residual_report};
+use intercom_suite::intercom::ir::{OptLevel, PlanCache, PlanKey, PlanOp};
+use intercom_suite::intercom::selector::{choose_strategy, GroupShape};
+use intercom_suite::intercom::{AutoTuner, TrackedShape};
+use intercom_suite::obs::metrics;
+use intercom_suite::topology::Mesh2D;
+use intercom_suite::verify::VerifyOp;
+
+#[test]
+fn doubled_beta_closes_the_loop_end_to_end() {
+    metrics::set_enabled(true);
+    metrics::global().clear();
+
+    let configured = MachineParams::PARAGON_MODEL;
+    let mut true_machine = configured;
+    true_machine.beta *= 2.0;
+
+    // The call shape under test sits at the MST/SC crossover: under the
+    // configured β the selector picks the minimum-spanning-tree
+    // broadcast, under the doubled (degraded-bandwidth) β the
+    // scatter-collect hybrid wins.
+    let p = 8usize;
+    let n = 16384usize;
+    let stale = choose_strategy(
+        CollectiveOp::Broadcast,
+        GroupShape::Linear(p),
+        n,
+        &configured,
+    );
+    let fresh_truth = choose_strategy(
+        CollectiveOp::Broadcast,
+        GroupShape::Linear(p),
+        n,
+        &true_machine,
+    );
+    assert_ne!(stale, fresh_truth, "the shape must sit at a crossover");
+
+    let mut tuner = AutoTuner::new(configured);
+    tuner.track(TrackedShape {
+        plan_op: PlanOp::Broadcast { root: 0 },
+        cost_op: CollectiveOp::Broadcast,
+        shape: GroupShape::Linear(p),
+        n_elems: n,
+        elem_size: 1,
+        n_cost_bytes: n,
+    });
+    let cache = PlanCache::new();
+    cache
+        .warm_up([PlanKey {
+            op: PlanOp::Broadcast { root: 0 },
+            p,
+            n,
+            elem_size: 1,
+            strategy: Some(stale.clone()),
+            opt: OptLevel::Full,
+        }])
+        .expect("stale plan compiles");
+    assert_eq!(cache.stats().entries, 1);
+
+    // Production feedback: run the collective on the *true* (degraded)
+    // simulated machine, fold against the *configured* parameters. The
+    // scatter-collect strategy gives the α̂/β̂ fit two independent
+    // stages.
+    let op = VerifyOp::Broadcast { root: 0 };
+    let fit_strategy = Strategy::pure_long(p);
+    let mut retune = None;
+    for fed in 1..=8 {
+        let rec = record_sim(&op, Some(&fit_strategy), Mesh2D::new(1, p), n, true_machine);
+        let report = residual_report(&rec, &op, &fit_strategy, &configured, n)
+            .expect("broadcast has a cost-model counterpart");
+        if let Some(r) = tuner.observe_with_cache(&report, &cache) {
+            assert!(fed >= 3, "confidence gate must hold until min_samples");
+            retune = Some(r);
+            break;
+        }
+    }
+    let retune = retune.expect("2x beta must raise a drift verdict");
+
+    // Refit accuracy: β̂ within 10% of the true machine.
+    let beta_err = (retune.new_params.beta - true_machine.beta).abs() / true_machine.beta;
+    assert!(
+        beta_err <= 0.10,
+        "refit β {} vs true {} (err {:.1}%)",
+        retune.new_params.beta,
+        true_machine.beta,
+        beta_err * 100.0
+    );
+    assert_eq!(retune.version, 2, "first refit bumps the params version");
+
+    // The stale plan was invalidated and the new winner re-warmed.
+    assert_eq!(retune.invalidated, 1, "the warmed stale plan is retired");
+    assert_eq!(retune.warmed, 1, "the new choice is compiled eagerly");
+    assert!(cache.stats().invalidations >= 1);
+
+    // Re-selection: the new strategy matches what the selector would
+    // choose with perfect knowledge, and the cost model prices it
+    // strictly cheaper than the stale choice under the refit params.
+    let r = retune
+        .reselections
+        .iter()
+        .find(|r| r.shape.cost_op == CollectiveOp::Broadcast)
+        .expect("the tracked broadcast shape re-selects");
+    assert_eq!(r.old, stale);
+    assert_eq!(r.new, fresh_truth);
+    assert!(
+        r.new_cost < r.old_cost,
+        "re-selected {} ({:.3e}s) must beat stale {} ({:.3e}s)",
+        r.new,
+        r.new_cost,
+        r.old,
+        r.old_cost
+    );
+    // And under the *true* machine the switch is a real win too.
+    let ctx = CostContext::linear_with(&true_machine);
+    let price = |s: &Strategy| hybrid_cost(CollectiveOp::Broadcast, s, ctx).eval(n, &true_machine);
+    assert!(price(&r.new) < price(&r.old));
+
+    // The transaction is visible in the always-on telemetry.
+    let snap = metrics::global().snapshot();
+    assert_eq!(snap.counter_total("intercom_refits_total"), 1);
+    assert!(snap.counter_total("intercom_drift_verdicts_total") >= 1);
+    assert_eq!(
+        snap.gauge("intercom_machine_params_version", &[]),
+        Some(2.0)
+    );
+    assert!(
+        snap.gauge("intercom_plancache_invalidations_total", &[])
+            .unwrap_or(0.0)
+            >= 1.0
+    );
+    // The sim runs themselves were metered while the switch was on.
+    let sim_hist = snap
+        .histogram("intercom_sim_elapsed_seconds", &[("p", "8")])
+        .expect("sim elapsed histogram populated");
+    assert!(sim_hist.count() >= 3, "one observation per fed report");
+
+    metrics::set_enabled(false);
+}

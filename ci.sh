@@ -89,6 +89,9 @@ cargo run --release -p intercom-verify --bin schedule-audit -- --source=concurre
 echo "==> schedule-audit --source=chaos (fault-injection sweep, both backends)"
 cargo run --release -p intercom-verify --bin schedule-audit -- --source=chaos
 
+echo "==> schedule-audit --source=hier (hierarchical cluster-schedule sweep)"
+cargo run --release -p intercom-verify --bin schedule-audit -- --source=hier
+
 echo "==> hotpath bench (smoke)"
 cargo run --release -p intercom-bench --bin hotpath -- --smoke >/dev/null
 
@@ -112,5 +115,8 @@ cargo run --release --bin intercom-metrics -- --check --p 6 >/dev/null
 
 echo "==> drift-loop smoke (2x beta shift -> verdict, refit, re-selection)"
 cargo run --release -p intercom-bench --bin autotune -- --smoke >/dev/null
+
+echo "==> hierarchy A/B smoke (flat vs two-level hybrid on simulated clusters)"
+cargo run --release -p intercom-bench --bin hier -- --smoke >/dev/null
 
 echo "ci.sh: all green"

@@ -26,7 +26,8 @@ use intercom::comm::GroupComm;
 use intercom::ir::{OptLevel, PlanCache, PlanKey, PlanOp};
 use intercom::selector::{choose_strategy, GroupShape};
 use intercom::{algorithms, AutoTuner, RetuneReport, TrackedShape};
-use intercom_cost::{hybrid_cost, CollectiveOp, CostContext, MachineParams, Strategy};
+use intercom_cost::seltab::{load_or_build, Geometry, SelectionTable};
+use intercom_cost::{hybrid_cost, CollectiveOp, CostContext, MachineParams, Strategy, TunedParams};
 use intercom_meshsim::{simulate, SimConfig};
 use intercom_obs::{analyze, ResidualReport, RunRecord};
 use intercom_topology::Mesh2D;
@@ -125,6 +126,7 @@ fn main() -> ExitCode {
                 n,
                 elem_size: 1,
                 strategy: Some(stale),
+                hier: None,
                 opt: OptLevel::Full,
             }])
             .expect("warm-up compiles");
@@ -153,6 +155,29 @@ fn main() -> ExitCode {
     let refit_beta = retune.new_params.beta;
     let beta_rel_err = (refit_beta - true_machine.beta).abs() / true_machine.beta;
 
+    // Persisted selection table for the calibrated host: write the
+    // as-configured (v1) table, then demand the refit's version bump
+    // invalidates it and the rebuilt table re-prices at least one range.
+    std::fs::create_dir_all("target").expect("target dir");
+    let seltab_path = std::path::Path::new("target/seltab-host.txt");
+    let stale_tab =
+        SelectionTable::build("host", &TunedParams::new(configured), Geometry::Linear(8));
+    stale_tab.save(seltab_path).expect("write seltab");
+    let refit_tuned = TunedParams {
+        current: retune.new_params,
+        version: retune.version,
+    };
+    let (refit_tab, seltab_rebuilt) =
+        load_or_build(seltab_path, "host", &refit_tuned, Geometry::Linear(8))
+            .expect("reload seltab");
+    let seltab_repriced = refit_tab.tables != stale_tab.tables;
+    println!(
+        "seltab: v{} -> v{} at {}, rebuilt={seltab_rebuilt}, repriced={seltab_repriced}",
+        stale_tab.version,
+        refit_tab.version,
+        seltab_path.display(),
+    );
+
     // Score every re-selection under the TRUE machine: this is the
     // speedup the loop actually delivers, not the model's self-grade.
     let mut lines = Vec::new();
@@ -160,7 +185,9 @@ fn main() -> ExitCode {
     let mut all_no_worse = true;
     for r in &retune.reselections {
         let ctx = match r.shape.shape {
-            GroupShape::Linear(_) => CostContext::linear_with(&true_machine),
+            GroupShape::Linear(_) | GroupShape::Cluster { .. } => {
+                CostContext::linear_with(&true_machine)
+            }
             GroupShape::Mesh { .. } => CostContext::mesh_with(&true_machine),
         };
         let price = |s: &Strategy| {
@@ -204,7 +231,9 @@ fn main() -> ExitCode {
         && retune.invalidated > 0
         && retune.warmed > 0
         && any_strictly_better
-        && all_no_worse;
+        && all_no_worse
+        && seltab_rebuilt
+        && seltab_repriced;
 
     println!(
         "drift verdict after {fed} reports: β {:.3e} -> {:.3e} (true {:.3e}, err {:.1}%), \
@@ -223,7 +252,9 @@ fn main() -> ExitCode {
          \"configured_beta\": {},\n  \"true_beta\": {},\n  \"refit_beta\": {},\n  \
          \"refit_beta_rel_err\": {},\n  \"refit_tolerance\": {REFIT_TOLERANCE},\n  \
          \"params_version\": {},\n  \"warmed_before\": {warmed_before},\n  \
-         \"invalidated\": {},\n  \"rewarmed\": {},\n  \"reselections\": [\n{}\n  ],\n  \
+         \"invalidated\": {},\n  \"rewarmed\": {},\n  \
+         \"seltab_rebuilt\": {seltab_rebuilt},\n  \"seltab_repriced\": {seltab_repriced},\n  \
+         \"seltab_version\": {},\n  \"reselections\": [\n{}\n  ],\n  \
          \"pass\": {pass}\n}}\n",
         json_num(configured.beta),
         json_num(true_machine.beta),
@@ -232,6 +263,7 @@ fn main() -> ExitCode {
         retune.version,
         retune.invalidated,
         retune.warmed,
+        refit_tab.version,
         lines.join(",\n"),
     );
     std::fs::write("BENCH_autotune.json", &json).expect("write BENCH_autotune.json");

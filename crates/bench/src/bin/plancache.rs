@@ -42,6 +42,7 @@ fn shapes() -> Vec<Shape> {
                 n: 128,
                 elem_size: 8,
                 strategy: Some(Strategy::pure_long(8)),
+                hier: None,
                 opt: OptLevel::Full,
             },
         },
@@ -53,6 +54,7 @@ fn shapes() -> Vec<Shape> {
                 n: 4096,
                 elem_size: 1,
                 strategy: Some(Strategy::pure_mst(16)),
+                hier: None,
                 opt: OptLevel::Full,
             },
         },
@@ -64,6 +66,7 @@ fn shapes() -> Vec<Shape> {
                 n: 512,
                 elem_size: 1,
                 strategy: Some(Strategy::pure_long(12)),
+                hier: None,
                 opt: OptLevel::Full,
             },
         },

@@ -183,11 +183,14 @@ impl AutoTuner {
                     n: shape.n_elems,
                     elem_size: shape.elem_size,
                     strategy: Some(new.clone()),
+                    hier: None,
                     opt: OptLevel::Full,
                 }])
                 .unwrap_or(0);
             let ctx = match shape.shape {
-                GroupShape::Linear(_) => CostContext::linear_with(&new_params),
+                GroupShape::Linear(_) | GroupShape::Cluster { .. } => {
+                    CostContext::linear_with(&new_params)
+                }
                 GroupShape::Mesh { .. } => CostContext::mesh_with(&new_params),
             };
             let price = |s: &Strategy| {

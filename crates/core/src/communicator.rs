@@ -7,14 +7,21 @@
 //! a caller-specified short / long / explicit-hybrid algorithm.
 
 use crate::algorithms;
+use crate::autotune::{AutoTuner, RetuneReport, TrackedShape};
 use crate::cast::Scalar;
 use crate::comm::{Comm, GroupComm, Tag};
 use crate::error::Result;
+use crate::hier;
+use crate::ir::PlanOp;
 use crate::op::{Elem, ReduceOp};
 use crate::selector::{choose_strategy, GroupShape};
-use intercom_cost::{CollectiveOp, MachineParams, Strategy};
-use intercom_topology::{Hypercube, Mesh2D, ProcGroup};
-use std::cell::Cell;
+use intercom_cost::{
+    choose_hier, CollectiveOp, HierChoice, HierMachine, HierStrategy, MachineParams, Strategy,
+    TunedHier,
+};
+use intercom_obs::residual::ResidualReport;
+use intercom_topology::{Cluster, Hypercube, Mesh2D, ProcGroup};
+use std::cell::{Cell, Ref, RefCell};
 
 /// Algorithm choice for one collective call.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,8 +32,22 @@ pub enum Algo {
     Long,
     /// An explicit §6 hybrid strategy.
     Hybrid(Strategy),
-    /// Cost-model-driven selection (the library default).
+    /// An explicit hierarchical hybrid: level-tagged stages over a
+    /// cluster (requires the communicator's group to match the
+    /// strategy's cluster shape).
+    HierHybrid(HierStrategy),
+    /// Cost-model-driven selection (the library default). On a cluster
+    /// communicator this prices hierarchical hybrids against the best
+    /// flat strategy under the two-level model.
     Auto,
+}
+
+/// What the per-call dispatch resolved to: a flat strategy for the
+/// recursive §6 template, or a hierarchical strategy for the
+/// leader-based compositions of [`crate::hier`].
+enum Decision {
+    Flat(Strategy),
+    Hier(HierStrategy),
 }
 
 /// Tag stride between successive collective calls, comfortably larger
@@ -46,6 +67,12 @@ pub struct Communicator<'a, C: Comm + ?Sized> {
     gc: GroupComm<'a, C>,
     machine: MachineParams,
     shape: GroupShape,
+    /// Versioned per-level parameters, present on cluster communicators;
+    /// `machine` mirrors the network (outermost) level for flat pricing.
+    hier: Option<TunedHier>,
+    /// Drift tuner fed automatically by every selector-driven collective
+    /// (see [`Communicator::attach_tuner`]).
+    tuner: RefCell<Option<AutoTuner>>,
     next_tag: Cell<Tag>,
 }
 
@@ -58,8 +85,37 @@ impl<'a, C: Comm + ?Sized> Communicator<'a, C> {
             gc,
             machine,
             shape,
+            hier: None,
+            tuner: RefCell::new(None),
             next_tag: Cell::new(0),
         }
+    }
+
+    /// The whole world as a two-level cluster (node-major rank order:
+    /// global rank = node · ranks_per_node + local slot). Automatic
+    /// selection prices hierarchical hybrids under the per-level
+    /// `machine` against the best flat strategy at the network level.
+    pub fn world_on_cluster(comm: &'a C, machine: HierMachine, cluster: &Cluster) -> Result<Self> {
+        let gc = GroupComm::world(comm);
+        if cluster.ranks() != gc.len() {
+            return Err(crate::error::CommError::BadBufferSize {
+                expected: gc.len(),
+                actual: cluster.ranks(),
+            });
+        }
+        let shape = GroupShape::Cluster {
+            inter_rows: cluster.inter().rows(),
+            inter_cols: cluster.inter().cols(),
+            ranks_per_node: cluster.ranks_per_node(),
+        };
+        Ok(Communicator {
+            gc,
+            machine: *machine.inter(),
+            shape,
+            hier: Some(TunedHier::new(machine)),
+            tuner: RefCell::new(None),
+            next_tag: Cell::new(0),
+        })
     }
 
     /// The whole world as a physical `mesh` (row-major rank order):
@@ -81,6 +137,8 @@ impl<'a, C: Comm + ?Sized> Communicator<'a, C> {
             gc,
             machine,
             shape,
+            hier: None,
+            tuner: RefCell::new(None),
             next_tag: Cell::new(0),
         })
     }
@@ -106,6 +164,8 @@ impl<'a, C: Comm + ?Sized> Communicator<'a, C> {
             gc,
             machine,
             shape,
+            hier: None,
+            tuner: RefCell::new(None),
             next_tag: Cell::new(0),
         })
     }
@@ -129,6 +189,8 @@ impl<'a, C: Comm + ?Sized> Communicator<'a, C> {
             gc,
             machine,
             shape,
+            hier: None,
+            tuner: RefCell::new(None),
             next_tag: Cell::new(0),
         })
     }
@@ -158,9 +220,90 @@ impl<'a, C: Comm + ?Sized> Communicator<'a, C> {
         self.shape
     }
 
-    /// The strategy [`Algo::Auto`] would pick for `op` at `n_bytes`.
+    /// The versioned per-level parameters, when this communicator runs
+    /// on a cluster.
+    pub fn hier(&self) -> Option<&TunedHier> {
+        self.hier.as_ref()
+    }
+
+    /// The *flat* strategy [`Algo::Auto`] would pick for `op` at
+    /// `n_bytes` (on a cluster: the best level-blind strategy, priced
+    /// at the network level).
     pub fn auto_strategy(&self, op: CollectiveOp, n_bytes: usize) -> Strategy {
         choose_strategy(op, self.shape, n_bytes, &self.machine)
+    }
+
+    /// What [`Algo::Auto`] would run for `op` at `n_bytes`: on a
+    /// cluster communicator, the cheaper of the best hierarchical
+    /// hybrid and the best flat strategy under the two-level model;
+    /// elsewhere, the flat selection.
+    pub fn auto_choice(&self, op: CollectiveOp, n_bytes: usize) -> HierChoice {
+        match (self.shape.cluster_shape(), &self.hier) {
+            (Some(cs), Some(th)) => choose_hier(op, cs, n_bytes, &th.current),
+            _ => HierChoice::Flat(self.auto_strategy(op, n_bytes)),
+        }
+    }
+
+    /// Attaches a drift tuner. From now on every selector-driven
+    /// collective call registers its shape with the tuner — no explicit
+    /// [`AutoTuner::track`] plumbing — so a drift verdict re-selects
+    /// exactly the shapes this communicator actually ran.
+    pub fn attach_tuner(&mut self, tuner: AutoTuner) {
+        *self.tuner.borrow_mut() = Some(tuner);
+    }
+
+    /// Removes and returns the attached tuner, if any.
+    pub fn detach_tuner(&mut self) -> Option<AutoTuner> {
+        self.tuner.get_mut().take()
+    }
+
+    /// Read access to the attached tuner (estimate, tracked shapes).
+    pub fn tuner(&self) -> Ref<'_, Option<AutoTuner>> {
+        self.tuner.borrow()
+    }
+
+    /// Feeds one residual report to the attached tuner. On a drift
+    /// verdict the tuner refits, re-selects every tracked shape against
+    /// the process-wide plan cache, and this communicator adopts the new
+    /// parameters for subsequent selections — on a cluster, as a refit
+    /// of the *network* level (the drift monitor watches end-to-end
+    /// residuals, which the expensive level dominates), bumping the
+    /// [`TunedHier`] version.
+    pub fn observe(&mut self, report: &ResidualReport) -> Option<RetuneReport> {
+        let rep = self.tuner.get_mut().as_mut()?.observe(report)?;
+        self.machine = rep.new_params;
+        if let Some(th) = &mut self.hier {
+            let level = th.current.levels() - 1;
+            th.refit_level(level, rep.new_params.alpha, rep.new_params.beta);
+        }
+        Some(rep)
+    }
+
+    /// Registers a call shape with the attached tuner (no-op without
+    /// one). Only [`Algo::Auto`] calls feed the tuner: those are the
+    /// calls whose strategy a refit can change.
+    fn note_shape(
+        &self,
+        algo: &Algo,
+        plan_op: PlanOp,
+        cost_op: CollectiveOp,
+        n_elems: usize,
+        elem_size: usize,
+        n_cost_bytes: usize,
+    ) {
+        if !matches!(algo, Algo::Auto) {
+            return;
+        }
+        if let Some(t) = self.tuner.borrow_mut().as_mut() {
+            t.track(TrackedShape {
+                plan_op,
+                cost_op,
+                shape: self.shape,
+                n_elems,
+                elem_size,
+                n_cost_bytes,
+            });
+        }
     }
 
     fn fresh_tag(&self) -> Tag {
@@ -175,12 +318,16 @@ impl<'a, C: Comm + ?Sized> Communicator<'a, C> {
         self.fresh_tag()
     }
 
-    fn resolve(&self, op: CollectiveOp, n_bytes: usize, algo: &Algo) -> Strategy {
+    fn decide(&self, op: CollectiveOp, n_bytes: usize, algo: &Algo) -> Decision {
         match algo {
-            Algo::Short => Strategy::pure_mst(self.size()),
-            Algo::Long => Strategy::pure_long(self.size()),
-            Algo::Hybrid(s) => s.clone(),
-            Algo::Auto => self.auto_strategy(op, n_bytes),
+            Algo::Short => Decision::Flat(Strategy::pure_mst(self.size())),
+            Algo::Long => Decision::Flat(Strategy::pure_long(self.size())),
+            Algo::Hybrid(s) => Decision::Flat(s.clone()),
+            Algo::HierHybrid(h) => Decision::Hier(h.clone()),
+            Algo::Auto => match self.auto_choice(op, n_bytes) {
+                HierChoice::Flat(s) => Decision::Flat(s),
+                HierChoice::Hier(h) => Decision::Hier(h),
+            },
         }
     }
 
@@ -204,12 +351,19 @@ impl<'a, C: Comm + ?Sized> Communicator<'a, C> {
 
     /// Broadcast with an explicit algorithm choice.
     pub fn bcast_with<T: Scalar>(&self, root: usize, buf: &mut [T], algo: &Algo) -> Result<()> {
-        let s = self.resolve(
-            CollectiveOp::Broadcast,
-            std::mem::size_of_val(&buf[..]),
+        let bytes = std::mem::size_of_val(&buf[..]);
+        self.note_shape(
             algo,
+            PlanOp::Broadcast { root },
+            CollectiveOp::Broadcast,
+            buf.len(),
+            std::mem::size_of::<T>(),
+            bytes,
         );
-        algorithms::broadcast(&self.gc, &s, root, buf, self.fresh_tag())
+        match self.decide(CollectiveOp::Broadcast, bytes, algo) {
+            Decision::Flat(s) => algorithms::broadcast(&self.gc, &s, root, buf, self.fresh_tag()),
+            Decision::Hier(h) => hier::hier_broadcast(&self.gc, &h, root, buf, self.fresh_tag()),
+        }
     }
 
     /// Combine-to-one: ⊕-combine everyone's `buf` onto the root.
@@ -225,12 +379,19 @@ impl<'a, C: Comm + ?Sized> Communicator<'a, C> {
         op: ReduceOp,
         algo: &Algo,
     ) -> Result<()> {
-        let s = self.resolve(
-            CollectiveOp::CombineToOne,
-            std::mem::size_of_val(&buf[..]),
+        let bytes = std::mem::size_of_val(&buf[..]);
+        self.note_shape(
             algo,
+            PlanOp::Reduce { root },
+            CollectiveOp::CombineToOne,
+            buf.len(),
+            std::mem::size_of::<T>(),
+            bytes,
         );
-        algorithms::reduce(&self.gc, &s, root, buf, op, self.fresh_tag())
+        match self.decide(CollectiveOp::CombineToOne, bytes, algo) {
+            Decision::Flat(s) => algorithms::reduce(&self.gc, &s, root, buf, op, self.fresh_tag()),
+            Decision::Hier(h) => hier::hier_reduce(&self.gc, &h, root, buf, op, self.fresh_tag()),
+        }
     }
 
     /// Combine-to-all: ⊕-combine everyone's `buf` onto every member.
@@ -252,12 +413,19 @@ impl<'a, C: Comm + ?Sized> Communicator<'a, C> {
 
     /// Combine-to-all with an explicit algorithm choice.
     pub fn allreduce_with<T: Elem>(&self, buf: &mut [T], op: ReduceOp, algo: &Algo) -> Result<()> {
-        let s = self.resolve(
-            CollectiveOp::CombineToAll,
-            std::mem::size_of_val(&buf[..]),
+        let bytes = std::mem::size_of_val(&buf[..]);
+        self.note_shape(
             algo,
+            PlanOp::AllReduce,
+            CollectiveOp::CombineToAll,
+            buf.len(),
+            std::mem::size_of::<T>(),
+            bytes,
         );
-        algorithms::allreduce(&self.gc, &s, buf, op, self.fresh_tag())
+        match self.decide(CollectiveOp::CombineToAll, bytes, algo) {
+            Decision::Flat(s) => algorithms::allreduce(&self.gc, &s, buf, op, self.fresh_tag()),
+            Decision::Hier(h) => hier::hier_allreduce(&self.gc, &h, buf, op, self.fresh_tag()),
+        }
     }
 
     /// Collect (allgather): concatenate every member's `mine` into `all`
@@ -281,8 +449,19 @@ impl<'a, C: Comm + ?Sized> Communicator<'a, C> {
 
     /// Collect with an explicit algorithm choice.
     pub fn allgather_with<T: Scalar>(&self, mine: &[T], all: &mut [T], algo: &Algo) -> Result<()> {
-        let s = self.resolve(CollectiveOp::Collect, std::mem::size_of_val(&all[..]), algo);
-        algorithms::collect(&self.gc, &s, mine, all, self.fresh_tag())
+        let bytes = std::mem::size_of_val(&all[..]);
+        self.note_shape(
+            algo,
+            PlanOp::Collect,
+            CollectiveOp::Collect,
+            mine.len(),
+            std::mem::size_of::<T>(),
+            bytes,
+        );
+        match self.decide(CollectiveOp::Collect, bytes, algo) {
+            Decision::Flat(s) => algorithms::collect(&self.gc, &s, mine, all, self.fresh_tag()),
+            Decision::Hier(h) => hier::hier_collect(&self.gc, &h, mine, all, self.fresh_tag()),
+        }
     }
 
     /// Distributed combine (reduce-scatter): ⊕-combine everyone's
@@ -304,12 +483,23 @@ impl<'a, C: Comm + ?Sized> Communicator<'a, C> {
         op: ReduceOp,
         algo: &Algo,
     ) -> Result<()> {
-        let s = self.resolve(
-            CollectiveOp::DistributedCombine,
-            std::mem::size_of_val(contrib),
+        let bytes = std::mem::size_of_val(contrib);
+        self.note_shape(
             algo,
+            PlanOp::ReduceScatter,
+            CollectiveOp::DistributedCombine,
+            mine.len(),
+            std::mem::size_of::<T>(),
+            bytes,
         );
-        algorithms::reduce_scatter(&self.gc, &s, contrib, mine, op, self.fresh_tag())
+        match self.decide(CollectiveOp::DistributedCombine, bytes, algo) {
+            Decision::Flat(s) => {
+                algorithms::reduce_scatter(&self.gc, &s, contrib, mine, op, self.fresh_tag())
+            }
+            Decision::Hier(h) => {
+                hier::hier_reduce_scatter(&self.gc, &h, contrib, mine, op, self.fresh_tag())
+            }
+        }
     }
 
     /// Scatter the root's `full` into per-member blocks.
@@ -453,5 +643,88 @@ mod tests {
         // Degenerate world; just verify the call path works.
         let s = cc.auto_strategy(CollectiveOp::Broadcast, 1024);
         assert_eq!(s.nodes(), 1);
+    }
+
+    #[test]
+    fn cluster_world_requires_matching_size() {
+        let c = SelfComm;
+        assert!(Communicator::world_on_cluster(
+            &c,
+            HierMachine::paragon_cluster(),
+            &Cluster::linear(2, 2)
+        )
+        .is_err());
+        let cc = Communicator::world_on_cluster(
+            &c,
+            HierMachine::paragon_cluster(),
+            &Cluster::linear(1, 1),
+        )
+        .unwrap();
+        assert!(cc.hier().is_some());
+        assert_eq!(cc.shape().cluster_shape().unwrap().ranks(), 1);
+        // The flat-pricing mirror is the network level.
+        assert_eq!(
+            cc.machine().beta,
+            HierMachine::paragon_cluster().inter().beta
+        );
+    }
+
+    #[test]
+    fn auto_calls_feed_the_attached_tuner() {
+        let c = SelfComm;
+        let mut cc = Communicator::world(&c, MachineParams::PARAGON);
+        assert!(cc.detach_tuner().is_none());
+        cc.attach_tuner(AutoTuner::new(MachineParams::PARAGON));
+        let mut v = vec![1u8; 4];
+        cc.bcast(0, &mut v).unwrap(); // Auto: tracked
+        cc.bcast_with(0, &mut v, &Algo::Short).unwrap(); // explicit: skipped
+        cc.allreduce(&mut v, ReduceOp::Sum).unwrap(); // Auto: tracked
+        cc.allreduce(&mut v, ReduceOp::Sum).unwrap(); // duplicate: deduped
+        let tuner = cc.detach_tuner().unwrap();
+        let ops: Vec<CollectiveOp> = tuner.tracked().iter().map(|s| s.cost_op).collect();
+        assert_eq!(ops, [CollectiveOp::Broadcast, CollectiveOp::CombineToAll]);
+    }
+
+    #[test]
+    fn observe_refits_the_network_level() {
+        let c = SelfComm;
+        let machine = HierMachine::paragon_cluster();
+        let configured = *machine.inter();
+        let intra_beta = machine.intra().beta;
+        let mut cc = Communicator::world_on_cluster(&c, machine, &Cluster::linear(1, 1)).unwrap();
+        cc.attach_tuner(AutoTuner::new(configured));
+        assert_eq!(cc.hier().unwrap().version, 1);
+        let report = ResidualReport {
+            op: CollectiveOp::Broadcast,
+            strategy: Strategy::pure_mst(1),
+            p: 1,
+            n: 1024,
+            machine: configured,
+            stages: vec![],
+            overlaps: vec![],
+            fitted_alpha: Some(configured.alpha),
+            fitted_beta: Some(configured.beta * 2.0),
+            ranks: vec![],
+            slowest_rank: 0,
+            measured_total_secs: 0.0,
+            predicted_total_secs: 0.0,
+            unattributed_events: 0,
+        };
+        let mut retune = None;
+        for _ in 0..8 {
+            if let Some(r) = cc.observe(&report) {
+                retune = Some(r);
+                break;
+            }
+        }
+        let retune = retune.expect("a sustained 2x beta residual must trip the drift gate");
+        // The flat mirror and the network level both adopt the refit β;
+        // the intra-node level is untouched and the hier version bumps.
+        assert_eq!(cc.machine().beta, retune.new_params.beta);
+        let th = cc.hier().unwrap();
+        assert_eq!(th.version, 2);
+        let net = th.current.levels() - 1;
+        assert_eq!(th.current.level(net).beta, retune.new_params.beta);
+        assert_eq!(th.current.intra().beta, intra_beta);
     }
 }

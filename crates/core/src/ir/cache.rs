@@ -18,9 +18,9 @@
 //!
 //! [`warm_up`]: PlanCache::warm_up
 
-use super::{lower, optimize, CollectiveProgram, OptLevel, PlanOp};
+use super::{lower, lower_hier, optimize, CollectiveProgram, OptLevel, PlanOp};
 use crate::error::Result;
-use intercom_cost::Strategy;
+use intercom_cost::{HierStrategy, Strategy};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -36,8 +36,13 @@ pub struct PlanKey {
     pub n: usize,
     /// Element width in bytes.
     pub elem_size: usize,
-    /// Hybrid strategy for strategy-taking ops.
+    /// Hybrid strategy for strategy-taking ops lowered flat.
     pub strategy: Option<Strategy>,
+    /// Hierarchy descriptor and per-level strategies when the program
+    /// is lowered hierarchically ([`lower_hier`](super::lower_hier));
+    /// `None` for flat programs. Part of the key: a flat and a
+    /// hierarchical program of the same `(op, p, n)` coexist.
+    pub hier: Option<HierStrategy>,
     /// Optimization level the cached program was compiled at. Programs
     /// at different levels are distinct cache entries: an unoptimized
     /// plan and an optimized plan of the same shape coexist.
@@ -171,7 +176,10 @@ impl PlanCache {
     /// Compiles `key`: lowers, then runs the optimizer pass pipeline if
     /// the key's [`OptLevel`] asks for it.
     fn compile(key: &PlanKey) -> Result<Arc<CollectiveProgram>> {
-        let prog = lower(key.op, key.strategy.as_ref(), key.p, key.n, key.elem_size)?;
+        let prog = match &key.hier {
+            Some(hs) => lower_hier(key.op, hs, key.n, key.elem_size)?,
+            None => lower(key.op, key.strategy.as_ref(), key.p, key.n, key.elem_size)?,
+        };
         Ok(Arc::new(match key.opt {
             OptLevel::None => prog,
             OptLevel::Full => optimize(&prog).0,
@@ -300,6 +308,7 @@ mod tests {
             n,
             elem_size: 8,
             strategy: Some(Strategy::pure_mst(4)),
+            hier: None,
             opt: OptLevel::None,
         }
     }
@@ -324,6 +333,37 @@ mod tests {
         assert_eq!(cache.stats().entries, 2);
         cache.clear();
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn hierarchy_descriptor_is_part_of_the_key() {
+        use intercom_cost::{select_hier, ClusterShape, CollectiveOp, HierMachine};
+        let shape = ClusterShape::linear(2, 2);
+        let hs = select_hier(
+            CollectiveOp::CombineToAll,
+            shape,
+            16 * 8,
+            &HierMachine::paragon_cluster(),
+        )
+        .unwrap();
+        let hier_key = PlanKey {
+            hier: Some(hs),
+            strategy: None,
+            ..key(16)
+        };
+        let cache = PlanCache::new();
+        let flat = cache.get_or_compile(&key(16)).unwrap();
+        let hier = cache.get_or_compile(&hier_key).unwrap();
+        // Same op/p/n/width, different hierarchy descriptor: distinct
+        // entries, and the hier entry lowers through lower_hier.
+        assert!(!Arc::ptr_eq(&flat, &hier));
+        assert_eq!(cache.stats().entries, 2);
+        assert!(flat.hier.is_none());
+        assert!(hier.hier.is_some());
+        assert!(Arc::ptr_eq(
+            &hier,
+            &cache.get_or_compile(&hier_key).unwrap()
+        ));
     }
 
     #[test]

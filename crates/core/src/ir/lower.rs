@@ -17,10 +17,11 @@ use super::{
 use crate::algorithms::{self, LEVEL_TAG_STRIDE};
 use crate::comm::{GroupComm, Tag};
 use crate::error::Result;
+use crate::hier;
 use crate::op::{Elem, ReduceOp};
 use crate::primitives::pipelined_ring_bcast;
 use crate::trace::{MemSpan, OpRecord, RecordingComm};
-use intercom_cost::Strategy;
+use intercom_cost::{HierStrategy, Strategy};
 
 /// Scratch-arena alignment: every temporary cluster starts on a 16-byte
 /// boundary, a multiple of every supported element size.
@@ -61,8 +62,104 @@ pub fn lower(
         n,
         elem_size,
         strategy: strategy.cloned(),
+        hier: None,
         ranks,
     })
+}
+
+/// Lowers one *hierarchical* collective call into a compiled program
+/// for all `hs.shape.ranks()` ranks. The per-rank replay runs the
+/// leader-based compositions of [`crate::hier`], so the resulting
+/// program's steps land in per-stage [`StageId`] bands (stage `k` at
+/// levels `k · HIER_STAGE_STRIDE / LEVEL_TAG_STRIDE` and up) — the
+/// same IR, executors and verifier checks apply unchanged.
+///
+/// Supported ops are the five with a hierarchical template: broadcast,
+/// reduce, allreduce, reduce-scatter and collect. Others err with
+/// [`PlanMismatch`](crate::error::CommError::PlanMismatch).
+///
+/// # Panics
+///
+/// Panics if `elem_size` is not one of the supported scalar widths
+/// (1, 2, 4, 8).
+pub fn lower_hier(
+    op: PlanOp,
+    hs: &HierStrategy,
+    n: usize,
+    elem_size: usize,
+) -> Result<CollectiveProgram> {
+    let p = hs.shape.ranks();
+    let ranks = (0..p)
+        .map(|rank| match elem_size {
+            1 => lower_hier_rank::<u8>(op, hs, p, n, rank),
+            2 => lower_hier_rank::<u16>(op, hs, p, n, rank),
+            4 => lower_hier_rank::<u32>(op, hs, p, n, rank),
+            8 => lower_hier_rank::<u64>(op, hs, p, n, rank),
+            other => panic!("unsupported element size {other} (expected 1, 2, 4 or 8)"),
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(CollectiveProgram {
+        plan_id: fresh_plan_id(),
+        op,
+        p,
+        n,
+        elem_size,
+        strategy: None,
+        hier: Some(hs.clone()),
+        ranks,
+    })
+}
+
+/// Replays rank `rank`'s hierarchical composition at base tag 0 with
+/// registered argument buffers, then resolves the recorded spans.
+fn lower_hier_rank<T: Elem + Default>(
+    op: PlanOp,
+    hs: &HierStrategy,
+    p: usize,
+    n: usize,
+    rank: usize,
+) -> Result<RankProgram> {
+    let rec = RecordingComm::new(rank, p);
+    {
+        let gc = GroupComm::world(&rec);
+        match op {
+            PlanOp::Broadcast { root } => {
+                let mut buf = vec![T::default(); n];
+                rec.register("buf", &buf);
+                hier::hier_broadcast(&gc, hs, root, &mut buf, 0)?;
+            }
+            PlanOp::Reduce { root } => {
+                let mut buf = vec![T::default(); n];
+                rec.register("buf", &buf);
+                hier::hier_reduce(&gc, hs, root, &mut buf, ReduceOp::Sum, 0)?;
+            }
+            PlanOp::AllReduce => {
+                let mut buf = vec![T::default(); n];
+                rec.register("buf", &buf);
+                hier::hier_allreduce(&gc, hs, &mut buf, ReduceOp::Sum, 0)?;
+            }
+            PlanOp::ReduceScatter => {
+                let contrib = vec![T::default(); p * n];
+                let mut mine = vec![T::default(); n];
+                rec.register("contrib", &contrib);
+                rec.register("mine", &mine);
+                hier::hier_reduce_scatter(&gc, hs, &contrib, &mut mine, ReduceOp::Sum, 0)?;
+            }
+            PlanOp::Collect => {
+                let mine = vec![T::default(); n];
+                let mut all = vec![T::default(); p * n];
+                rec.register("mine", &mine);
+                rec.register("all", &all);
+                hier::hier_collect(&gc, hs, &mine, &mut all, 0)?;
+            }
+            _ => {
+                return Err(crate::error::CommError::PlanMismatch {
+                    what: "op has no hierarchical lowering",
+                })
+            }
+        }
+    }
+    resolve_recorded::<T>(rec, op, p, n)
 }
 
 /// Replays rank `rank`'s algorithm at base tag 0 with registered
@@ -142,8 +239,18 @@ fn lower_rank<T: Elem + Default>(
             }
         }
     }
-    // Map registered regions back to argument slots by name (a non-root
-    // rank registers fewer regions than the op has slots).
+    resolve_recorded::<T>(rec, op, p, n)
+}
+
+/// Maps a finished recording's registered regions back to argument
+/// slots by name (a non-root rank registers fewer regions than the op
+/// has slots) and resolves the recorded spans into a [`RankProgram`].
+fn resolve_recorded<T: Elem>(
+    rec: RecordingComm,
+    op: PlanOp,
+    p: usize,
+    n: usize,
+) -> Result<RankProgram> {
     let specs = op.args(p, n);
     let args: Vec<(usize, usize, usize)> = rec
         .regions()
@@ -390,6 +497,58 @@ mod tests {
             }
         }
         assert!(seen_level_1, "2-D hybrid must recurse one level down");
+    }
+
+    #[test]
+    fn hier_lowering_bands_stages_and_keeps_arg_discipline() {
+        use intercom_cost::{select_hier, ClusterShape, CollectiveOp, HierMachine};
+        let shape = ClusterShape::linear(3, 4);
+        let hs = select_hier(
+            CollectiveOp::CombineToAll,
+            shape,
+            64 * 8,
+            &HierMachine::paragon_cluster(),
+        )
+        .unwrap();
+        let prog = lower_hier(PlanOp::AllReduce, &hs, 64, 8).unwrap();
+        assert_eq!(prog.p, 12);
+        assert_eq!(prog.hier.as_ref(), Some(&hs));
+        assert!(prog.strategy.is_none());
+        // Stage k's steps sit in StageId level band [k·128, (k+1)·128):
+        // hier stage tags stride 1024 and stage levels stride by 8.
+        let band = crate::hier::HIER_STAGE_STRIDE / LEVEL_TAG_STRIDE;
+        let mut bands = std::collections::BTreeSet::new();
+        for rp in &prog.ranks {
+            for s in &rp.steps {
+                if let StepKind::Send { tag_off, .. }
+                | StepKind::Recv { tag_off, .. }
+                | StepKind::SendRecv { tag_off, .. } = s.kind
+                {
+                    assert_eq!(s.stage.level, tag_off / LEVEL_TAG_STRIDE);
+                    bands.insert(s.stage.level / band);
+                }
+            }
+        }
+        assert_eq!(
+            bands.into_iter().collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "reduce, allreduce and bcast stages all present"
+        );
+    }
+
+    #[test]
+    fn hier_lowering_rejects_non_hierarchical_ops() {
+        use intercom_cost::{select_hier, ClusterShape, CollectiveOp, HierMachine};
+        let shape = ClusterShape::linear(2, 2);
+        let hs = select_hier(
+            CollectiveOp::Broadcast,
+            shape,
+            64,
+            &HierMachine::paragon_cluster(),
+        )
+        .unwrap();
+        assert!(lower_hier(PlanOp::Alltoall, &hs, 8, 4).is_err());
+        assert!(lower_hier(PlanOp::Scatter { root: 0 }, &hs, 8, 4).is_err());
     }
 
     #[test]

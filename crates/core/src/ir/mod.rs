@@ -47,11 +47,11 @@ mod opt;
 pub use cache::{global_cache, CacheStats, PlanCache, PlanKey, DEFAULT_CACHE_CAPACITY};
 pub use cost::{annotate, cost_op, StageCost};
 pub use exec::{execute, execute_scalar, ArgBuf};
-pub use lower::lower;
+pub use lower::{lower, lower_hier};
 pub use opt::{optimize, OptLevel, OptStats};
 
 use crate::comm::Tag;
-use intercom_cost::Strategy;
+use intercom_cost::{HierStrategy, Strategy};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which collective a program implements, together with the call
@@ -333,8 +333,11 @@ pub struct CollectiveProgram {
     /// of this size executes the program: lowering never branches on
     /// values, only on element geometry.
     pub elem_size: usize,
-    /// The hybrid strategy, for strategy-taking ops.
+    /// The hybrid strategy, for strategy-taking ops lowered flat.
     pub strategy: Option<Strategy>,
+    /// The hierarchical strategy, for programs lowered by
+    /// [`lower_hier`]; `None` for flat programs.
+    pub hier: Option<HierStrategy>,
     /// Per-rank programs, indexed by logical rank.
     pub ranks: Vec<RankProgram>,
 }

@@ -807,6 +807,7 @@ mod tests {
             n,
             elem_size: 1,
             strategy: None,
+            hier: None,
             ranks: ranks
                 .into_iter()
                 .map(|steps| RankProgram {

@@ -45,6 +45,7 @@ pub mod communicator;
 pub mod error;
 pub mod faults;
 pub mod groups;
+pub mod hier;
 pub mod ir;
 pub mod nx_compat;
 pub mod op;
@@ -61,6 +62,10 @@ pub use comm::{Comm, GroupComm, Tag};
 pub use communicator::{Algo, Communicator, CALL_TAG_STRIDE};
 pub use error::{AbortCause, AbortInfo, CollectiveError, CommError, Result};
 pub use faults::{Fault, FaultKind, FaultLayer, FaultPlan, FaultyComm, POISON_TAG};
+pub use hier::{
+    hier_allreduce, hier_broadcast, hier_collect, hier_reduce, hier_reduce_scatter,
+    HIER_STAGE_STRIDE,
+};
 pub use op::{Elem, ReduceOp};
 pub use pool::{BufferPool, PoolStats};
 pub use rng::SplitMix64;

@@ -63,6 +63,7 @@ impl<T: Scalar> PlanCore<T> {
             n,
             elem_size: std::mem::size_of::<T>(),
             strategy,
+            hier: None,
             opt: ir::OptLevel::Full,
         };
         PlanCore {

@@ -10,7 +10,9 @@
 //! cheapest.
 
 use intercom_cost::select::best_mesh_strategy;
-use intercom_cost::{best_strategy, CollectiveOp, CostContext, MachineParams, Strategy};
+use intercom_cost::{
+    best_strategy, ClusterShape, CollectiveOp, CostContext, MachineParams, Strategy,
+};
 use intercom_topology::{GroupStructure, Mesh2D, ProcGroup};
 
 /// The physical shape the selector assumes for a group (paper §9: "in
@@ -30,14 +32,57 @@ pub enum GroupShape {
         /// Submesh width.
         cols: usize,
     },
+    /// A two-level cluster: an inter-node mesh of nodes, each holding
+    /// `ranks_per_node` ranks, numbered node-major. Hierarchical
+    /// selection applies when the communicator also carries per-level
+    /// machine parameters; flat selection treats the group as a linear
+    /// array priced at the network level.
+    Cluster {
+        /// Rows of the inter-node mesh.
+        inter_rows: usize,
+        /// Columns of the inter-node mesh.
+        inter_cols: usize,
+        /// Ranks per node.
+        ranks_per_node: usize,
+    },
 }
 
 impl GroupShape {
-    /// Number of nodes covered.
+    /// Number of ranks covered.
     pub fn nodes(&self) -> usize {
         match *self {
             GroupShape::Linear(p) => p,
             GroupShape::Mesh { rows, cols } => rows * cols,
+            GroupShape::Cluster {
+                inter_rows,
+                inter_cols,
+                ranks_per_node,
+            } => inter_rows * inter_cols * ranks_per_node,
+        }
+    }
+
+    /// The cluster variant for a hierarchy descriptor.
+    pub fn cluster(shape: ClusterShape) -> GroupShape {
+        GroupShape::Cluster {
+            inter_rows: shape.inter_rows,
+            inter_cols: shape.inter_cols,
+            ranks_per_node: shape.ranks_per_node,
+        }
+    }
+
+    /// The hierarchy descriptor, when this shape is a cluster.
+    pub fn cluster_shape(&self) -> Option<ClusterShape> {
+        match *self {
+            GroupShape::Cluster {
+                inter_rows,
+                inter_cols,
+                ranks_per_node,
+            } => Some(ClusterShape {
+                inter_rows,
+                inter_cols,
+                ranks_per_node,
+            }),
+            _ => None,
         }
     }
 
@@ -65,6 +110,17 @@ pub fn choose_strategy(
             best_strategy(op, p, n_bytes, machine, CostContext::linear_with(machine))
         }
         GroupShape::Mesh { rows, cols } => best_mesh_strategy(op, rows, cols, n_bytes, machine),
+        // Flat selection over a cluster: the schedule is level-blind,
+        // so the group is a linear array of all ranks priced at the
+        // supplied (network-level) parameters. Hierarchical candidates
+        // are priced separately by `intercom_cost::choose_hier`.
+        GroupShape::Cluster { .. } => best_strategy(
+            op,
+            shape.nodes(),
+            n_bytes,
+            machine,
+            CostContext::linear_with(machine),
+        ),
     }
 }
 
@@ -120,6 +176,34 @@ mod tests {
                 &MachineParams::PARAGON,
             );
             assert_eq!(s.nodes(), 512, "n={n}");
+        }
+    }
+
+    #[test]
+    fn cluster_shape_round_trips_and_prices_flat_over_all_ranks() {
+        let shape = GroupShape::cluster(ClusterShape::linear(4, 4));
+        assert_eq!(shape.nodes(), 16);
+        assert_eq!(
+            shape.cluster_shape(),
+            Some(ClusterShape {
+                inter_rows: 1,
+                inter_cols: 4,
+                ranks_per_node: 4,
+            })
+        );
+        assert_eq!(GroupShape::Linear(16).cluster_shape(), None);
+        // Flat selection over a cluster is level-blind: same answer as a
+        // 16-rank linear array at the same (network-level) parameters.
+        for n in [8usize, 1 << 20] {
+            let on_cluster =
+                choose_strategy(CollectiveOp::Broadcast, shape, n, &MachineParams::PARAGON);
+            let on_line = choose_strategy(
+                CollectiveOp::Broadcast,
+                GroupShape::Linear(16),
+                n,
+                &MachineParams::PARAGON,
+            );
+            assert_eq!(on_cluster, on_line, "n={n}");
         }
     }
 

@@ -340,3 +340,27 @@ fn alltoall_total_exchange() {
         }
     }
 }
+
+/// On a cluster communicator with expensive inter-node links, automatic
+/// selection picks the hierarchical hybrid and the call still computes
+/// the right answer on the threaded backend.
+#[test]
+fn cluster_auto_selects_the_hierarchical_hybrid() {
+    use intercom_cost::{CollectiveOp, HierChoice, HierMachine};
+    use intercom_topology::Cluster;
+    let out = run_world(16, |c| {
+        let cluster = Cluster::linear(4, 4);
+        let cc =
+            Communicator::world_on_cluster(c, HierMachine::paragon_cluster(), &cluster).unwrap();
+        // With inter β ≥ 10× intra β the two-level model prices the
+        // leader-based hybrid under the best flat strategy.
+        assert!(matches!(
+            cc.auto_choice(CollectiveOp::CombineToAll, 1 << 16),
+            HierChoice::Hier(_)
+        ));
+        let mut v = vec![(cc.rank() + 1) as u64; 1 << 13];
+        cc.allreduce(&mut v, ReduceOp::Max).unwrap();
+        v[0]
+    });
+    assert!(out.iter().all(|&x| x == 16));
+}

@@ -1,0 +1,728 @@
+//! The two-level machine model and hierarchical strategy selection.
+//!
+//! A cluster of multi-core nodes has *per-level* wire parameters: cheap
+//! near-zero-α shared-memory links inside a node, an expensive network
+//! between nodes (Task & Chauhan's cluster model; Barchet-Estefanel &
+//! Mounié's intra-cluster characterization). [`HierMachine`] generalizes
+//! [`MachineParams`] to a list of per-level parameter sets — a flat
+//! machine is the 1-level degenerate case — and [`TunedHier`] carries
+//! the same version semantics as [`TunedParams`](crate::TunedParams):
+//! every per-level refit bumps one monotonic version that caches and
+//! persisted tables key on.
+//!
+//! A hierarchical strategy ([`HierStrategy`]) is a strategy string whose
+//! stages carry a level: e.g. combine-to-all on a cluster is "reduce
+//! intra-node, then allreduce inter-node among node leaders, then
+//! broadcast intra-node", with each stage running an ordinary flat
+//! [`Strategy`] over its level subgroup. Because the stages execute
+//! sequentially and each stage's cost depends only on its own strategy,
+//! per-level selection ([`select_hier`]) — best flat strategy per stage
+//! under that level's parameters at that stage's message volume — is
+//! globally optimal over the full cross product ([`enumerate_hier_strategies`]).
+//!
+//! Flat strategies are priced on a cluster by [`flat_on_cluster_cost`]
+//! with the *inter-node* parameters: a level-blind schedule's critical
+//! path crosses inter-node links in every stage (any group spanning
+//! more than one node does), so its wire terms pay the expensive level.
+//! [`choose_hier`] prices the best hierarchical hybrid against the best
+//! flat strategy under that model and returns whichever wins.
+
+use crate::collective::{hybrid_cost, CollectiveOp, CostContext};
+use crate::enumerate::{enumerate_mesh_strategies, enumerate_strategies};
+use crate::machine::MachineParams;
+use crate::select::{best_mesh_strategy, best_strategy};
+use crate::strategy::Strategy;
+use std::fmt;
+
+/// Per-level machine parameters: level 0 is the innermost (intra-node)
+/// level, the last level the outermost (inter-node) network. A flat
+/// machine is the 1-level degenerate case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierMachine {
+    levels: Vec<MachineParams>,
+}
+
+impl HierMachine {
+    /// A flat (1-level) machine — the degenerate case; every level
+    /// query returns the same parameters.
+    pub fn flat(params: MachineParams) -> Self {
+        HierMachine {
+            levels: vec![params],
+        }
+    }
+
+    /// The common cluster case: cheap intra-node level 0, expensive
+    /// inter-node level 1.
+    pub fn two_level(intra: MachineParams, inter: MachineParams) -> Self {
+        HierMachine {
+            levels: vec![intra, inter],
+        }
+    }
+
+    /// An arbitrary ladder of levels, innermost first. Panics on empty.
+    pub fn new(levels: Vec<MachineParams>) -> Self {
+        assert!(!levels.is_empty(), "a machine has at least one level");
+        HierMachine { levels }
+    }
+
+    /// A Paragon-backbone cluster: shared-memory multi-core nodes
+    /// (≈400 MB/s links, ≈5 µs startup, fast combine) joined by a
+    /// Paragon-like network (β ratio 15×, α ratio ≈27×). γ is the node
+    /// CPU's combine rate, so it is the same at both levels; δ is zero —
+    /// the per-recursion software overhead of the 1994 library is not a
+    /// property of the cluster model.
+    pub fn paragon_cluster() -> Self {
+        HierMachine::two_level(
+            MachineParams {
+                alpha: 5e-6,
+                beta: 2.5e-9,
+                gamma: 2e-9,
+                delta: 0.0,
+                link_excess: 2.0,
+            },
+            MachineParams {
+                gamma: 2e-9,
+                delta: 0.0,
+                ..MachineParams::PARAGON
+            },
+        )
+    }
+
+    /// A Delta-backbone cluster (β ratio exactly 10×, same node CPUs at
+    /// both levels).
+    pub fn delta_cluster() -> Self {
+        HierMachine::two_level(
+            MachineParams {
+                alpha: 10e-6,
+                beta: 12.5e-9,
+                gamma: 2e-9,
+                delta: 0.0,
+                link_excess: 1.0,
+            },
+            MachineParams {
+                gamma: 2e-9,
+                delta: 0.0,
+                ..MachineParams::DELTA
+            },
+        )
+    }
+
+    /// Number of levels (1 for a flat machine).
+    pub fn levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// True for the 1-level degenerate case.
+    pub fn is_flat(&self) -> bool {
+        self.levels.len() == 1
+    }
+
+    /// The parameters of level `i`, clamping past the last level — so a
+    /// flat machine answers every level query with its only parameter
+    /// set, and two-level code runs unchanged on it.
+    pub fn level(&self, i: usize) -> &MachineParams {
+        &self.levels[i.min(self.levels.len() - 1)]
+    }
+
+    /// The innermost (intra-node) level.
+    pub fn intra(&self) -> &MachineParams {
+        &self.levels[0]
+    }
+
+    /// The outermost (inter-node) level.
+    pub fn inter(&self) -> &MachineParams {
+        &self.levels[self.levels.len() - 1]
+    }
+
+    /// Returns a copy with level `i`'s wire terms replaced by measured
+    /// estimates (per [`MachineParams::refit`] — γ, δ, `link_excess`
+    /// untouched, non-positive estimates ignored). Panics if the level
+    /// does not exist: a refit names the level it measured.
+    pub fn refit_level(&self, i: usize, alpha_hat: f64, beta_hat: f64) -> Self {
+        assert!(i < self.levels.len(), "level {i} out of range");
+        let mut levels = self.levels.clone();
+        levels[i] = levels[i].refit(alpha_hat, beta_hat);
+        HierMachine { levels }
+    }
+}
+
+/// A versioned [`HierMachine`] with the same semantics as
+/// [`TunedParams`](crate::TunedParams): version 1 is the as-configured
+/// state and every per-level refit bumps the shared version, so one
+/// monotonic counter keys cache invalidation and persisted-table
+/// staleness no matter which level drifted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunedHier {
+    /// The per-level parameters currently pricing selections.
+    pub current: HierMachine,
+    /// Monotonic version, starting at 1.
+    pub version: u64,
+}
+
+impl TunedHier {
+    /// Wraps freshly configured per-level parameters at version 1.
+    pub fn new(machine: HierMachine) -> Self {
+        TunedHier {
+            current: machine,
+            version: 1,
+        }
+    }
+
+    /// Installs measured α̂/β̂ for one level and bumps the version.
+    /// Returns the new version.
+    pub fn refit_level(&mut self, level: usize, alpha_hat: f64, beta_hat: f64) -> u64 {
+        self.current = self.current.refit_level(level, alpha_hat, beta_hat);
+        self.version += 1;
+        self.version
+    }
+}
+
+/// The shape of a cluster: an `inter_rows × inter_cols` inter-node mesh
+/// with `ranks_per_node` ranks in every node — the hierarchy descriptor
+/// selection and the plan cache key on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClusterShape {
+    /// Rows of the inter-node mesh.
+    pub inter_rows: usize,
+    /// Columns of the inter-node mesh.
+    pub inter_cols: usize,
+    /// Ranks per node (intra-node group size).
+    pub ranks_per_node: usize,
+}
+
+impl ClusterShape {
+    /// A linear array of `nodes` nodes with `ranks_per_node` each.
+    pub fn linear(nodes: usize, ranks_per_node: usize) -> Self {
+        ClusterShape {
+            inter_rows: 1,
+            inter_cols: nodes,
+            ranks_per_node,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.inter_rows * self.inter_cols
+    }
+
+    /// Total ranks.
+    pub fn ranks(&self) -> usize {
+        self.nodes() * self.ranks_per_node
+    }
+}
+
+impl fmt::Display for ClusterShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{}x{}",
+            self.inter_rows, self.inter_cols, self.ranks_per_node
+        )
+    }
+}
+
+/// Which collective one stage of a hierarchical strategy runs over its
+/// level subgroup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageRole {
+    /// Broadcast within the stage group.
+    Bcast,
+    /// Combine-to-one within the stage group.
+    Reduce,
+    /// Combine-to-all within the stage group.
+    AllReduce,
+    /// Gather to the group leader.
+    Gather,
+    /// Collect (allgather) across the group.
+    Collect,
+    /// Scatter from the group leader.
+    Scatter,
+    /// Distributed combine (reduce-scatter) across the group.
+    ReduceScatter,
+}
+
+impl StageRole {
+    /// The collective whose cost formula prices this stage.
+    pub fn cost_op(&self) -> CollectiveOp {
+        match self {
+            StageRole::Bcast => CollectiveOp::Broadcast,
+            StageRole::Reduce => CollectiveOp::CombineToOne,
+            StageRole::AllReduce => CollectiveOp::CombineToAll,
+            StageRole::Gather => CollectiveOp::Gather,
+            StageRole::Collect => CollectiveOp::Collect,
+            StageRole::Scatter => CollectiveOp::Scatter,
+            StageRole::ReduceScatter => CollectiveOp::DistributedCombine,
+        }
+    }
+
+    /// Short name used in the strategy-string grammar.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StageRole::Bcast => "bcast",
+            StageRole::Reduce => "reduce",
+            StageRole::AllReduce => "allreduce",
+            StageRole::Gather => "gather",
+            StageRole::Collect => "collect",
+            StageRole::Scatter => "scatter",
+            StageRole::ReduceScatter => "reduce-scatter",
+        }
+    }
+}
+
+/// One level-tagged stage of a hierarchical strategy: which collective
+/// runs, at which level, with which flat [`Strategy`] over the level
+/// subgroup.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HierStage {
+    /// Hierarchy level the stage runs at (0 = intra-node, 1 = inter-node).
+    pub level: u8,
+    /// The collective the stage runs over its level subgroup.
+    pub role: StageRole,
+    /// The flat strategy executing that collective within the subgroup.
+    pub strategy: Strategy,
+}
+
+impl fmt::Display for HierStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}:{}{}", self.level, self.role.name(), self.strategy)
+    }
+}
+
+/// A hierarchical strategy string: level-tagged stages over a cluster
+/// shape, e.g. combine-to-all as
+/// `[L0:reduce(1x4, M) ; L1:allreduce(2x2, SMC) ; L0:bcast(1x4, M)] @1x4x4`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HierStrategy {
+    /// The cluster shape the strategy runs over.
+    pub shape: ClusterShape,
+    /// The stages, in execution order.
+    pub stages: Vec<HierStage>,
+}
+
+impl fmt::Display for HierStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ; ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "] @{}", self.shape)
+    }
+}
+
+/// One slot of a hierarchical template, before a flat strategy has been
+/// chosen for it: the level, the collective, the subgroup size, and the
+/// stage's message volume as a fraction `num/den` of the op's `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageSpec {
+    /// Hierarchy level (0 = intra-node, 1 = inter-node).
+    pub level: u8,
+    /// The collective the stage runs.
+    pub role: StageRole,
+    /// Size of the level subgroup the stage spans.
+    pub group: usize,
+    /// Numerator of the stage volume as a fraction of `n`.
+    pub frac_num: usize,
+    /// Denominator of the stage volume as a fraction of `n`.
+    pub frac_den: usize,
+}
+
+impl StageSpec {
+    /// The stage's message volume in bytes for an op-level volume `n`.
+    pub fn bytes(&self, n: usize) -> usize {
+        n * self.frac_num / self.frac_den
+    }
+}
+
+/// The hierarchical decomposition template for `op` on `shape`: which
+/// collective runs at which level, in order, with each stage's subgroup
+/// size and message volume. `n` conventions match the flat cost model:
+/// the whole vector for broadcast/combine ops, the full concatenated
+/// vector for collect and distributed combine.
+///
+/// Returns `None` for ops without a hierarchical decomposition here
+/// (scatter and gather stay flat: they are root-personalized and gain
+/// nothing from a leader stage on two levels).
+pub fn hier_template(op: CollectiveOp, shape: ClusterShape) -> Option<Vec<StageSpec>> {
+    let m = shape.nodes();
+    let r = shape.ranks_per_node;
+    let spec = |level: u8, role: StageRole, group: usize, num: usize, den: usize| StageSpec {
+        level,
+        role,
+        group,
+        frac_num: num,
+        frac_den: den,
+    };
+    let stages = match op {
+        // Inter-node broadcast among leaders, then fan out in-node.
+        CollectiveOp::Broadcast => vec![
+            spec(1, StageRole::Bcast, m, 1, 1),
+            spec(0, StageRole::Bcast, r, 1, 1),
+        ],
+        // Combine in-node to leaders, then across leaders to the root.
+        CollectiveOp::CombineToOne => vec![
+            spec(0, StageRole::Reduce, r, 1, 1),
+            spec(1, StageRole::Reduce, m, 1, 1),
+        ],
+        // Reduce in-node, allreduce across leaders, broadcast in-node.
+        CollectiveOp::CombineToAll => vec![
+            spec(0, StageRole::Reduce, r, 1, 1),
+            spec(1, StageRole::AllReduce, m, 1, 1),
+            spec(0, StageRole::Bcast, r, 1, 1),
+        ],
+        // Gather node blocks to leaders (n/m each), collect across
+        // leaders, broadcast the full vector in-node.
+        CollectiveOp::Collect => vec![
+            spec(0, StageRole::Gather, r, 1, m),
+            spec(1, StageRole::Collect, m, 1, 1),
+            spec(0, StageRole::Bcast, r, 1, 1),
+        ],
+        // Reduce full vectors in-node, reduce-scatter node blocks
+        // across leaders, scatter the node block (n/m) in-node.
+        CollectiveOp::DistributedCombine => vec![
+            spec(0, StageRole::Reduce, r, 1, 1),
+            spec(1, StageRole::ReduceScatter, m, 1, 1),
+            spec(0, StageRole::Scatter, r, 1, m),
+        ],
+        CollectiveOp::Scatter | CollectiveOp::Gather => return None,
+    };
+    Some(stages)
+}
+
+/// The inter-node mesh dimensions when a level-1 stage should use the
+/// §7.1 mesh-aware strategies: a true 2-D inter mesh. On a linear inter
+/// mesh (1×C or R×1) the leader plane embeds as a physical line, where
+/// the linear-array strategies are exact.
+fn inter_mesh_2d(shape: ClusterShape) -> Option<(usize, usize)> {
+    (shape.inter_rows > 1 && shape.inter_cols > 1).then_some((shape.inter_rows, shape.inter_cols))
+}
+
+/// Every hierarchical strategy for `op` on `shape`: the template with
+/// every combination of flat per-stage strategies (`max_dims` bounds
+/// each stage's logical-mesh depth; 0 = unlimited). Inter stages on a
+/// true 2-D inter mesh draw from the mesh-aware §7.1 enumeration (the
+/// leader plane preserves the inter mesh's row/column structure); all
+/// other stages draw from the linear-array enumeration. Empty when the
+/// op has no hierarchical template.
+pub fn enumerate_hier_strategies(
+    op: CollectiveOp,
+    shape: ClusterShape,
+    max_dims: usize,
+) -> Vec<HierStrategy> {
+    let Some(specs) = hier_template(op, shape) else {
+        return Vec::new();
+    };
+    let per_stage: Vec<Vec<Strategy>> = specs
+        .iter()
+        .map(|s| match (s.level, inter_mesh_2d(shape)) {
+            (1, Some((r, c))) => enumerate_mesh_strategies(r, c, max_dims),
+            _ => enumerate_strategies(s.group, max_dims),
+        })
+        .collect();
+    let mut out = vec![Vec::new()];
+    for (spec, cands) in specs.iter().zip(&per_stage) {
+        let mut next = Vec::with_capacity(out.len() * cands.len());
+        for prefix in &out {
+            for c in cands {
+                let mut stages: Vec<HierStage> = prefix.clone();
+                stages.push(HierStage {
+                    level: spec.level,
+                    role: spec.role,
+                    strategy: c.clone(),
+                });
+                next.push(stages);
+            }
+        }
+        out = next;
+    }
+    out.into_iter()
+        .map(|stages| HierStrategy { shape, stages })
+        .collect()
+}
+
+/// Predicted seconds for one hierarchical strategy at op-level volume
+/// `n` bytes: the sum of its stages, each priced by the flat hybrid
+/// cost under its *level's* parameters at its stage volume. Stages
+/// execute sequentially (each level hands off to the next), so the sum
+/// is the critical path.
+pub fn hier_cost(op: CollectiveOp, hs: &HierStrategy, n: usize, machine: &HierMachine) -> f64 {
+    let specs = hier_template(op, hs.shape).expect("op has a hierarchical template");
+    assert_eq!(
+        specs.len(),
+        hs.stages.len(),
+        "strategy stage count matches the template"
+    );
+    specs
+        .iter()
+        .zip(&hs.stages)
+        .map(|(spec, stage)| {
+            debug_assert_eq!(spec.role, stage.role);
+            debug_assert_eq!(spec.level, stage.level);
+            let params = machine.level(stage.level as usize);
+            // Mesh-mapped stage strategies price under the rows/columns
+            // conflict model, exactly as their flat counterparts do.
+            let ctx = if stage.strategy.mesh_split.is_some() {
+                CostContext::mesh_with(params)
+            } else {
+                CostContext::linear_with(params)
+            };
+            hybrid_cost(stage.role.cost_op(), &stage.strategy, ctx).eval(spec.bytes(n), params)
+        })
+        .sum()
+}
+
+/// Prices a *flat* (level-blind) strategy on a cluster: every stage of
+/// a flat schedule spans multiple nodes, so its critical path pays the
+/// inter-node wire parameters — the worst-hop model. This is what
+/// hierarchical hybrids are compared against.
+pub fn flat_on_cluster_cost(
+    op: CollectiveOp,
+    s: &Strategy,
+    n: usize,
+    machine: &HierMachine,
+) -> f64 {
+    let inter = machine.inter();
+    hybrid_cost(op, s, CostContext::linear_with(inter)).eval(n, inter)
+}
+
+/// Per-level selection: the cheapest hierarchical strategy for `op` on
+/// `shape` at `n` bytes. Each stage independently picks the best flat
+/// strategy under its level's parameters at its stage volume — globally
+/// optimal because stage costs are separable. `None` when the op has no
+/// hierarchical template.
+pub fn select_hier(
+    op: CollectiveOp,
+    shape: ClusterShape,
+    n: usize,
+    machine: &HierMachine,
+) -> Option<HierStrategy> {
+    let specs = hier_template(op, shape)?;
+    let stages = specs
+        .iter()
+        .map(|spec| {
+            let params = machine.level(spec.level as usize);
+            let strategy = match (spec.level, inter_mesh_2d(shape)) {
+                // A true 2-D inter mesh: the leader plane keeps the
+                // row/column structure, so the stage picks among the
+                // §7.1 mesh-aware strategies.
+                (1, Some((r, c))) => {
+                    best_mesh_strategy(spec.role.cost_op(), r, c, spec.bytes(n), params)
+                }
+                _ => best_strategy(
+                    spec.role.cost_op(),
+                    spec.group,
+                    spec.bytes(n),
+                    params,
+                    CostContext::linear_with(params),
+                ),
+            };
+            HierStage {
+                level: spec.level,
+                role: spec.role,
+                strategy,
+            }
+        })
+        .collect();
+    Some(HierStrategy { shape, stages })
+}
+
+/// What [`choose_hier`] decided: run flat, or run the hierarchical
+/// hybrid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HierChoice {
+    /// The best flat strategy wins (or the op has no hierarchy).
+    Flat(Strategy),
+    /// The hierarchical hybrid wins.
+    Hier(HierStrategy),
+}
+
+/// Prices the best hierarchical hybrid against the best flat strategy
+/// (both under the two-level model; flat pays the inter-node level per
+/// [`flat_on_cluster_cost`]) and returns the winner.
+pub fn choose_hier(
+    op: CollectiveOp,
+    shape: ClusterShape,
+    n: usize,
+    machine: &HierMachine,
+) -> HierChoice {
+    let inter = machine.inter();
+    let flat = best_strategy(op, shape.ranks(), n, inter, CostContext::linear_with(inter));
+    let flat_t = flat_on_cluster_cost(op, &flat, n, machine);
+    match select_hier(op, shape, n, machine) {
+        Some(h) if hier_cost(op, &h, n, machine) < flat_t => HierChoice::Hier(h),
+        _ => HierChoice::Flat(flat),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster_machine() -> HierMachine {
+        HierMachine::paragon_cluster()
+    }
+
+    #[test]
+    fn flat_machine_is_degenerate_one_level() {
+        let m = HierMachine::flat(MachineParams::PARAGON);
+        assert!(m.is_flat());
+        assert_eq!(m.levels(), 1);
+        // Level queries clamp: intra == inter == level 7.
+        assert_eq!(m.intra(), m.inter());
+        assert_eq!(m.level(7), m.intra());
+    }
+
+    #[test]
+    fn tuned_hier_versions_like_tuned_params() {
+        let mut t = TunedHier::new(cluster_machine());
+        assert_eq!(t.version, 1);
+        let before_inter = *t.current.inter();
+        assert_eq!(t.refit_level(0, 2e-6, 1e-9), 2);
+        assert_eq!(t.refit_level(1, 200e-6, 50e-9), 3);
+        // Level 0 refit left level 1 untouched until its own refit.
+        assert_ne!(*t.current.inter(), before_inter);
+        assert_eq!(t.current.intra().alpha, 2e-6);
+        // γ/δ/link_excess survive refits (unobservable by the fit).
+        assert_eq!(t.current.intra().gamma, 2e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn refit_of_missing_level_panics() {
+        cluster_machine().refit_level(2, 1e-6, 1e-9);
+    }
+
+    #[test]
+    fn templates_cover_the_five_hierarchical_ops() {
+        let shape = ClusterShape::linear(4, 3);
+        for op in [
+            CollectiveOp::Broadcast,
+            CollectiveOp::CombineToOne,
+            CollectiveOp::CombineToAll,
+            CollectiveOp::Collect,
+            CollectiveOp::DistributedCombine,
+        ] {
+            let t = hier_template(op, shape).unwrap();
+            assert!(!t.is_empty());
+            // Every inter stage spans the nodes, every intra stage one node.
+            for s in &t {
+                match s.level {
+                    0 => assert_eq!(s.group, 3),
+                    1 => assert_eq!(s.group, 4),
+                    _ => panic!("unexpected level"),
+                }
+            }
+        }
+        assert!(hier_template(CollectiveOp::Scatter, shape).is_none());
+        assert!(hier_template(CollectiveOp::Gather, shape).is_none());
+    }
+
+    #[test]
+    fn per_level_selection_matches_exhaustive_enumeration() {
+        // Separable stage costs: per-stage argmin == argmin over the
+        // full cross product.
+        let shape = ClusterShape::linear(3, 4);
+        let m = cluster_machine();
+        for op in [CollectiveOp::Broadcast, CollectiveOp::CombineToAll] {
+            for n in [8usize, 4096, 1 << 18] {
+                let selected = select_hier(op, shape, n, &m).unwrap();
+                let sel_cost = hier_cost(op, &selected, n, &m);
+                let min_cost = enumerate_hier_strategies(op, shape, 2)
+                    .iter()
+                    .map(|h| hier_cost(op, h, n, &m))
+                    .fold(f64::INFINITY, f64::min);
+                assert!(
+                    sel_cost <= min_cost + 1e-15,
+                    "{op:?} n={n}: selected {sel_cost} vs enumerated min {min_cost}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_carries_levels_and_roles() {
+        let shape = ClusterShape::linear(2, 2);
+        let all = enumerate_hier_strategies(CollectiveOp::CombineToAll, shape, 0);
+        assert!(!all.is_empty());
+        for h in &all {
+            assert_eq!(h.stages.len(), 3);
+            assert_eq!(h.stages[0].level, 0);
+            assert_eq!(h.stages[0].role, StageRole::Reduce);
+            assert_eq!(h.stages[1].level, 1);
+            assert_eq!(h.stages[1].role, StageRole::AllReduce);
+            assert_eq!(h.stages[2].level, 0);
+            assert_eq!(h.stages[2].role, StageRole::Bcast);
+        }
+        // The cross product is the product of per-stage candidate counts.
+        let per = enumerate_strategies(2, 0).len();
+        assert_eq!(all.len(), per * per * per);
+    }
+
+    #[test]
+    fn hybrid_beats_flat_when_inter_links_are_expensive() {
+        // The acceptance-criterion regime: inter β ≥ 10× intra β. The
+        // hierarchical hybrid must win broadcast and combine-to-all at
+        // multiple shapes, short and long vectors.
+        let m = cluster_machine();
+        assert!(m.inter().beta >= 10.0 * m.intra().beta);
+        for shape in [ClusterShape::linear(4, 4), ClusterShape::linear(8, 4)] {
+            for op in [CollectiveOp::Broadcast, CollectiveOp::CombineToAll] {
+                for n in [8usize, 1 << 16] {
+                    match choose_hier(op, shape, n, &m) {
+                        HierChoice::Hier(h) => {
+                            let inter = m.inter();
+                            let flat = best_strategy(
+                                op,
+                                shape.ranks(),
+                                n,
+                                inter,
+                                CostContext::linear_with(inter),
+                            );
+                            assert!(
+                                hier_cost(op, &h, n, &m) < flat_on_cluster_cost(op, &flat, n, &m),
+                                "{op:?} {shape} n={n}"
+                            );
+                        }
+                        HierChoice::Flat(s) => {
+                            panic!("flat {s} won {op:?} on {shape} at n={n}")
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_string_grammar() {
+        let shape = ClusterShape::linear(4, 4);
+        let h = select_hier(CollectiveOp::CombineToAll, shape, 8, &cluster_machine()).unwrap();
+        let s = format!("{h}");
+        assert!(s.starts_with("[L0:reduce("), "{s}");
+        assert!(s.contains(" ; L1:allreduce("), "{s}");
+        assert!(s.contains(" ; L0:bcast("), "{s}");
+        assert!(s.ends_with("] @1x4x4"), "{s}");
+    }
+
+    #[test]
+    fn degenerate_single_rank_nodes_still_select() {
+        // rpn = 1: intra stages are trivial singleton collectives.
+        let shape = ClusterShape::linear(6, 1);
+        let m = cluster_machine();
+        let h = select_hier(CollectiveOp::Broadcast, shape, 1024, &m).unwrap();
+        assert_eq!(h.stages[1].strategy.nodes(), 1);
+        let c = hier_cost(CollectiveOp::Broadcast, &h, 1024, &m);
+        assert!(c.is_finite() && c > 0.0);
+    }
+
+    #[test]
+    fn collect_stage_volumes_scale_with_node_count() {
+        let shape = ClusterShape::linear(4, 2);
+        let t = hier_template(CollectiveOp::Collect, shape).unwrap();
+        // Intra gather moves n/m; inter collect and intra bcast move n.
+        assert_eq!(t[0].bytes(4096), 1024);
+        assert_eq!(t[1].bytes(4096), 4096);
+        assert_eq!(t[2].bytes(4096), 4096);
+    }
+}

@@ -37,8 +37,10 @@ pub mod contention;
 pub mod crossover;
 pub mod enumerate;
 pub mod expr;
+pub mod hier;
 pub mod machine;
 pub mod select;
+pub mod seltab;
 pub mod strategy;
 pub mod table2;
 
@@ -49,6 +51,14 @@ pub use contention::{CompositeContention, TenantLoad};
 pub use crossover::crossover_length;
 pub use enumerate::{enumerate_mesh_strategies, enumerate_strategies};
 pub use expr::CostExpr;
+pub use hier::{
+    choose_hier, enumerate_hier_strategies, flat_on_cluster_cost, hier_cost, hier_template,
+    select_hier, ClusterShape, HierChoice, HierMachine, HierStage, HierStrategy, StageRole,
+    StageSpec, TunedHier,
+};
 pub use machine::{MachineParams, TunedParams};
-pub use select::{best_strategy, rank_strategies};
+pub use select::{best_mesh_strategy, best_strategy, rank_strategies};
+pub use seltab::{
+    load_or_build, load_or_build_cluster, Geometry, OpTable, Row, Sel, SelectionTable,
+};
 pub use strategy::{ConflictModel, Strategy, StrategyKind};

@@ -1,0 +1,602 @@
+//! Persisted per-machine selection tables (§11's porting story).
+//!
+//! Strategy selection is a pure function of the machine parameters, the
+//! physical geometry, the operation and the message size. The paper's
+//! library ships exactly that function's *output* per platform: a table
+//! saying which hybrid to run for each size regime. This module builds
+//! such tables — sweeping selection over a log-spaced size grid and
+//! merging adjacent sizes that pick the same strategy into ranges — and
+//! persists them to disk in a line-oriented text format, so a port (or
+//! a restarted process) loads its selections instead of re-enumerating.
+//!
+//! Tables are **versioned** against [`TunedParams::version`] (flat) or
+//! [`TunedHier::version`] (cluster): a drift-driven refit bumps the
+//! version, and [`load_or_build`] / [`load_or_build_cluster`] then treat
+//! the on-disk file as stale — it is rebuilt under the new parameters
+//! and rewritten atomically from the caller's perspective (build first,
+//! then overwrite). A corrupt or foreign file invalidates the same way:
+//! any parse failure falls back to a rebuild, never to a panic.
+//!
+//! Cluster-geometry tables record the full two-level decision: each
+//! size range holds either the winning flat strategy or the winning
+//! hierarchical hybrid ([`choose_hier`]), so the persisted artifact
+//! captures the flat↔hier crossover per operation.
+
+use crate::collective::{CollectiveOp, CostContext};
+use crate::hier::{
+    choose_hier, ClusterShape, HierChoice, HierStage, HierStrategy, StageRole, TunedHier,
+};
+use crate::machine::TunedParams;
+use crate::select::{best_mesh_strategy, best_strategy};
+use crate::strategy::{Strategy, StrategyKind};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Header line identifying the file format.
+pub const FORMAT: &str = "intercom-seltab v1";
+
+/// Log-spaced message-size grid the builder sweeps: 1 B … 16 MiB.
+fn n_grid() -> impl Iterator<Item = usize> {
+    (0..=24).map(|k| 1usize << k)
+}
+
+/// The physical geometry a table is computed for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Geometry {
+    /// `p` nodes on a linear array.
+    Linear(usize),
+    /// A `rows × cols` physical mesh.
+    Mesh(usize, usize),
+    /// A cluster of meshes (two-level selection).
+    Cluster(ClusterShape),
+}
+
+impl fmt::Display for Geometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Geometry::Linear(p) => write!(f, "linear {p}"),
+            Geometry::Mesh(r, c) => write!(f, "mesh {r} {c}"),
+            Geometry::Cluster(s) => {
+                write!(
+                    f,
+                    "cluster {} {} {}",
+                    s.inter_rows, s.inter_cols, s.ranks_per_node
+                )
+            }
+        }
+    }
+}
+
+/// One persisted selection: the flat strategy or hierarchical hybrid
+/// that wins a size range.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sel {
+    /// A flat strategy (always the case for non-cluster geometries).
+    Flat(Strategy),
+    /// A hierarchical hybrid (cluster geometries only).
+    Hier(HierStrategy),
+}
+
+/// One size range of an operation's table. The selection applies from
+/// `n_lo` bytes (inclusive) until the next row's `n_lo`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// First message size, in bytes, the selection applies to.
+    pub n_lo: usize,
+    /// The winning selection over the range.
+    pub sel: Sel,
+}
+
+/// All size ranges for one collective operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpTable {
+    /// The operation.
+    pub op: CollectiveOp,
+    /// Ranges in increasing `n_lo` order; never empty.
+    pub rows: Vec<Row>,
+}
+
+/// A per-machine selection table: every operation's winning strategy by
+/// message-size range, stamped with the parameter version it was priced
+/// under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionTable {
+    /// Machine label, e.g. `"paragon"`, `"delta"` or `"host"`.
+    pub machine: String,
+    /// The [`TunedParams`]/[`TunedHier`] version the prices came from.
+    pub version: u64,
+    /// The geometry selections were computed for.
+    pub geometry: Geometry,
+    /// One table per operation in [`CollectiveOp::ALL`] order.
+    pub tables: Vec<OpTable>,
+}
+
+/// Merges consecutive grid points that pick the same selection.
+fn merge(points: impl Iterator<Item = (usize, Sel)>) -> Vec<Row> {
+    let mut rows: Vec<Row> = Vec::new();
+    for (n_lo, sel) in points {
+        if rows.last().is_none_or(|r| r.sel != sel) {
+            rows.push(Row { n_lo, sel });
+        }
+    }
+    rows
+}
+
+impl SelectionTable {
+    /// Builds a flat-geometry table under `tuned`'s current parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`Geometry::Cluster`] — cluster tables price the
+    /// two-level model and are built with
+    /// [`build_cluster`](SelectionTable::build_cluster).
+    pub fn build(machine: &str, tuned: &TunedParams, geometry: Geometry) -> Self {
+        let params = &tuned.current;
+        let tables = CollectiveOp::ALL
+            .iter()
+            .map(|&op| {
+                let rows = merge(n_grid().map(|n| {
+                    let s = match geometry {
+                        Geometry::Linear(p) => {
+                            best_strategy(op, p, n, params, CostContext::linear_with(params))
+                        }
+                        Geometry::Mesh(r, c) => best_mesh_strategy(op, r, c, n, params),
+                        Geometry::Cluster(_) => {
+                            panic!("cluster tables are built with build_cluster")
+                        }
+                    };
+                    (n, Sel::Flat(s))
+                }));
+                OpTable { op, rows }
+            })
+            .collect();
+        SelectionTable {
+            machine: machine.to_string(),
+            version: tuned.version,
+            geometry,
+            tables,
+        }
+    }
+
+    /// Builds a cluster-geometry table: each range records the winner of
+    /// flat-vs-hierarchical under the two-level model ([`choose_hier`]).
+    pub fn build_cluster(machine: &str, tuned: &TunedHier, shape: ClusterShape) -> Self {
+        let tables = CollectiveOp::ALL
+            .iter()
+            .map(|&op| {
+                let rows = merge(n_grid().map(|n| {
+                    let sel = match choose_hier(op, shape, n, &tuned.current) {
+                        HierChoice::Flat(s) => Sel::Flat(s),
+                        HierChoice::Hier(h) => Sel::Hier(h),
+                    };
+                    (n, sel)
+                }));
+                OpTable { op, rows }
+            })
+            .collect();
+        SelectionTable {
+            machine: machine.to_string(),
+            version: tuned.version,
+            geometry: Geometry::Cluster(shape),
+            tables,
+        }
+    }
+
+    /// Whether the table was priced under parameter version `version`.
+    pub fn is_current(&self, version: u64) -> bool {
+        self.version == version
+    }
+
+    /// The persisted selection for `op` at `n` bytes: the row whose range
+    /// contains `n` (sizes below the first breakpoint clamp to it).
+    /// `None` only if the table has no entry for `op`.
+    pub fn lookup(&self, op: CollectiveOp, n: usize) -> Option<&Sel> {
+        let t = self.tables.iter().find(|t| t.op == op)?;
+        let mut cur = t.rows.first()?;
+        for r in &t.rows {
+            if r.n_lo <= n {
+                cur = r;
+            } else {
+                break;
+            }
+        }
+        Some(&cur.sel)
+    }
+
+    /// Renders the table in the persisted text format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(FORMAT);
+        out.push('\n');
+        out.push_str(&format!("machine {}\n", self.machine));
+        out.push_str(&format!("version {}\n", self.version));
+        out.push_str(&format!("geometry {}\n", self.geometry));
+        for t in &self.tables {
+            out.push_str(&format!("table {}\n", op_key(t.op)));
+            for r in &t.rows {
+                match &r.sel {
+                    Sel::Flat(s) => {
+                        out.push_str(&format!("{} flat {}\n", r.n_lo, strategy_tokens(s)));
+                    }
+                    Sel::Hier(h) => {
+                        out.push_str(&format!("{} hier", r.n_lo));
+                        for st in &h.stages {
+                            out.push(' ');
+                            out.push_str(&stage_token(st));
+                        }
+                        out.push('\n');
+                    }
+                }
+            }
+            out.push_str("end\n");
+        }
+        out
+    }
+
+    /// Writes the rendered table to `path`.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        fs::write(path, self.render())
+    }
+
+    /// Reads and parses a table from `path`. Any malformed content is an
+    /// [`io::ErrorKind::InvalidData`] error.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        Self::parse(&fs::read_to_string(path)?)
+    }
+
+    /// Parses the persisted text format.
+    pub fn parse(text: &str) -> io::Result<Self> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        if lines.next() != Some(FORMAT) {
+            return Err(bad("missing or unknown seltab header"));
+        }
+        let machine = field(lines.next(), "machine")?.to_string();
+        let version = field(lines.next(), "version")?
+            .parse()
+            .map_err(|_| bad("bad version"))?;
+        let geometry = parse_geometry(field(lines.next(), "geometry")?)?;
+        let mut tables = Vec::new();
+        while let Some(line) = lines.next() {
+            let op = parse_op(
+                line.strip_prefix("table ")
+                    .ok_or_else(|| bad(format!("expected `table <op>`, got {line:?}")))?,
+            )?;
+            let mut rows: Vec<Row> = Vec::new();
+            loop {
+                let line = lines.next().ok_or_else(|| bad("unterminated table"))?;
+                if line == "end" {
+                    break;
+                }
+                let row = parse_row(line, geometry)?;
+                if rows.last().is_some_and(|prev| prev.n_lo >= row.n_lo) {
+                    return Err(bad("rows out of order"));
+                }
+                rows.push(row);
+            }
+            if rows.is_empty() {
+                return Err(bad("empty table"));
+            }
+            tables.push(OpTable { op, rows });
+        }
+        if tables.is_empty() {
+            return Err(bad("no tables"));
+        }
+        Ok(SelectionTable {
+            machine,
+            version,
+            geometry,
+            tables,
+        })
+    }
+}
+
+/// Loads the table at `path` if it matches `machine`, `geometry` and
+/// `tuned.version`; otherwise builds a fresh one and overwrites the
+/// file. Returns the table and whether it was rebuilt.
+pub fn load_or_build(
+    path: &Path,
+    machine: &str,
+    tuned: &TunedParams,
+    geometry: Geometry,
+) -> io::Result<(SelectionTable, bool)> {
+    if let Ok(t) = SelectionTable::load(path) {
+        if t.machine == machine && t.geometry == geometry && t.is_current(tuned.version) {
+            return Ok((t, false));
+        }
+    }
+    let t = SelectionTable::build(machine, tuned, geometry);
+    t.save(path)?;
+    Ok((t, true))
+}
+
+/// Cluster-geometry counterpart of [`load_or_build`], versioned against
+/// [`TunedHier::version`].
+pub fn load_or_build_cluster(
+    path: &Path,
+    machine: &str,
+    tuned: &TunedHier,
+    shape: ClusterShape,
+) -> io::Result<(SelectionTable, bool)> {
+    if let Ok(t) = SelectionTable::load(path) {
+        if t.machine == machine
+            && t.geometry == Geometry::Cluster(shape)
+            && t.is_current(tuned.version)
+        {
+            return Ok((t, false));
+        }
+    }
+    let t = SelectionTable::build_cluster(machine, tuned, shape);
+    t.save(path)?;
+    Ok((t, true))
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Extracts the value of a `key value...` header line.
+fn field<'a>(line: Option<&'a str>, key: &str) -> io::Result<&'a str> {
+    line.and_then(|l| l.strip_prefix(key).map(str::trim_start))
+        .ok_or_else(|| bad(format!("expected `{key} ...`")))
+}
+
+/// Stable file token for an operation (no embedded spaces).
+fn op_key(op: CollectiveOp) -> &'static str {
+    match op {
+        CollectiveOp::Broadcast => "broadcast",
+        CollectiveOp::Scatter => "scatter",
+        CollectiveOp::Gather => "gather",
+        CollectiveOp::Collect => "collect",
+        CollectiveOp::CombineToOne => "combine-to-one",
+        CollectiveOp::CombineToAll => "combine-to-all",
+        CollectiveOp::DistributedCombine => "distributed-combine",
+    }
+}
+
+fn parse_op(tok: &str) -> io::Result<CollectiveOp> {
+    CollectiveOp::ALL
+        .into_iter()
+        .find(|&op| op_key(op) == tok)
+        .ok_or_else(|| bad(format!("unknown op {tok:?}")))
+}
+
+fn parse_geometry(rest: &str) -> io::Result<Geometry> {
+    let toks: Vec<&str> = rest.split_whitespace().collect();
+    let num = |t: &str| t.parse::<usize>().map_err(|_| bad("bad geometry extent"));
+    match toks.as_slice() {
+        ["linear", p] => Ok(Geometry::Linear(num(p)?)),
+        ["mesh", r, c] => Ok(Geometry::Mesh(num(r)?, num(c)?)),
+        ["cluster", r, c, rpn] => Ok(Geometry::Cluster(ClusterShape {
+            inter_rows: num(r)?,
+            inter_cols: num(c)?,
+            ranks_per_node: num(rpn)?,
+        })),
+        _ => Err(bad(format!("bad geometry {rest:?}"))),
+    }
+}
+
+/// `dims kind split` tokens for a flat strategy, e.g. `4x4 SC 1`.
+fn strategy_tokens(s: &Strategy) -> String {
+    let kind = match s.kind {
+        StrategyKind::Mst => "M",
+        StrategyKind::ScatterCollect => "SC",
+    };
+    let split = s
+        .mesh_split
+        .map_or_else(|| "-".to_string(), |k| k.to_string());
+    format!("{} {kind} {split}", dims_token(&s.dims))
+}
+
+fn dims_token(dims: &[usize]) -> String {
+    dims.iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("x")
+}
+
+/// One hierarchical stage as a single token:
+/// `L<level>:<role>:<dims>:<kind>:<split>`.
+fn stage_token(st: &HierStage) -> String {
+    format!(
+        "L{}:{}:{}",
+        st.level,
+        st.role.name(),
+        strategy_tokens(&st.strategy).replace(' ', ":")
+    )
+}
+
+fn parse_strategy(dims_tok: &str, kind_tok: &str, split_tok: &str) -> io::Result<Strategy> {
+    let dims = dims_tok
+        .split('x')
+        .map(|d| d.parse::<usize>().map_err(|_| bad("bad dim")))
+        .collect::<io::Result<Vec<usize>>>()?;
+    if dims.is_empty() || dims.contains(&0) {
+        return Err(bad("dims must be positive"));
+    }
+    let kind = match kind_tok {
+        "M" => StrategyKind::Mst,
+        "SC" => StrategyKind::ScatterCollect,
+        _ => return Err(bad(format!("unknown strategy kind {kind_tok:?}"))),
+    };
+    let mesh_split = match split_tok {
+        "-" => None,
+        s => Some(s.parse::<usize>().map_err(|_| bad("bad mesh split"))?),
+    };
+    if mesh_split.is_some_and(|k| k > dims.len()) {
+        return Err(bad("mesh split beyond dims"));
+    }
+    Ok(Strategy {
+        dims,
+        kind,
+        mesh_split,
+    })
+}
+
+const ROLES: [StageRole; 7] = [
+    StageRole::Bcast,
+    StageRole::Reduce,
+    StageRole::AllReduce,
+    StageRole::Gather,
+    StageRole::Collect,
+    StageRole::Scatter,
+    StageRole::ReduceScatter,
+];
+
+fn parse_stage(tok: &str) -> io::Result<HierStage> {
+    let parts: Vec<&str> = tok.split(':').collect();
+    let [lvl, role_tok, dims, kind, split] = parts.as_slice() else {
+        return Err(bad(format!("bad stage token {tok:?}")));
+    };
+    let level = lvl
+        .strip_prefix('L')
+        .and_then(|v| v.parse::<u8>().ok())
+        .ok_or_else(|| bad(format!("bad stage level in {tok:?}")))?;
+    let role = ROLES
+        .into_iter()
+        .find(|r| r.name() == *role_tok)
+        .ok_or_else(|| bad(format!("unknown stage role {role_tok:?}")))?;
+    Ok(HierStage {
+        level,
+        role,
+        strategy: parse_strategy(dims, kind, split)?,
+    })
+}
+
+fn parse_row(line: &str, geometry: Geometry) -> io::Result<Row> {
+    let mut toks = line.split_whitespace();
+    let n_lo = toks
+        .next()
+        .and_then(|t| t.parse::<usize>().ok())
+        .ok_or_else(|| bad(format!("bad row {line:?}")))?;
+    let sel = match toks.next() {
+        Some("flat") => {
+            let (Some(dims), Some(kind), Some(split), None) =
+                (toks.next(), toks.next(), toks.next(), toks.next())
+            else {
+                return Err(bad(format!("bad flat row {line:?}")));
+            };
+            Sel::Flat(parse_strategy(dims, kind, split)?)
+        }
+        Some("hier") => {
+            let Geometry::Cluster(shape) = geometry else {
+                return Err(bad("hier row in a non-cluster table"));
+            };
+            let stages = toks.map(parse_stage).collect::<io::Result<Vec<_>>>()?;
+            if stages.is_empty() {
+                return Err(bad(format!("hier row with no stages {line:?}")));
+            }
+            Sel::Hier(HierStrategy { shape, stages })
+        }
+        _ => return Err(bad(format!("bad row {line:?}"))),
+    };
+    Ok(Row { n_lo, sel })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hier::HierMachine;
+    use crate::machine::MachineParams;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("seltab-{}-{name}", std::process::id()));
+        let _ = fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn lookup_matches_direct_selection_at_grid_points() {
+        let tuned = TunedParams::new(MachineParams::PARAGON);
+        let tab = SelectionTable::build("paragon", &tuned, Geometry::Linear(16));
+        for op in CollectiveOp::ALL {
+            for n in [1usize, 4096, 1 << 20] {
+                let direct = best_strategy(
+                    op,
+                    16,
+                    n,
+                    &tuned.current,
+                    CostContext::linear_with(&tuned.current),
+                );
+                assert_eq!(tab.lookup(op, n), Some(&Sel::Flat(direct)), "{op:?} at {n}");
+            }
+        }
+        // The grid merged: broadcast has a short/long crossover but far
+        // fewer rows than the 25 grid points.
+        let bcast = &tab.tables[0];
+        assert!(bcast.rows.len() >= 2, "expected a crossover");
+        assert!(bcast.rows.len() < 10, "rows did not merge");
+    }
+
+    #[test]
+    fn cluster_table_round_trips_through_text() {
+        let tuned = TunedHier::new(HierMachine::paragon_cluster());
+        let shape = ClusterShape {
+            inter_rows: 2,
+            inter_cols: 3,
+            ranks_per_node: 4,
+        };
+        let tab = SelectionTable::build_cluster("paragon", &tuned, shape);
+        // The two-level model must actually pick a hybrid somewhere,
+        // so the round-trip exercises hier rows.
+        assert!(
+            tab.tables
+                .iter()
+                .any(|t| t.rows.iter().any(|r| matches!(r.sel, Sel::Hier(_)))),
+            "no hier selection in a 15x-inter-beta cluster table"
+        );
+        let parsed = SelectionTable::parse(&tab.render()).expect("round trip");
+        assert_eq!(parsed, tab);
+    }
+
+    #[test]
+    fn refit_invalidates_a_persisted_table() {
+        let path = tmp("refit");
+        let mut tuned = TunedParams::new(MachineParams::PARAGON_MODEL);
+        let (first, rebuilt) = load_or_build(&path, "host", &tuned, Geometry::Linear(12)).unwrap();
+        assert!(rebuilt, "no file yet: must build");
+        let (again, rebuilt) = load_or_build(&path, "host", &tuned, Geometry::Linear(12)).unwrap();
+        assert!(!rebuilt, "fresh file at the same version: must load");
+        assert_eq!(again, first);
+
+        // A drift refit (β doubles) bumps the version; the stale file
+        // must be discarded and the rebuilt table re-priced.
+        tuned.refit(tuned.current.alpha, tuned.current.beta * 2.0);
+        let (refit_tab, rebuilt) =
+            load_or_build(&path, "host", &tuned, Geometry::Linear(12)).unwrap();
+        assert!(rebuilt, "version bump must invalidate");
+        assert_eq!(refit_tab.version, 2);
+        assert_eq!(SelectionTable::load(&path).unwrap().version, 2);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_or_foreign_files_fall_back_to_rebuild() {
+        let path = tmp("corrupt");
+        fs::write(&path, "not a seltab\n").unwrap();
+        let tuned = TunedHier::new(HierMachine::delta_cluster());
+        let shape = ClusterShape::linear(4, 4);
+        let (_, rebuilt) = load_or_build_cluster(&path, "delta", &tuned, shape).unwrap();
+        assert!(rebuilt, "corrupt file must be rebuilt");
+        // A table for a *different* machine label is stale too.
+        let (_, rebuilt) = load_or_build_cluster(&path, "paragon", &tuned, shape).unwrap();
+        assert!(rebuilt, "foreign machine label must invalidate");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_rows_are_data_errors_not_panics() {
+        for text in [
+            "",
+            "intercom-seltab v1\nmachine m\nversion x\ngeometry linear 4\n",
+            "intercom-seltab v1\nmachine m\nversion 1\ngeometry linear 4\ntable broadcast\n1 flat 0x4 M -\nend\n",
+            "intercom-seltab v1\nmachine m\nversion 1\ngeometry linear 4\ntable broadcast\n1 hier L0:bcast:4:M:-\nend\n",
+            "intercom-seltab v1\nmachine m\nversion 1\ngeometry linear 4\ntable broadcast\n1 flat 4 M -\n",
+        ] {
+            let e = SelectionTable::parse(text).expect_err("must reject");
+            assert_eq!(e.kind(), io::ErrorKind::InvalidData, "{text:?}");
+        }
+    }
+}

@@ -16,11 +16,13 @@
 
 use crate::fluid::FluidScratch;
 use crate::net::NetSpec;
+use crate::sim::ClusterLevels;
 use intercom::faults::POISON_TAG;
 use intercom::rng::splitmix64;
 use intercom::{AbortCause, AbortInfo, CommError, Tag};
 use intercom_cost::MachineParams;
 use intercom_obs::TraceEvent;
+use intercom_topology::HopLevel;
 use std::collections::{HashMap, VecDeque};
 
 /// What a rank asked the simulator to do.
@@ -111,6 +113,11 @@ struct Transfer {
     remaining: f64,
     /// Current fluid rate (bytes/s).
     rate: f64,
+    /// Per-transfer wire-rate ceiling, `1/β` of the transfer's level
+    /// (cluster mode; flat mode leaves it unused at ∞). Enforced as a
+    /// real fluid constraint through the sender's wire slot, which this
+    /// transfer owns exclusively while in flight.
+    wire_cap: f64,
     /// `(plan_id, step)` attribution inherited from the send half.
     plan: (u64, u64),
 }
@@ -120,6 +127,17 @@ struct Transfer {
 pub(crate) struct Engine {
     net: NetSpec,
     machine: MachineParams,
+    /// Per-level (α, β, link-excess) pricing, present in cluster mode:
+    /// intra-node transfers charge the intra level, inter-node transfers
+    /// the inter level, and every physical link carries its own level's
+    /// capacity. `machine` then mirrors the inter (network) level.
+    levels: Option<ClusterLevels>,
+    /// Per-link-slot fluid capacity (`link_excess/β` of the link's
+    /// level; uniform in flat mode).
+    link_caps: Vec<f64>,
+    /// Per-sender wire-slot capacity, rebuilt from the active set at
+    /// each rate solve (cluster mode only; empty in flat mode).
+    wire_caps: Vec<f64>,
     clocks: Vec<f64>,
     states: Vec<RankState>,
     pending_sends: HashMap<(usize, usize, Tag), VecDeque<SendHalf>>,
@@ -172,13 +190,50 @@ impl Engine {
         jitter: f64,
         jitter_seed: u64,
     ) -> Self {
+        Self::with_levels(net, machine, None, record_trace, jitter, jitter_seed)
+    }
+
+    pub(crate) fn with_levels(
+        net: NetSpec,
+        machine: MachineParams,
+        levels: Option<ClusterLevels>,
+        record_trace: bool,
+        jitter: f64,
+        jitter_seed: u64,
+    ) -> Self {
         assert!(machine.beta > 0.0, "simulator requires beta > 0");
         assert!(jitter >= 0.0, "jitter must be non-negative");
         let p = net.nodes();
-        let universe = 2 * p + net.link_slots();
+        let n_links = net.link_slots();
+        // Constraint universe: injection ports, ejection ports, directed
+        // links, and (cluster mode) one wire slot per sender carrying
+        // the per-transfer level rate ceiling.
+        let universe = 2 * p + n_links + if levels.is_some() { p } else { 0 };
+        let link_caps = match (&levels, &net) {
+            (Some(lv), NetSpec::Cluster(cl)) => {
+                assert!(
+                    lv.intra.beta > 0.0 && lv.inter.beta > 0.0,
+                    "simulator requires beta > 0 at every level"
+                );
+                let phys = cl.phys_mesh();
+                let mut caps = vec![0.0; n_links];
+                for l in phys.links() {
+                    caps[phys.link_slot(l)] = match cl.link_level(l) {
+                        HopLevel::Intra => lv.intra.link_excess / lv.intra.beta,
+                        HopLevel::Inter => lv.inter.link_excess / lv.inter.beta,
+                    };
+                }
+                caps
+            }
+            (Some(_), _) => panic!("per-level pricing requires NetSpec::Cluster"),
+            (None, _) => vec![machine.link_excess / machine.beta; n_links],
+        };
         Engine {
             net,
             machine,
+            levels,
+            link_caps,
+            wire_caps: Vec::new(),
             clocks: vec![0.0; p],
             states: (0..p).map(|_| RankState::Running).collect(),
             pending_sends: HashMap::new(),
@@ -296,10 +351,14 @@ impl Engine {
         }
         match req {
             Request::Compute { bytes } => {
-                self.clocks[rank] += bytes as f64 * self.machine.gamma;
+                // Arithmetic executes on the node: cluster mode charges
+                // the intra (node) level's γ.
+                let gamma = self.levels.map_or(self.machine.gamma, |lv| lv.intra.gamma);
+                self.clocks[rank] += bytes as f64 * gamma;
             }
             Request::CallOverhead => {
-                self.clocks[rank] += self.machine.delta;
+                let delta = self.levels.map_or(self.machine.delta, |lv| lv.intra.delta);
+                self.clocks[rank] += delta;
             }
             Request::PlanStep { plan, step } => {
                 self.plan_steps[rank] = (plan, step);
@@ -449,6 +508,23 @@ impl Engine {
             constraints.push(src as u32);
             constraints.push((p + dst) as u32);
             let hops = self.net.route_slots(src, dst, 2 * p, &mut constraints);
+            // Per-level pricing (cluster mode): a same-node message is an
+            // intra-level transfer, everything else crosses the network.
+            // Its startup and wire rate come from that level; flat mode
+            // keeps the single machine's α with no extra ceiling (the
+            // ports already cap at 1/β).
+            let (alpha, wire_cap) = match (&self.levels, &self.net) {
+                (Some(lv), NetSpec::Cluster(cl)) => {
+                    let m = if src == dst || cl.same_node(src, dst) {
+                        &lv.intra
+                    } else {
+                        &lv.inter
+                    };
+                    constraints.push((2 * p + self.net.link_slots() + src) as u32);
+                    (m.alpha, 1.0 / m.beta)
+                }
+                _ => (self.machine.alpha, f64::INFINITY),
+            };
             // Timing irregularities (§8) model OS interference at message
             // handoff: the *startup* is inflated, not the wire bandwidth,
             // so algorithms with longer critical message chains (e.g.
@@ -463,8 +539,9 @@ impl Engine {
                 remaining: size as f64,
                 data: s.data,
                 started,
-                activation: started + self.machine.alpha * slowdown,
+                activation: started + alpha * slowdown,
                 rate: 0.0,
+                wire_cap,
                 plan: s.plan,
             };
             self.waiting.push(t);
@@ -629,18 +706,38 @@ impl Engine {
         if self.active.is_empty() {
             return;
         }
-        let port_cap = 1.0 / self.machine.beta;
-        let link_cap = self.machine.link_excess / self.machine.beta;
+        // Ports inject/eject at node speed: the intra (memory) level in
+        // cluster mode, the single machine otherwise. Slower wires are
+        // enforced per link and per transfer below.
+        let port_cap = 1.0 / self.levels.map_or(self.machine.beta, |lv| lv.intra.beta);
         let port_slots = (2 * self.ranks()) as u32;
+        let wire_base = port_slots + self.link_caps.len() as u32;
+        if self.levels.is_some() {
+            self.wire_caps.clear();
+            self.wire_caps.resize(self.ranks(), f64::INFINITY);
+            for t in &self.active {
+                self.wire_caps[t.src] = t.wire_cap;
+            }
+        }
         let users: Vec<&[u32]> = self
             .active
             .iter()
             .map(|t| t.constraints.as_slice())
             .collect();
         let mut rates = std::mem::take(&mut self.rates_buf);
+        let link_caps = &self.link_caps;
+        let wire_caps = &self.wire_caps;
         self.fluid.solve_max_min(
             &users,
-            |c| if c < port_slots { port_cap } else { link_cap },
+            |c| {
+                if c < port_slots {
+                    port_cap
+                } else if c < wire_base {
+                    link_caps[(c - port_slots) as usize]
+                } else {
+                    wire_caps[(c - wire_base) as usize]
+                }
+            },
             &mut rates,
         );
         drop(users);

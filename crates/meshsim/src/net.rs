@@ -1,7 +1,7 @@
 //! Topology dispatch for the simulator: the 2-D mesh of the paper's main
 //! target (§2) and the hypercube of its iPSC/860 port (§11).
 
-use intercom_topology::{route_xy, Hypercube, Mesh2D, Torus2D};
+use intercom_topology::{route_xy, Cluster, Hypercube, Mesh2D, Torus2D};
 use std::fmt;
 
 /// Which physical network the simulated machine has.
@@ -14,6 +14,10 @@ pub enum NetSpec {
     /// A 2-D torus (wraparound mesh, paper ref [6]) with shortest-way
     /// dimension-ordered routing.
     Torus(Torus2D),
+    /// A two-level cluster: world rank = global cluster rank, routed
+    /// over the cluster's physical mesh embedding with XY routing. The
+    /// engine prices each link at its level's parameters.
+    Cluster(Cluster),
 }
 
 impl NetSpec {
@@ -23,6 +27,7 @@ impl NetSpec {
             NetSpec::Mesh(m) => m.nodes(),
             NetSpec::Hypercube(c) => c.nodes(),
             NetSpec::Torus(t) => t.nodes(),
+            NetSpec::Cluster(c) => c.ranks(),
         }
     }
 
@@ -32,6 +37,7 @@ impl NetSpec {
             NetSpec::Mesh(m) => m.link_slots(),
             NetSpec::Hypercube(c) => c.links(),
             NetSpec::Torus(t) => t.link_slots(),
+            NetSpec::Cluster(c) => c.phys_mesh().link_slots(),
         }
     }
 
@@ -60,6 +66,14 @@ impl NetSpec {
                 }
                 route.len()
             }
+            NetSpec::Cluster(c) => {
+                let phys = c.phys_mesh();
+                let route = route_xy(&phys, c.phys_node(src), c.phys_node(dst));
+                for l in &route {
+                    out.push((base + phys.link_slot(*l)) as u32);
+                }
+                route.len()
+            }
         }
     }
 }
@@ -70,6 +84,7 @@ impl fmt::Display for NetSpec {
             NetSpec::Mesh(m) => write!(f, "{m}"),
             NetSpec::Hypercube(c) => write!(f, "{c}"),
             NetSpec::Torus(t) => write!(f, "{t}"),
+            NetSpec::Cluster(c) => write!(f, "{c}"),
         }
     }
 }

@@ -23,6 +23,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cluster;
 pub mod coord;
 pub mod embed;
 pub mod factor;
@@ -32,6 +33,7 @@ pub mod mesh;
 pub mod routing;
 pub mod torus;
 
+pub use cluster::{Cluster, HopLevel};
 pub use coord::Coord;
 pub use embed::LogicalMesh;
 pub use factor::{divisors, factorizations, prime_factors};

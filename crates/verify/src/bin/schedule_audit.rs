@@ -30,6 +30,12 @@
 //! legitimate workload must prove non-interfering, and the composite
 //! per-link contention is reported for the cost model.
 //!
+//! The default run also sweeps **hierarchical cluster schedules**
+//! (`--source=hier` runs the full shape battery): every hierarchical
+//! collective × candidate per-level strategy × size over a battery of
+//! cluster shapes, each verified over the cluster's physical mesh
+//! embedding with per-stage conflict gating.
+//!
 //! The audit then runs the *mutation probes* — deliberately broken
 //! schedules and workloads (including colliding tag bases, shared
 //! memory windows, a cross-tenant wait cycle and a duplicate-node
@@ -41,13 +47,17 @@ use intercom::groups::{col_members, row_members, submesh_members};
 use intercom::ir::OptStats;
 use intercom::trace::{MemSpan, OpRecord};
 use intercom::CommError;
-use intercom_cost::{enumerate_mesh_strategies, enumerate_strategies, Strategy};
+use intercom_cost::{
+    enumerate_hier_strategies, enumerate_mesh_strategies, enumerate_strategies, select_hier,
+    ClusterShape, CollectiveOp, HierMachine, HierStrategy, Strategy,
+};
 use intercom_topology::Mesh2D;
 use intercom_verify::{
     analyze_links, chaos_sweep, check_buffer_safety, check_single_port, extract_programs,
-    hang_probe, match_programs, stall_probe, tenant_tag_base, verify_concurrent, verify_schedule,
-    verify_schedule_ir, verify_schedule_ir_opt, ChaosReport, ConcurrentViolation, Event,
-    HangDiagnosis, Schedule, Source, Tenant, VerifyOp, Violation, Workload,
+    hang_probe, hier_ir_programs, match_programs, stall_probe, tenant_tag_base, verify_concurrent,
+    verify_schedule, verify_schedule_hier, verify_schedule_ir, verify_schedule_ir_opt, ChaosReport,
+    ConcurrentViolation, Event, HangDiagnosis, Schedule, Source, Tenant, VerifyOp, Violation,
+    Workload,
 };
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -130,6 +140,8 @@ fn run(stats: &mut Stats, mesh: &Mesh2D, op: VerifyOp, st: Option<&Strategy>, n:
             rep
         }),
         Source::Trace => verify_schedule(&op, st, mesh, n),
+        // Hierarchical schedules sweep through `hier_sweep`, never here.
+        Source::Hier => unreachable!("hier programs are audited by hier_sweep"),
     };
     match result {
         Ok(rep) => {
@@ -703,6 +715,294 @@ fn chaos_probes() -> [(&'static str, bool); 2] {
     ]
 }
 
+/// Cluster shapes for the hierarchical sweep: linear and 2-D inter-node
+/// meshes, fat and thin nodes, and the rpn=1 degenerate case. The
+/// reduced set (default run) keeps the three shapes the differential
+/// tests and the bench pin; `--source=hier` sweeps all of them.
+fn hier_shapes(full: bool) -> Vec<ClusterShape> {
+    let shape = |inter_rows, inter_cols, ranks_per_node| ClusterShape {
+        inter_rows,
+        inter_cols,
+        ranks_per_node,
+    };
+    let mut out = vec![shape(1, 4, 4), shape(2, 2, 4), shape(1, 8, 2)];
+    if full {
+        out.extend([
+            shape(1, 6, 1),
+            shape(1, 2, 8),
+            shape(2, 3, 2),
+            shape(3, 3, 2),
+            shape(1, 3, 3),
+        ]);
+    }
+    out
+}
+
+/// The hierarchical strategies audited for one op × shape: every
+/// two-level-model selection (both machine presets, short through long
+/// vectors) plus the full single-dim-per-stage enumeration when the
+/// cross product stays small.
+fn hier_candidates(op: CollectiveOp, shape: ClusterShape) -> Vec<HierStrategy> {
+    let mut out: Vec<HierStrategy> = Vec::new();
+    let mut push = |h: HierStrategy| {
+        if !out.contains(&h) {
+            out.push(h);
+        }
+    };
+    for machine in [HierMachine::paragon_cluster(), HierMachine::delta_cluster()] {
+        for n in [1usize, 4096, 1 << 18] {
+            if let Some(h) = select_hier(op, shape, n, &machine) {
+                push(h);
+            }
+        }
+    }
+    let all = enumerate_hier_strategies(op, shape, 1);
+    if all.len() <= 64 {
+        for h in all {
+            push(h);
+        }
+    }
+    out
+}
+
+/// Results of the hierarchical sweep.
+struct HierStats {
+    shapes: usize,
+    strategies: usize,
+    checks: usize,
+    failures: Vec<String>,
+}
+
+fn run_hier(stats: &mut HierStats, op: &VerifyOp, hs: &HierStrategy, n: usize) {
+    stats.checks += 1;
+    match verify_schedule_hier(op, hs, n) {
+        Ok(rep) => {
+            if !rep.ok() {
+                stats.failures.push(rep.to_string());
+            }
+        }
+        Err(e) => stats
+            .failures
+            .push(format!("{op} n={n} hier {hs}: lowering error: {e}")),
+    }
+}
+
+/// Sweeps every hierarchical collective × candidate strategy × size
+/// over the cluster shapes. Every schedule must verify with zero
+/// violations over the cluster's physical mesh embedding.
+fn hier_sweep(quiet: bool, full: bool) -> HierStats {
+    let mut stats = HierStats {
+        shapes: 0,
+        strategies: 0,
+        checks: 0,
+        failures: Vec::new(),
+    };
+    let vector_sizes: &[usize] = if full { &[0, 1, 947] } else { &[1, 947] };
+    let block_sizes: &[usize] = if full { &[0, 1, 13] } else { &[1, 13] };
+    for shape in hier_shapes(full) {
+        stats.shapes += 1;
+        let p = shape.ranks();
+        let before = stats.checks;
+        for cost_op in [
+            CollectiveOp::Broadcast,
+            CollectiveOp::CombineToOne,
+            CollectiveOp::CombineToAll,
+            CollectiveOp::Collect,
+            CollectiveOp::DistributedCombine,
+        ] {
+            for hs in &hier_candidates(cost_op, shape) {
+                stats.strategies += 1;
+                match cost_op {
+                    CollectiveOp::Broadcast => {
+                        for &n in vector_sizes {
+                            for root in roots(p) {
+                                run_hier(&mut stats, &VerifyOp::Broadcast { root }, hs, n);
+                            }
+                        }
+                    }
+                    CollectiveOp::CombineToOne => {
+                        for &n in vector_sizes {
+                            for root in roots(p) {
+                                run_hier(&mut stats, &VerifyOp::Reduce { root }, hs, n);
+                            }
+                        }
+                    }
+                    CollectiveOp::CombineToAll => {
+                        for &n in vector_sizes {
+                            run_hier(&mut stats, &VerifyOp::AllReduce, hs, n);
+                        }
+                    }
+                    CollectiveOp::Collect => {
+                        for &n in block_sizes {
+                            run_hier(&mut stats, &VerifyOp::Collect, hs, n);
+                        }
+                    }
+                    CollectiveOp::DistributedCombine => {
+                        for &n in block_sizes {
+                            run_hier(&mut stats, &VerifyOp::ReduceScatter, hs, n);
+                        }
+                    }
+                    _ => unreachable!("only the five hierarchical ops are swept"),
+                }
+            }
+        }
+        if !quiet {
+            println!(
+                "hier {shape} [hier]: {} schedules verified",
+                stats.checks - before
+            );
+        }
+    }
+    stats
+}
+
+/// Hier probe 1: bumping one rank's first tag must deadlock the matcher
+/// — hierarchical programs go through the same rendezvous matching as
+/// flat ones, and their stage-band tags are load-bearing.
+fn probe_hier_tag_bump() -> bool {
+    let shape = ClusterShape::linear(2, 2);
+    let hs = select_hier(
+        CollectiveOp::CombineToAll,
+        shape,
+        4096,
+        &HierMachine::paragon_cluster(),
+    )
+    .expect("allreduce has a hierarchy");
+    let mut programs = hier_ir_programs(&VerifyOp::AllReduce, &hs, 32).expect("hier lowers");
+    let bumped = programs[1].iter_mut().find_map(|op| match op {
+        OpRecord::Send { tag, .. }
+        | OpRecord::Recv { tag, .. }
+        | OpRecord::SendRecv { tag, .. } => {
+            *tag += 1;
+            Some(())
+        }
+        _ => None,
+    });
+    bumped.expect("rank 1 communicates");
+    matches!(match_programs(&programs), Err(Violation::Deadlock { .. }))
+}
+
+/// Hier probe 2: pulling the root's intra fan-out send up into its
+/// inter-stage step must trip the single-port check (the root would
+/// talk to a leader peer and a node-local child at once).
+fn probe_hier_step_move() -> bool {
+    let shape = ClusterShape::linear(2, 4);
+    let hs = select_hier(
+        CollectiveOp::Broadcast,
+        shape,
+        4096,
+        &HierMachine::paragon_cluster(),
+    )
+    .expect("broadcast has a hierarchy");
+    let programs =
+        hier_ir_programs(&VerifyOp::Broadcast { root: 0 }, &hs, 64).expect("hier lowers");
+    let mut sched = match_programs(&programs).expect("valid schedule");
+    let sends: Vec<usize> = sched
+        .events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.src == 0)
+        .map(|(i, _)| i)
+        .collect();
+    assert!(sends.len() >= 2, "root sends in both stages");
+    let first_step = sched.events[sends[0]].step;
+    sched.events[*sends.last().unwrap()].step = first_step;
+    sched.events.sort_by_key(|e| e.step);
+    check_single_port(&sched)
+        .iter()
+        .any(|v| matches!(v, Violation::MultiPort { rank: 0, .. }))
+}
+
+/// Hier probe 3: a strategy whose stage sequence disagrees with the
+/// op's template must be rejected at lowering, before any check runs.
+fn probe_hier_bad_strategy() -> bool {
+    let hs = select_hier(
+        CollectiveOp::Broadcast,
+        ClusterShape::linear(2, 2),
+        64,
+        &HierMachine::paragon_cluster(),
+    )
+    .expect("broadcast has a hierarchy");
+    verify_schedule_hier(&VerifyOp::AllReduce, &hs, 16).is_err()
+}
+
+/// The hierarchical mutation probes run with the hier sweep.
+fn hier_probes() -> [(&'static str, bool); 3] {
+    [
+        ("hier tag-bump -> deadlock", probe_hier_tag_bump()),
+        ("hier step-move -> single-port", probe_hier_step_move()),
+        (
+            "mismatched hier template -> rejected",
+            probe_hier_bad_strategy(),
+        ),
+    ]
+}
+
+fn hier_json(h: &HierStats) -> String {
+    format!(
+        "{{\"shapes\":{},\"strategies\":{},\"checks\":{},\"failure_count\":{}}}",
+        h.shapes,
+        h.strategies,
+        h.checks,
+        h.failures.len(),
+    )
+}
+
+/// `--source=hier`: the full hierarchical sweep (every cluster shape ×
+/// hierarchical op × candidate strategy × size) plus the hier probes.
+fn run_hier_only(json: bool) -> ExitCode {
+    let stats = hier_sweep(json, true);
+    let probes = hier_probes();
+    let ok = stats.failures.is_empty() && probes.iter().all(|(_, caught)| *caught);
+    if json {
+        let failures: Vec<String> = stats
+            .failures
+            .iter()
+            .map(|f| format!("\"{}\"", escape_json(f)))
+            .collect();
+        println!(
+            "{{\n  \"schema_version\": {JSON_SCHEMA_VERSION},\n  \"source\": \"hier\",\n  \
+             \"hier\": {},\n  \"failure_count\": {},\n  \"failures\": [{}],\n  \
+             \"mutation_probes\": [{}],\n  \"pass\": {ok}\n}}",
+            hier_json(&stats),
+            failures.len(),
+            failures.join(","),
+            probes_json(&probes),
+        );
+        return if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    println!(
+        "schedule-audit: {} hierarchical schedules verified ({} strategies over {} cluster shapes)",
+        stats.checks, stats.strategies, stats.shapes
+    );
+    if !stats.failures.is_empty() {
+        println!("{} FAILURES:", stats.failures.len());
+        for (i, f) in stats.failures.iter().enumerate() {
+            println!("[{i}] {f}");
+        }
+    }
+    let mut probes_ok = true;
+    for (name, caught) in probes {
+        if caught {
+            println!("mutation probe caught: {name}");
+        } else {
+            println!("MUTATION PROBE MISSED: {name}");
+            probes_ok = false;
+        }
+    }
+    if stats.failures.is_empty() && probes_ok {
+        println!("schedule-audit: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("schedule-audit: FAIL");
+        ExitCode::FAILURE
+    }
+}
+
 /// Escapes a string for embedding in a JSON document (std-only — the
 /// workspace ships no serde).
 fn escape_json(s: &str) -> String {
@@ -734,8 +1034,12 @@ fn escape_json(s: &str) -> String {
 /// byte-identical recoveries, coordinated aborts, retransmissions and
 /// the hang count, which must be zero), the two watchdog-diagnosis
 /// entries in `mutation_probes`, and the `--source=chaos` mode that
-/// runs the full scenario matrix on both backends.
-const JSON_SCHEMA_VERSION: u32 = 5;
+/// runs the full scenario matrix on both backends. v6: added the
+/// `hier` object (the hierarchical sweep: cluster shapes, candidate
+/// strategies and per-stage-gated checks over each cluster's physical
+/// mesh embedding), the three hier entries in `mutation_probes`, and
+/// the `--source=hier` mode that runs the full cluster-shape sweep.
+const JSON_SCHEMA_VERSION: u32 = 6;
 
 fn chaos_json(c: &ChaosReport) -> String {
     format!(
@@ -925,10 +1229,11 @@ fn main() -> ExitCode {
             "--source=trace" => Source::Trace,
             "--source=concurrent" => return run_concurrent_only(json),
             "--source=chaos" => return run_chaos_only(json),
+            "--source=hier" => return run_hier_only(json),
             other => {
                 eprintln!(
                     "schedule-audit: unknown option {other} \
-                     (expected ir, ir-opt, trace, concurrent or chaos)"
+                     (expected ir, ir-opt, trace, concurrent, chaos or hier)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -948,6 +1253,8 @@ fn main() -> ExitCode {
     // reduced chaos matrix (the full one backs `--source=chaos`).
     let concurrent = (source == Source::Ir).then(|| concurrent_sweep(true));
     let chaos = (source == Source::Ir).then(|| chaos_sweep(true));
+    // The reduced hierarchical sweep (the full one backs `--source=hier`).
+    let hier = (source == Source::Ir).then(|| hier_sweep(true, false));
     let mut probes = vec![
         ("step-move -> single-port", probe_step_move()),
         ("tag-bump -> deadlock", probe_tag_bump()),
@@ -960,6 +1267,9 @@ fn main() -> ExitCode {
     if chaos.is_some() {
         probes.extend(chaos_probes());
     }
+    if hier.is_some() {
+        probes.extend(hier_probes());
+    }
     // A revert is not a violation (the program that ran is the proven
     // original) but it breaks the pipeline's deadlock-monotonicity
     // contract, so the audit treats any revert as a failure.
@@ -969,6 +1279,7 @@ fn main() -> ExitCode {
         && crosscheck.as_ref().is_none_or(|c| c.failures.is_empty())
         && concurrent.as_ref().is_none_or(|c| c.failures.is_empty())
         && chaos.as_ref().is_none_or(ChaosReport::ok)
+        && hier.as_ref().is_none_or(|h| h.failures.is_empty())
         && reverts == 0
         && probes.iter().all(|(_, caught)| *caught);
 
@@ -996,6 +1307,9 @@ fn main() -> ExitCode {
         }
         if let Some(c) = &chaos {
             failures.extend(c.failures.iter().map(|f| format!("\"{}\"", escape_json(f))));
+        }
+        if let Some(h) = &hier {
+            failures.extend(h.failures.iter().map(|f| format!("\"{}\"", escape_json(f))));
         }
         let optsweep_json = match &optsweep {
             Some(o) => format!(
@@ -1027,13 +1341,17 @@ fn main() -> ExitCode {
             Some(c) => chaos_json(c),
             None => "null".to_string(),
         };
+        let hier_json = match &hier {
+            Some(h) => hier_json(h),
+            None => "null".to_string(),
+        };
         println!(
             "{{\n  \"schema_version\": {JSON_SCHEMA_VERSION},\n  \"source\": \"{source}\",\n  \
              \"threads\": {},\n  \"checks\": {},\n  \
              \"failure_count\": {},\n  \"failures\": [{}],\n  \"per_p\": [{}],\n  \
              \"rewrites\": {rewrites_json},\n  \"optsweep\": {optsweep_json},\n  \
              \"crosscheck\": {crosscheck_json},\n  \"concurrent\": {concurrent_json},\n  \
-             \"chaos\": {chaos_json},\n  \
+             \"chaos\": {chaos_json},\n  \"hier\": {hier_json},\n  \
              \"mutation_probes\": [{}],\n  \"pass\": {ok}\n}}",
             stats.threads,
             stats.checks,
@@ -1108,6 +1426,14 @@ fn main() -> ExitCode {
             ));
         }
         failures.extend(c.failures);
+    }
+    if let Some(h) = hier {
+        println!(
+            "schedule-audit: {} hierarchical schedules verified ({} strategies over {} \
+             cluster shapes)",
+            h.checks, h.strategies, h.shapes
+        );
+        failures.extend(h.failures);
     }
     if reverts > 0 {
         println!("schedule-audit: {reverts} optimizer REVERTS (deadlock-monotonicity broken)");

@@ -16,10 +16,10 @@
 //! remains as an independent cross-check on the lowering.
 
 use crate::extract::VerifyOp;
-use intercom::ir::{lower, Buf, CollectiveProgram, PlanOp, StepKind};
+use intercom::ir::{lower, lower_hier, Buf, CollectiveProgram, PlanOp, StepKind};
 use intercom::trace::{MemSpan, OpRecord};
 use intercom::Result;
-use intercom_cost::Strategy;
+use intercom_cost::{HierStrategy, Strategy};
 
 /// Synthetic base address of argument slot `i` (disjoint `2^40`-byte
 /// windows, far larger than any real buffer).
@@ -122,6 +122,20 @@ pub fn ir_programs(
     n: usize,
 ) -> Result<Vec<Vec<OpRecord>>> {
     let prog = lower(plan_op(op), strategy, p, n, 1)?;
+    Ok(programs_of(&prog))
+}
+
+/// Lowers one **hierarchical** collective call to the schedule IR
+/// (byte elements) and returns its per-rank symbolic programs. The
+/// stage-coordinated tag bands survive the conversion — every tag is
+/// `stage · HIER_STAGE_STRIDE + inner` — which is what lets the
+/// verifier gate each stage against its own strategy's conflict
+/// profile.
+///
+/// `Err` when the op has no hierarchical lowering (scatter, gather,
+/// alltoall, pipelined broadcast) or the strategy fails validation.
+pub fn hier_ir_programs(op: &VerifyOp, hs: &HierStrategy, n: usize) -> Result<Vec<Vec<OpRecord>>> {
+    let prog = lower_hier(plan_op(op), hs, n, 1)?;
     Ok(programs_of(&prog))
 }
 

@@ -44,6 +44,16 @@
 //! `docs/verification.md` for the schedule model and how the invariants
 //! map back to the paper.
 //!
+//! **Hierarchical** (cluster) schedules reach the checker through
+//! [`verify_schedule_hier`]: the stage-coordinated composition is
+//! lowered ([`intercom::ir::lower_hier`]), every global rank is placed
+//! on the physical node of the cluster's mesh embedding
+//! ([`intercom_topology::Cluster::phys_mesh`]), and the same four
+//! invariants run unchanged — with link conflicts gated per stage tag
+//! band against each stage's own strategy profile. The audit's
+//! `--source=hier` mode sweeps cluster shapes × hierarchical ops and
+//! gates CI on zero violations.
+//!
 //! Static proofs assume a reliable fabric; the [`chaos`] module tests
 //! what happens when that assumption breaks. It runs a seeded
 //! fault-injection matrix (delays, drops, corruption, stalls) for real
@@ -76,9 +86,9 @@ pub use concurrent::{
     Workload, TENANT_TAG_STRIDE,
 };
 pub use extract::{extract_program, extract_programs, VerifyOp};
-pub use ir::{ir_opt_programs, ir_programs};
+pub use ir::{hier_ir_programs, ir_opt_programs, ir_programs};
 pub use report::{
-    verify_programs, verify_schedule, verify_schedule_ir, verify_schedule_ir_opt, LevelConflict,
-    Report, Source,
+    verify_programs, verify_schedule, verify_schedule_hier, verify_schedule_ir,
+    verify_schedule_ir_opt, LevelConflict, Report, Source,
 };
 pub use schedule::{match_programs, Event, Schedule};

@@ -5,10 +5,11 @@ use crate::checks::{
 };
 use crate::extract::{extract_programs, VerifyOp};
 use crate::schedule::match_programs;
+use intercom::hier::HIER_STAGE_STRIDE;
 use intercom::trace::OpRecord;
 use intercom::Result;
-use intercom_cost::{ConflictModel, Strategy};
-use intercom_topology::Mesh2D;
+use intercom_cost::{ConflictModel, HierStrategy, StageRole, Strategy};
+use intercom_topology::{Cluster, Mesh2D};
 use std::fmt;
 
 /// Where the verified per-rank programs came from.
@@ -27,6 +28,10 @@ pub enum Source {
     /// ([`crate::extract::extract_programs`]): an independent
     /// cross-check on the lowering.
     Trace,
+    /// The compiled **hierarchical** schedule IR
+    /// ([`crate::ir::hier_ir_programs`]): a level-tagged composition
+    /// verified over the cluster's physical mesh embedding.
+    Hier,
 }
 
 impl fmt::Display for Source {
@@ -35,6 +40,7 @@ impl fmt::Display for Source {
             Source::Ir => "ir",
             Source::IrOpt => "ir-opt",
             Source::Trace => "trace",
+            Source::Hier => "hier",
         })
     }
 }
@@ -59,6 +65,9 @@ pub struct Report {
     pub op: String,
     /// The hybrid strategy, for strategy collectives.
     pub strategy: Option<Strategy>,
+    /// The hierarchical strategy, for cluster collectives
+    /// ([`verify_schedule_hier`]).
+    pub hier: Option<HierStrategy>,
     /// Physical mesh shape `(rows, cols)`.
     pub mesh: (usize, usize),
     /// Size parameter passed to the collective (see
@@ -98,6 +107,9 @@ impl fmt::Display for Report {
         )?;
         if let Some(st) = &self.strategy {
             write!(f, ", strategy {st}")?;
+        }
+        if let Some(hs) = &self.hier {
+            write!(f, ", hier {hs}")?;
         }
         write!(
             f,
@@ -198,6 +210,119 @@ pub fn verify_schedule(
     ))
 }
 
+/// Verifies one **hierarchical** collective call statically from its
+/// compiled schedule IR: lowers the stage-coordinated composition
+/// ([`intercom::ir::lower_hier`]), places every global rank on the
+/// physical node the cluster embedding assigns it, and checks the same
+/// four invariants as the flat audit over the cluster's physical mesh.
+///
+/// Link conflicts are gated **per stage**: every hierarchical stage
+/// occupies its own tag band ([`HIER_STAGE_STRIDE`]), and the sharing
+/// among one band's same-level messages is bounded by *that stage's*
+/// flat strategy's §6 conflict profile. Strategy-free stages (the
+/// laminar gather/scatter legs) must be conflict-free. Sharing between
+/// different stages or bands is pipeline skew — reported via
+/// `max_link_sharing`/`conflict_free` but not a violation, exactly as
+/// in the flat pipeline.
+///
+/// `Err` is returned only when the *lowering* itself fails (the op has
+/// no hierarchical template, or the strategy failed validation);
+/// invariant failures land in [`Report::violations`].
+pub fn verify_schedule_hier(op: &VerifyOp, hs: &HierStrategy, n: usize) -> Result<Report> {
+    let programs = crate::ir::hier_ir_programs(op, hs, n)?;
+    let cluster = Cluster::new(
+        Mesh2D::new(hs.shape.inter_rows, hs.shape.inter_cols),
+        hs.shape.ranks_per_node,
+    );
+    let phys = cluster.phys_mesh();
+    let mut report = Report {
+        op: op.to_string(),
+        strategy: None,
+        hier: Some(hs.clone()),
+        mesh: (phys.rows(), phys.cols()),
+        n,
+        source: Source::Hier,
+        steps: 0,
+        event_count: 0,
+        max_link_sharing: 0,
+        levels: Vec::new(),
+        conflict_free: false,
+        violations: check_program_aliasing(&programs),
+    };
+    let schedule = match match_programs(&programs) {
+        Ok(s) => s,
+        Err(v) => {
+            report.violations.push(v);
+            return Ok(report);
+        }
+    };
+    report.steps = schedule.steps;
+    report.event_count = schedule.events.len();
+    report.violations.extend(check_single_port(&schedule));
+    report.violations.extend(check_buffer_safety(&schedule));
+
+    // Node-major placement: global rank `node·rpn + local` lives on the
+    // physical node the cluster embedding assigns it — not on row-major
+    // node `rank` — so remap every endpoint before routing.
+    let mut placed = schedule.clone();
+    for e in &mut placed.events {
+        e.src = cluster.phys_node(e.src);
+        e.dst = cluster.phys_node(e.dst);
+    }
+    let la = analyze_links(&placed, &phys);
+    report.max_link_sharing = la.max_sharing;
+    report.conflict_free = la.max_sharing <= 1;
+
+    // Tag = stage · HIER_STAGE_STRIDE + inner, where `inner` encodes the
+    // stage strategy's own recursion levels. Stage subgroups embed with
+    // their structure intact — an intra-node column segment and a
+    // linear-inter leader plane are physical lines (LinearArray
+    // profile); on a 2-D inter mesh the plane preserves the rows/cols
+    // structure and selection picks mesh-mapped strategies, gated by
+    // the MeshRowsCols profile, exactly as the flat audit gates them.
+    let profiles: Vec<Option<Vec<f64>>> = hs
+        .stages
+        .iter()
+        .map(|stage| match stage.role {
+            StageRole::Gather | StageRole::Scatter => None,
+            _ => {
+                let model = if stage.strategy.mesh_split.is_some() {
+                    ConflictModel::MeshRowsCols
+                } else {
+                    ConflictModel::LinearArray
+                };
+                Some(stage.strategy.conflict_profile(model, 1.0))
+            }
+        })
+        .collect();
+    let mut by_level: std::collections::BTreeMap<u64, LevelConflict> =
+        std::collections::BTreeMap::new();
+    for (&tag, &observed) in &la.per_tag_max {
+        let stage_idx = (tag / HIER_STAGE_STRIDE) as usize;
+        let inner = ((tag % HIER_STAGE_STRIDE) / intercom::algorithms::LEVEL_TAG_STRIDE) as usize;
+        let predicted = match profiles.get(stage_idx) {
+            Some(Some(profile)) => profile.get(inner).copied().unwrap_or(1.0).ceil() as usize,
+            _ => 1,
+        };
+        let level = tag / intercom::algorithms::LEVEL_TAG_STRIDE;
+        let lc = by_level.entry(level).or_insert(LevelConflict {
+            level,
+            observed: 0,
+            predicted,
+        });
+        lc.observed = lc.observed.max(observed);
+        if observed > predicted {
+            report.violations.push(Violation::ConflictFactorExceeded {
+                level,
+                observed,
+                predicted,
+            });
+        }
+    }
+    report.levels.extend(by_level.into_values());
+    Ok(report)
+}
+
 /// The shared checking pipeline: match per-rank symbolic programs into
 /// a synchronous schedule and run every invariant against the physical
 /// `mesh`, regardless of whether the programs came from the compiled IR
@@ -214,6 +339,7 @@ pub fn verify_programs(
     let mut report = Report {
         op: op.to_string(),
         strategy: strategy.cloned(),
+        hier: None,
         mesh: (mesh.rows(), mesh.cols()),
         n,
         source,
@@ -393,6 +519,75 @@ mod tests {
             let r = verify_schedule_ir(&op, None, &mesh, 13).unwrap();
             assert!(r.ok(), "unexpected violations: {r}");
         }
+    }
+
+    #[test]
+    fn hier_collectives_verify_over_cluster_shapes() {
+        use intercom_cost::{select_hier, ClusterShape, CollectiveOp, HierMachine};
+        let m = HierMachine::paragon_cluster();
+        for shape in [
+            ClusterShape::linear(4, 4),
+            ClusterShape {
+                inter_rows: 2,
+                inter_cols: 2,
+                ranks_per_node: 4,
+            },
+            ClusterShape::linear(8, 2),
+        ] {
+            for (op, cost_op) in [
+                (
+                    VerifyOp::Broadcast {
+                        root: shape.ranks() - 1,
+                    },
+                    CollectiveOp::Broadcast,
+                ),
+                (VerifyOp::AllReduce, CollectiveOp::CombineToAll),
+                (VerifyOp::Collect, CollectiveOp::Collect),
+            ] {
+                let hs = select_hier(cost_op, shape, 4096, &m).unwrap();
+                let r = verify_schedule_hier(&op, &hs, 64).unwrap();
+                assert_eq!(r.source, Source::Hier);
+                assert!(r.ok(), "unexpected violations: {r}");
+                assert!(r.event_count > 0);
+                // Every stage band's sharing stayed within its own bound.
+                assert!(r.levels.iter().all(|l| l.observed <= l.predicted));
+            }
+        }
+    }
+
+    #[test]
+    fn hier_report_names_the_hierarchy() {
+        use intercom_cost::{select_hier, ClusterShape, CollectiveOp, HierMachine};
+        let shape = ClusterShape::linear(2, 3);
+        let hs = select_hier(
+            CollectiveOp::CombineToAll,
+            shape,
+            1024,
+            &HierMachine::delta_cluster(),
+        )
+        .unwrap();
+        let r = verify_schedule_hier(&VerifyOp::AllReduce, &hs, 16).unwrap();
+        assert!(r.ok(), "unexpected violations: {r}");
+        let s = r.to_string();
+        assert!(s.contains("[hier]"), "{s}");
+        assert!(s.contains("@1x2x3"), "{s}");
+        // The cluster's physical embedding is a (rpn·rows)×cols mesh.
+        assert_eq!(r.mesh, (3, 2));
+    }
+
+    #[test]
+    fn hier_rejects_an_invalid_strategy_at_lowering() {
+        use intercom_cost::{select_hier, ClusterShape, CollectiveOp, HierMachine};
+        let hs = select_hier(
+            CollectiveOp::Broadcast,
+            ClusterShape::linear(2, 2),
+            64,
+            &HierMachine::paragon_cluster(),
+        )
+        .unwrap();
+        // A broadcast strategy replayed as an allreduce disagrees with
+        // the op's template: the error surfaces as Err, not a violation.
+        assert!(verify_schedule_hier(&VerifyOp::AllReduce, &hs, 16).is_err());
     }
 
     #[test]

@@ -64,6 +64,7 @@ fn doubled_beta_closes_the_loop_end_to_end() {
             n,
             elem_size: 1,
             strategy: Some(stale.clone()),
+            hier: None,
             opt: OptLevel::Full,
         }])
         .expect("stale plan compiles");
